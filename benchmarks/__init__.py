@@ -1,0 +1,7 @@
+"""Benchmark harness regenerating every experiment of the reproduction.
+
+Each ``bench_eXX_*.py`` module runs one experiment from the per-experiment
+index in DESIGN.md through pytest-benchmark and prints the resulting table.
+The experiment implementations live in :mod:`benchmarks.registry` so they can
+also be launched from the CLI (``repro-gossip experiment E7``).
+"""

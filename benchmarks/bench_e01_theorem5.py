@@ -1,0 +1,12 @@
+"""E1 — Theorem 5: the φ*/φ_avg sandwich across graph families."""
+
+from __future__ import annotations
+
+
+def test_e1_theorem5(run_experiment_benchmark):
+    table = run_experiment_benchmark("E1")
+    # The lower bound is sound and must hold on every exact instance.
+    assert all(row["lower_holds"] for row in table)
+    # The claimed upper bound should hold on the clear majority of instances.
+    upper_holds = [row["upper_holds"] for row in table]
+    assert sum(upper_holds) >= len(upper_holds) * 0.7

@@ -1,0 +1,14 @@
+"""E2 — Lemma 7: the singleton-target guessing game needs Ω(m) rounds."""
+
+from __future__ import annotations
+
+
+def test_e2_guessing_singleton(run_experiment_benchmark):
+    table = run_experiment_benchmark("E2")
+    rows = list(table)
+    # Round counts must grow with m (linear shape): the largest m needs
+    # strictly more rounds than the smallest.
+    assert rows[-1]["adaptive_mean_rounds"] > rows[0]["adaptive_mean_rounds"]
+    # And stay within a small constant factor of the m/4 reference.
+    for row in rows:
+        assert row["adaptive_mean_rounds"] >= row["linear_reference"] / 4

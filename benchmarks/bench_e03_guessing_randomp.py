@@ -1,0 +1,18 @@
+"""E3 — Lemma 8: the Random_p guessing game needs Ω(1/p) rounds."""
+
+from __future__ import annotations
+
+
+def test_e3_guessing_randomp(run_experiment_benchmark):
+    table = run_experiment_benchmark("E3")
+    rows = list(table)
+    # Rounds grow as p shrinks, for both strategies.
+    smallest_p = min(row["p"] for row in rows)
+    largest_p = max(row["p"] for row in rows)
+    hardest = next(row for row in rows if row["p"] == smallest_p)
+    easiest = next(row for row in rows if row["p"] == largest_p)
+    assert hardest["adaptive_mean_rounds"] > easiest["adaptive_mean_rounds"]
+    assert hardest["oblivious_mean_rounds"] > easiest["oblivious_mean_rounds"]
+    # The oblivious (push-pull-like) strategy is never faster than the adaptive one on average.
+    mean_gap = sum(row["oblivious_mean_rounds"] - row["adaptive_mean_rounds"] for row in rows)
+    assert mean_gap >= 0

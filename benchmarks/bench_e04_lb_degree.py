@@ -1,0 +1,12 @@
+"""E4 — Theorem 9: local broadcast needs Ω(Δ) rounds on the degree gadget."""
+
+from __future__ import annotations
+
+
+def test_e4_lb_degree(run_experiment_benchmark):
+    table = run_experiment_benchmark("E4")
+    rows = list(table)
+    # Rounds grow with Delta and stay within a constant factor of it.
+    assert rows[-1]["gossip_rounds_mean"] > rows[0]["gossip_rounds_mean"]
+    for row in rows:
+        assert row["gossip_rounds_mean"] >= row["delta_reference"] / 8

@@ -1,0 +1,17 @@
+"""E5 — Theorem 10: local broadcast needs Ω(1/φ + ℓ) rounds on the bipartite gadget."""
+
+from __future__ import annotations
+
+
+def test_e5_lb_conductance(run_experiment_benchmark):
+    table = run_experiment_benchmark("E5")
+    rows = list(table)
+    # At fixed ell, shrinking phi increases the required rounds.
+    ell_one = [row for row in rows if row["ell"] == 1]
+    by_phi = sorted(ell_one, key=lambda row: row["phi"], reverse=True)
+    assert by_phi[-1]["gossip_rounds_mean"] > by_phi[0]["gossip_rounds_mean"]
+    # At fixed phi, a larger ell can only slow things down (the +ell term).
+    for phi in {row["phi"] for row in rows}:
+        group = sorted((row for row in rows if row["phi"] == phi), key=lambda row: row["ell"])
+        if len(group) >= 2:
+            assert group[-1]["gossip_rounds_mean"] >= group[0]["gossip_rounds_mean"]

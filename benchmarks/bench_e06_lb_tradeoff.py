@@ -1,0 +1,18 @@
+"""E6 — Theorem 13 / Corollary 18: the min(D + Δ, ℓ/φ) trade-off ring."""
+
+from __future__ import annotations
+
+
+def test_e6_lb_tradeoff(run_experiment_benchmark):
+    table = run_experiment_benchmark("E6")
+    rows = list(table)
+    # The binding branch must switch from ell/phi (small ell) to D+Delta (large ell).
+    branches = [row["binding_branch"] for row in rows]
+    assert branches[0] == "ell/phi"
+    assert branches[-1] == "D+Delta"
+    # Measured push-pull time grows with ell until the D+Delta branch caps it.
+    assert rows[1]["pushpull_time"] >= rows[0]["pushpull_time"]
+    # Once the D+Delta branch binds, time stops growing proportionally to ell.
+    last_two_ratio = rows[-1]["pushpull_time"] / max(rows[-2]["pushpull_time"], 1.0)
+    ell_ratio = rows[-1]["ell"] / rows[-2]["ell"]
+    assert last_two_ratio < ell_ratio

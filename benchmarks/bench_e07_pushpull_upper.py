@@ -1,0 +1,12 @@
+"""E7 — Theorem 29 / Corollary 30: push-pull vs (ℓ*/φ*)·log n."""
+
+from __future__ import annotations
+
+
+def test_e7_pushpull_upper(run_experiment_benchmark):
+    table = run_experiment_benchmark("E7")
+    for row in table:
+        # Theorem 29 is an upper bound: with generous constants the measured
+        # time must not exceed a small multiple of (ell*/phi*) log n.
+        if row["ratio"] is not None:
+            assert row["ratio"] <= 5.0

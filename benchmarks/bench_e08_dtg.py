@@ -1,0 +1,12 @@
+"""E8 — DTG / ℓ-DTG local broadcast: O(log² n) rounds, ℓ charged per round."""
+
+from __future__ import annotations
+
+
+def test_e8_dtg(run_experiment_benchmark):
+    table = run_experiment_benchmark("E8")
+    for row in table:
+        # DTG stays within a constant multiple of log^2 n rounds.
+        assert row["rounds_over_log2"] <= 10.0
+        # ell-DTG charges exactly ell per simulated DTG round.
+        assert abs(row["charged_over_ell_rounds"] - 1.0) < 1e-9

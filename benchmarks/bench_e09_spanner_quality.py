@@ -1,0 +1,12 @@
+"""E9 — Theorem 20 / Lemma 19: spanner size, out-degree, and stretch."""
+
+from __future__ import annotations
+
+
+def test_e9_spanner_quality(run_experiment_benchmark):
+    table = run_experiment_benchmark("E9")
+    for row in table:
+        assert row["spanner_edges"] <= row["graph_edges"]
+        assert row["edges_over_nlogn"] <= 6.0
+        assert row["out_degree_over_logn"] <= 10.0
+        assert row["stretch"] <= row["stretch_guarantee"] + 1e-9

@@ -1,0 +1,12 @@
+"""E10 — Lemma 21 / Corollary 22: RR Broadcast on the directed spanner."""
+
+from __future__ import annotations
+
+
+def test_e10_rr_broadcast(run_experiment_benchmark):
+    table = run_experiment_benchmark("E10")
+    for row in table:
+        assert row["complete"]
+        # Lemma 21: completion within the k*Delta_out + k budget (plus the
+        # final in-flight drain of at most lmax rounds).
+        assert row["rounds"] <= row["budget"] * 1.2 + 5

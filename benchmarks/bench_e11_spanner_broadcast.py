@@ -1,0 +1,12 @@
+"""E11 — Theorem 25: Spanner Broadcast vs D·log³ n, known and unknown diameter."""
+
+from __future__ import annotations
+
+
+def test_e11_spanner_broadcast(run_experiment_benchmark):
+    table = run_experiment_benchmark("E11")
+    for row in table:
+        # The measured time stays within a constant multiple of D log^3 n.
+        assert row["known_ratio"] <= 10.0
+        # Guess-and-double costs at most a moderate constant-factor overhead.
+        assert row["unknown_over_known"] <= 20.0

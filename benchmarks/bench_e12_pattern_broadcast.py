@@ -1,0 +1,11 @@
+"""E12 — Lemmas 26-28: Pattern Broadcast vs D·log² n·log D."""
+
+from __future__ import annotations
+
+
+def test_e12_pattern_broadcast(run_experiment_benchmark):
+    table = run_experiment_benchmark("E12")
+    for row in table:
+        assert row["ratio"] <= 10.0
+        # The schedule length is 2k - 1 for the power-of-two pattern parameter.
+        assert row["dtg_invocations"] == 2 * row["pattern_k"] - 1

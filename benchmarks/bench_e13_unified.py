@@ -1,0 +1,15 @@
+"""E13 — Theorem 31 / Corollary 32: the unified strategy and its crossover."""
+
+from __future__ import annotations
+
+
+def test_e13_unified(run_experiment_benchmark):
+    table = run_experiment_benchmark("E13")
+    rows = list(table)
+    # The unified time equals the better branch on every instance.
+    for row in rows:
+        assert row["unified_time"] <= row["push_pull_time"] + 1e-9
+        assert row["unified_time"] <= row["spanner_time"] + 1e-9
+    # Push-pull must win on the well-connected clique instance.
+    clique_row = next(row for row in rows if "clique" in row["instance"])
+    assert clique_row["winner"] == "push-pull"

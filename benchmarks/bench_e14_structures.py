@@ -1,0 +1,15 @@
+"""E14 — structural checks: the T(k) schedule (Figures 4-7) and DTG growth (Figures 8-9)."""
+
+from __future__ import annotations
+
+
+def test_e14_structures(run_experiment_benchmark):
+    table = run_experiment_benchmark("E14")
+    for row in table:
+        if row["structure"] == "T(k) schedule":
+            assert row["length"] == row["expected_length"]
+            assert row["peak_invocations"] == 1
+            assert row["palindrome"]
+        else:
+            # DTG iteration counts stay within a small multiple of log2 n.
+            assert row["length"] <= 4 * max(row["expected_length"], 1)

@@ -1,0 +1,17 @@
+"""E15 — ablation: crash-fault robustness of push-pull vs the spanner structure."""
+
+from __future__ import annotations
+
+
+def test_e15_robustness(run_experiment_benchmark):
+    table = run_experiment_benchmark("E15")
+    rows = list(table)
+    # Push-pull completes among survivors at every tested crash fraction.
+    for row in rows:
+        succeeded, total = row["pushpull_success"].split("/")
+        assert succeeded == total
+    # Without faults, both strategies complete.
+    baseline = rows[0]
+    assert baseline["crash_fraction"] == 0.0
+    b_ok, b_total = baseline["spanner_success"].split("/")
+    assert b_ok == b_total

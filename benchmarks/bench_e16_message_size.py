@@ -1,0 +1,14 @@
+"""E16 — ablation: message sizes per algorithm (Section 6 remark)."""
+
+from __future__ import annotations
+
+
+def test_e16_message_size(run_experiment_benchmark):
+    table = run_experiment_benchmark("E16")
+    rows = {row["algorithm"]: row for row in table}
+    one_to_all = rows["push-pull (one-to-all)"]
+    all_to_all = rows["push-pull (all-to-all)"]
+    # One-to-all push-pull needs only constant-size messages.
+    assert one_to_all["max_payload"] <= 2
+    # The all-to-all variants ship whole rumor sets: payloads grow well beyond that.
+    assert all_to_all["max_payload"] > one_to_all["max_payload"]

@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark suite.
+
+Set the environment variable ``REPRO_BENCH_QUICK=1`` to run every experiment
+with a reduced sweep (useful for smoke-testing the harness).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick_mode() -> bool:
+    """Whether to run reduced sweeps (REPRO_BENCH_QUICK=1)."""
+    return os.environ.get("REPRO_BENCH_QUICK", "0") not in {"0", "", "false", "False"}
+
+
+@pytest.fixture
+def run_experiment_benchmark(benchmark, quick_mode):
+    """Run one registry experiment exactly once under pytest-benchmark.
+
+    The experiment's table is printed (visible with ``-s`` or in the captured
+    output of a failing run) and saved as CSV under ``benchmarks/results``.
+    """
+
+    def runner(experiment_id: str):
+        from benchmarks.registry import run_and_report
+
+        table = benchmark.pedantic(
+            run_and_report,
+            args=(experiment_id,),
+            kwargs={"quick": quick_mode},
+            rounds=1,
+            iterations=1,
+            warmup_rounds=0,
+        )
+        assert len(table) > 0
+        return table
+
+    return runner

@@ -1,0 +1,153 @@
+"""Ablation experiments for the design remarks of Section 6.
+
+* E15 — robustness: push-pull keeps working when nodes crash mid-run, the
+        spanner-based round-robin dissemination degrades (it relies on the
+        pre-built structure),
+* E16 — message size: push-pull one-to-all works with constant-size
+        messages while the all-to-all DTG-based algorithms ship entire rumor
+        sets.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Optional
+
+from repro.analysis import ResultTable
+from repro.gossip import FloodingGossip, PushPullGossip, Task, rr_broadcast
+from repro.graphs import baswana_sen_spanner, weighted_diameter, weighted_erdos_renyi
+from repro.simulation import FaultyEngine, GossipEngine, random_crash_plan
+from repro.simulation.rng import make_rng
+
+__all__ = ["experiment_e15_robustness", "experiment_e16_message_size"]
+
+
+def _push_pull_under_crashes(graph, crash_fraction: float, crash_round: int, seed: int) -> tuple[float, bool]:
+    """Run push-pull all-to-all among survivors under a crash plan."""
+    plan = random_crash_plan(graph, crash_fraction, crash_round, seed=seed)
+    engine = FaultyEngine(graph, plan)
+    engine.seed_all_rumors()
+    rng = make_rng(seed, "robust-push-pull")
+
+    def policy(view):
+        return rng.choice(view.neighbors) if view.neighbors else None
+
+    try:
+        metrics = engine.run(policy, stop_condition=lambda eng: eng.all_to_all_complete(), max_rounds=20_000)
+        return metrics.total_time, True
+    except RuntimeError:
+        return float("inf"), False
+
+
+def _spanner_rr_under_crashes(graph, crash_fraction: float, crash_round: int, seed: int) -> tuple[float, bool]:
+    """Run RR Broadcast on a pre-built spanner while nodes crash.
+
+    The spanner is built before the crashes (as the Spanner Broadcast
+    algorithm would have done); crashed nodes stop relaying, so the
+    round-robin schedule can lose the only path between two survivors.
+    """
+    plan = random_crash_plan(graph, crash_fraction, crash_round, seed=seed)
+    spanner = baswana_sen_spanner(graph, seed=seed)
+    k = int(weighted_diameter(spanner.graph)) + 1
+    engine = FaultyEngine(spanner.graph, plan)
+    engine.seed_all_rumors()
+    usable = {node: [t for t, latency in spanner.out_edges.get(node, []) if latency <= k] for node in spanner.graph.nodes()}
+    budget = k * max((len(v) for v in usable.values()), default=0) + k
+
+    def policy(view):
+        targets = usable[view.node]
+        if not targets:
+            return None
+        cursor = view.scratch.get("cursor", 0)
+        view.scratch["cursor"] = cursor + 1
+        return targets[cursor % len(targets)]
+
+    for _ in range(budget):
+        engine.step(policy)
+        if engine.all_to_all_complete():
+            return float(engine.round), True
+    return float(budget), engine.all_to_all_complete()
+
+
+def experiment_e15_robustness(quick: bool = False) -> ResultTable:
+    """E15: crash-fault robustness of push-pull vs the spanner structure (Section 6 remark)."""
+    table = ResultTable(title="E15: robustness under crash faults — push-pull vs spanner round-robin")
+    n = 32 if quick else 48
+    graph = weighted_erdos_renyi(n, min(1.0, 8.0 / n), seed=5)
+    repetitions = 2 if quick else 4
+    fractions = [0.0, 0.1, 0.25] if quick else [0.0, 0.1, 0.25, 0.4]
+    crash_round = 3
+    for fraction in fractions:
+        push_pull_times, push_pull_ok = [], 0
+        spanner_times, spanner_ok = [], 0
+        for repetition in range(repetitions):
+            time_pp, ok_pp = _push_pull_under_crashes(graph, fraction, crash_round, seed=repetition)
+            time_sp, ok_sp = _spanner_rr_under_crashes(graph, fraction, crash_round, seed=repetition)
+            if ok_pp:
+                push_pull_times.append(time_pp)
+                push_pull_ok += 1
+            if ok_sp:
+                spanner_times.append(time_sp)
+                spanner_ok += 1
+        table.add_row(
+            crash_fraction=fraction,
+            pushpull_success=f"{push_pull_ok}/{repetitions}",
+            pushpull_time=round(statistics.fmean(push_pull_times), 1) if push_pull_times else None,
+            spanner_success=f"{spanner_ok}/{repetitions}",
+            spanner_time=round(statistics.fmean(spanner_times), 1) if spanner_times else None,
+        )
+    table.add_note("push-pull keeps completing among survivors as the crash fraction grows; the pre-built")
+    table.add_note("spanner loses relay nodes and its round-robin dissemination stalls or slows sharply")
+    return table
+
+
+def experiment_e16_message_size(quick: bool = False) -> ResultTable:
+    """E16: message-size footprint of the algorithms (Section 6 remark)."""
+    table = ResultTable(title="E16: message sizes — rumors carried per exchange")
+    n = 24 if quick else 40
+    graph = weighted_erdos_renyi(n, min(1.0, 8.0 / n), seed=9)
+
+    # One-to-all push-pull: messages carry at most the single rumor.
+    one_to_all = PushPullGossip(task=Task.ONE_TO_ALL).run(graph, source=graph.nodes()[0], seed=1)
+    table.add_row(
+        algorithm="push-pull (one-to-all)",
+        time=round(one_to_all.time, 1),
+        messages=one_to_all.metrics.messages,
+        total_rumors_shipped=one_to_all.metrics.payload_rumors_sent,
+        max_payload=one_to_all.metrics.max_payload_size,
+    )
+
+    # All-to-all push-pull: payloads grow up to n rumors.
+    all_to_all = PushPullGossip(task=Task.ALL_TO_ALL).run(graph, seed=1)
+    table.add_row(
+        algorithm="push-pull (all-to-all)",
+        time=round(all_to_all.time, 1),
+        messages=all_to_all.metrics.messages,
+        total_rumors_shipped=all_to_all.metrics.payload_rumors_sent,
+        max_payload=all_to_all.metrics.max_payload_size,
+    )
+
+    # Flooding all-to-all for comparison.
+    flooding = FloodingGossip(task=Task.ALL_TO_ALL).run(graph, seed=1)
+    table.add_row(
+        algorithm="flooding (all-to-all)",
+        time=round(flooding.time, 1),
+        messages=flooding.metrics.messages,
+        total_rumors_shipped=flooding.metrics.payload_rumors_sent,
+        max_payload=flooding.metrics.max_payload_size,
+    )
+
+    # RR Broadcast on the spanner (the dissemination phase of Spanner Broadcast).
+    spanner = baswana_sen_spanner(graph, seed=9)
+    k = int(weighted_diameter(spanner.graph)) + 1
+    rr = rr_broadcast(spanner, k=k)
+    table.add_row(
+        algorithm="RR broadcast on spanner (all-to-all)",
+        time=float(rr.rounds),
+        messages=rr.metrics.messages,
+        total_rumors_shipped=rr.metrics.payload_rumors_sent,
+        max_payload=rr.metrics.max_payload_size,
+    )
+    table.add_note("one-to-all push-pull needs only constant-size messages (max_payload stays tiny);")
+    table.add_note("the all-to-all / spanner algorithms ship whole rumor sets, matching the Section 6 remark")
+    return table

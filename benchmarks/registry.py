@@ -1,0 +1,82 @@
+"""Registry mapping experiment ids (E1..E14) to their implementations.
+
+Both the pytest-benchmark modules and the CLI (``repro-gossip experiment E7``)
+dispatch through :func:`run_experiment`.  Every experiment returns a
+:class:`repro.analysis.ResultTable`; the caller renders or saves it.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Callable
+
+from repro.analysis import ResultTable, render_table
+
+from .experiments_ablations import experiment_e15_robustness, experiment_e16_message_size
+from .experiments_conductance import (
+    experiment_e1_theorem5,
+    experiment_e14_structures,
+    experiment_e9_spanner_quality,
+)
+from .experiments_lower_bounds import (
+    experiment_e2_guessing_singleton,
+    experiment_e3_guessing_randomp,
+    experiment_e4_lb_degree,
+    experiment_e5_lb_conductance,
+    experiment_e6_lb_tradeoff,
+)
+from .experiments_upper_bounds import (
+    experiment_e7_pushpull_upper,
+    experiment_e8_dtg,
+    experiment_e10_rr_broadcast,
+    experiment_e11_spanner_broadcast,
+    experiment_e12_pattern_broadcast,
+    experiment_e13_unified,
+)
+
+__all__ = ["EXPERIMENTS", "run_experiment", "run_and_report"]
+
+ExperimentFunction = Callable[[bool], ResultTable]
+
+EXPERIMENTS: dict[str, tuple[str, ExperimentFunction]] = {
+    "E1": ("Theorem 5: phi* vs phi_avg sandwich", experiment_e1_theorem5),
+    "E2": ("Lemma 7: singleton guessing game", experiment_e2_guessing_singleton),
+    "E3": ("Lemma 8: Random_p guessing game", experiment_e3_guessing_randomp),
+    "E4": ("Theorem 9: degree lower bound", experiment_e4_lb_degree),
+    "E5": ("Theorem 10: conductance lower bound", experiment_e5_lb_conductance),
+    "E6": ("Theorem 13: trade-off ring", experiment_e6_lb_tradeoff),
+    "E7": ("Theorem 29: push-pull upper bound", experiment_e7_pushpull_upper),
+    "E8": ("DTG / ell-DTG building block", experiment_e8_dtg),
+    "E9": ("Theorem 20: spanner quality", experiment_e9_spanner_quality),
+    "E10": ("Lemma 21: RR Broadcast", experiment_e10_rr_broadcast),
+    "E11": ("Theorem 25: Spanner Broadcast", experiment_e11_spanner_broadcast),
+    "E12": ("Lemma 27: Pattern Broadcast", experiment_e12_pattern_broadcast),
+    "E13": ("Theorem 31: unified strategy", experiment_e13_unified),
+    "E14": ("Structural checks: T(k), DTG trees", experiment_e14_structures),
+    "E15": ("Ablation: crash-fault robustness (Section 6 remark)", experiment_e15_robustness),
+    "E16": ("Ablation: message sizes (Section 6 remark)", experiment_e16_message_size),
+}
+
+_RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def run_experiment(experiment_id: str, quick: bool = False) -> ResultTable:
+    """Run one experiment by id (e.g. ``"E7"``) and return its table."""
+    key = experiment_id.upper()
+    if key not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; choose one of {sorted(EXPERIMENTS)}")
+    _description, function = EXPERIMENTS[key]
+    return function(quick)
+
+
+def run_and_report(experiment_id: str, quick: bool = False, save_csv: bool = True) -> ResultTable:
+    """Run an experiment, print its table, and persist it as CSV under ``benchmarks/results``."""
+    table = run_experiment(experiment_id, quick=quick)
+    print()
+    print(render_table(table))
+    if save_csv:
+        os.makedirs(_RESULTS_DIR, exist_ok=True)
+        path = os.path.join(_RESULTS_DIR, f"{experiment_id.lower()}.csv")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(table.to_csv())
+    return table

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Distributed database replication across geo-distributed data centers.
+
+The paper's introduction motivates information dissemination with distributed
+database replication: a write accepted at one replica must reach every other
+replica.  Links inside a data center are fast; links between regions are one
+to two orders of magnitude slower.  This example models three regions of
+replicas, injects a write at one replica, and compares:
+
+* **flooding** (replicate to every peer, ignoring latency),
+* **push-pull anti-entropy** (the classical random phone call),
+* **the unified strategy** of Theorem 31 (which exploits the latency
+  structure through the spanner path when that is faster).
+
+It also shows why the *weighted* conductance — not the classical one —
+predicts replication time: the classical conductance of this topology is
+high (each replica has many inter-region links), yet replication is slow
+because those links are slow.
+
+Run with::
+
+    python examples/database_replication.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable, render_table
+from repro.core import estimate_profile
+from repro.gossip import FloodingGossip, PushPullGossip, Task, UnifiedGossip
+from repro.graphs import WeightedGraph, weighted_diameter
+
+INTRA_REGION_LATENCY = 1     # ~1 ms within a data center
+CROSS_REGION_LATENCY = 40    # ~40 ms between regions
+REPLICAS_PER_REGION = 8
+REGIONS = 3
+
+
+def build_replica_topology() -> WeightedGraph:
+    """Three full-mesh regions, full mesh between regions over slow links."""
+    n = REGIONS * REPLICAS_PER_REGION
+    graph = WeightedGraph(range(n))
+    def region_of(node: int) -> int:
+        return node // REPLICAS_PER_REGION
+
+    for u in range(n):
+        for v in range(u + 1, n):
+            latency = INTRA_REGION_LATENCY if region_of(u) == region_of(v) else CROSS_REGION_LATENCY
+            graph.add_edge(u, v, latency)
+    return graph
+
+
+def main() -> None:
+    graph = build_replica_topology()
+    diameter = int(weighted_diameter(graph))
+    profile = estimate_profile(graph, seed=0)
+    print(f"replicas={graph.num_nodes}, weighted diameter={diameter} (one cross-region hop)")
+    print(f"phi* = {profile.critical_phi:.3f} at ell* = {profile.critical_latency}, "
+          f"phi_avg = {profile.phi_avg:.4f}")
+    print("The classical conductance of this mesh is ~0.5, yet replication takes")
+    print("tens of rounds — the weighted parameters capture that, the classical one does not.")
+    print()
+
+    write_origin = 0  # a write accepted by replica 0 in region 0
+    table = ResultTable(title="time to replicate one write to all replicas")
+    algorithms = [
+        ("flooding", FloodingGossip(task=Task.ONE_TO_ALL)),
+        ("push-pull anti-entropy", PushPullGossip(task=Task.ONE_TO_ALL)),
+    ]
+    for label, algorithm in algorithms:
+        result = algorithm.run(graph, source=write_origin, seed=1)
+        table.add_row(strategy=label, time_ms=result.time, messages=result.metrics.messages)
+
+    # The unified strategy solves all-to-all (full anti-entropy round), which
+    # subsumes the single write; report it for comparison.
+    unified = UnifiedGossip(latencies_known=True, diameter=diameter).run(graph, seed=1)
+    table.add_row(strategy="unified (Theorem 31, full anti-entropy)", time_ms=unified.time,
+                  messages=unified.metrics.messages)
+    table.add_note("latency unit = 1 ms; cross-region links are 40x slower than intra-region links")
+    print(render_table(table))
+
+    print("Takeaway: the random phone call spreads the write inside the origin region in")
+    print("O(log n) ms but pays ~one cross-region round trip to escape it, matching the")
+    print("paper's O((ell*/phi*) log n) bound with ell* = cross-region latency.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Touring the paper's lower-bound constructions (Section 3).
+
+The paper proves its lower bounds on three explicit graph families, all built
+from the guessing-game gadget of Figure 1.  This example constructs each
+family, reports its structural parameters (which match the theorem
+statements), and runs gossip on it to show the predicted slowdowns:
+
+* **Theorem 9 network** — small diameter, but local broadcast needs Ω(Δ)
+  rounds because a single hidden fast edge must be found among Δ² candidates;
+* **Theorem 10 network** — constant hop diameter, weighted diameter O(ℓ),
+  conductance Θ(φ); push-pull needs Ω(log n / φ) rounds;
+* **Theorem 13 ring** (Figure 2) — the trade-off Ω(min(D + Δ, ℓ/φ)).
+
+It also replays each gossip run as a guessing game (the Lemma 6 reduction)
+and confirms the reduction's direction empirically.
+
+Run with::
+
+    python examples/lower_bound_gadgets.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import ResultTable, render_table
+from repro.core import extract_parameters, lower_bound_dissemination
+from repro.gossip import PushPullGossip, Task
+from repro.graphs import (
+    theorem9_network,
+    theorem10_network,
+    theorem13_ring_network,
+    weighted_diameter,
+)
+from repro.guessing_game import run_gossip_reduction
+
+
+def main() -> None:
+    table = ResultTable(title="lower-bound gadget tour")
+
+    # Theorem 9: Omega(Delta) for local broadcast.
+    delta = 16
+    graph9, info9 = theorem9_network(n=64, delta=delta, seed=1)
+    reduction9 = run_gossip_reduction(graph9, info9, algorithm="push-pull", seed=1)
+    table.add_row(
+        construction="Theorem 9 (degree)",
+        nodes=graph9.num_nodes,
+        weighted_diameter=int(weighted_diameter(graph9)),
+        key_parameter=f"Delta={delta}",
+        gossip_rounds=reduction9.gossip_rounds,
+        game_rounds=reduction9.game_rounds,
+        reduction_holds=reduction9.reduction_holds,
+    )
+
+    # Theorem 10: Omega(1/phi + ell) for local broadcast.
+    phi = 0.1
+    graph10, info10 = theorem10_network(n=24, phi=phi, ell=2, seed=2)
+    reduction10 = run_gossip_reduction(graph10, info10, algorithm="push-pull", seed=2)
+    table.add_row(
+        construction="Theorem 10 (conductance)",
+        nodes=graph10.num_nodes,
+        weighted_diameter=int(weighted_diameter(graph10)),
+        key_parameter=f"phi={phi}",
+        gossip_rounds=reduction10.gossip_rounds,
+        game_rounds=reduction10.game_rounds,
+        reduction_holds=reduction10.reduction_holds,
+    )
+
+    # Theorem 13: the min(D + Delta, ell/phi) trade-off.
+    graph13, info13 = theorem13_ring_network(n=32, alpha=0.25, ell=12, seed=3)
+    params13 = extract_parameters(graph13, seed=3, diameter_sample=16)
+    result13 = PushPullGossip(task=Task.ALL_TO_ALL).run(graph13, seed=3)
+    table.add_row(
+        construction="Theorem 13 (ring, Fig. 2)",
+        nodes=graph13.num_nodes,
+        weighted_diameter=int(params13.diameter),
+        key_parameter=f"alpha={info13.alpha:.2f}, ell={info13.slow_latency}",
+        gossip_rounds=result13.time,
+        game_rounds=None,
+        reduction_holds=None,
+    )
+    table.add_note(
+        f"Theorem 13 lower bound Omega(min(D+Delta, ell/phi)) = {lower_bound_dissemination(params13):.1f} "
+        f"for the ring instance above"
+    )
+    print(render_table(table))
+
+    print("The guessing-game reduction (Lemma 6) holds whenever game_rounds <= gossip_rounds —")
+    print("finding the hidden fast edges is exactly as hard for the gossip algorithm as")
+    print("winning the game, which is what the paper's lower bounds exploit.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Peer-to-peer publish/subscribe: pushing an update through an overlay.
+
+P2P publish-subscribe systems (the paper's third motivating example) build a
+random overlay between subscribers.  Peers on the same continent enjoy fast
+links; transoceanic links are slow.  A publisher injects an event and every
+subscriber must receive it.
+
+This example builds a two-continent overlay, publishes from one peer, and
+shows three things the paper predicts:
+
+1. push-pull completes in ``O((ℓ*/φ*)·log n)`` — the slow transoceanic links
+   dominate via ℓ*, not via the hop count;
+2. adding a handful of *fast* transoceanic links (a CDN-style backbone)
+   improves φ*/ℓ* and the measured time drops accordingly;
+3. the message overhead of push-pull stays near ``n·log n``.
+
+Run with::
+
+    python examples/p2p_pubsub.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import ResultTable, render_table
+from repro.core import extract_parameters, upper_bound_push_pull
+from repro.gossip import PushPullGossip, Task
+from repro.graphs import WeightedGraph
+
+PEERS_PER_CONTINENT = 24
+LOCAL_LATENCY = 1
+OCEAN_LATENCY = 30
+LOCAL_DEGREE = 5
+CROSS_LINKS = 12
+
+
+def build_overlay(fast_backbone_links: int, seed: int) -> WeightedGraph:
+    """Two random local overlays joined by slow ocean links (+ optional fast backbone)."""
+    rng = random.Random(seed)
+    n = 2 * PEERS_PER_CONTINENT
+    graph = WeightedGraph(range(n))
+    continents = [list(range(PEERS_PER_CONTINENT)), list(range(PEERS_PER_CONTINENT, n))]
+    # Random LOCAL_DEGREE-out overlay inside each continent (plus a ring for connectivity).
+    for members in continents:
+        for index, peer in enumerate(members):
+            neighbor = members[(index + 1) % len(members)]
+            if not graph.has_edge(peer, neighbor):
+                graph.add_edge(peer, neighbor, LOCAL_LATENCY)
+            for _ in range(LOCAL_DEGREE):
+                other = rng.choice(members)
+                if other != peer and not graph.has_edge(peer, other):
+                    graph.add_edge(peer, other, LOCAL_LATENCY)
+    # Slow transoceanic links.
+    for _ in range(CROSS_LINKS):
+        u = rng.choice(continents[0])
+        v = rng.choice(continents[1])
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, OCEAN_LATENCY)
+    # Optional fast backbone links (dedicated circuits).
+    added = 0
+    while added < fast_backbone_links:
+        u = rng.choice(continents[0])
+        v = rng.choice(continents[1])
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v, 2)
+            added += 1
+    return graph
+
+
+def main() -> None:
+    table = ResultTable(title="publish latency on a two-continent P2P overlay")
+    for backbone in (0, 2, 6):
+        graph = build_overlay(fast_backbone_links=backbone, seed=13)
+        params = extract_parameters(graph, seed=13, diameter_sample=16)
+        result = PushPullGossip(task=Task.ONE_TO_ALL).run(graph, source=0, seed=13)
+        table.add_row(
+            fast_backbone_links=backbone,
+            publish_time=result.time,
+            messages=result.metrics.messages,
+            phi_star=round(params.phi_star, 4),
+            ell_star=params.ell_star,
+            theorem29_bound=round(upper_bound_push_pull(params), 1),
+        )
+    table.add_note("theorem29_bound = (ell*/phi*) log n; adding fast backbone links lowers ell*/phi*")
+    table.add_note("and the measured publish time follows it down")
+    print(render_table(table))
+
+    print("Takeaway: investing in a few fast transoceanic circuits changes ell* (and hence")
+    print("the critical ratio ell*/phi*) and the publish latency drops accordingly — the")
+    print("weighted conductance is the quantity to engineer, not the raw link count.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Sensor-network data aggregation over a lossy geometric radio topology.
+
+Wireless sensor networks are the paper's second motivating application:
+nodes are scattered over an area, nearby nodes have fast reliable links, and
+long or obstructed links need many retransmissions — which we model as a
+higher latency proportional to distance.  Every sensor holds a reading and
+the goal is all-to-all aggregation (every node learns every reading, e.g. to
+compute a max or an average locally).
+
+The example compares the deterministic Pattern Broadcast (which needs no
+knowledge of the network size — realistic for sensors) with push-pull, and
+shows how the completion time tracks the weighted diameter as the deployment
+area grows.
+
+Run with::
+
+    python examples/sensor_network.py
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.analysis import ResultTable, render_table
+from repro.core import extract_parameters, upper_bound_pattern_broadcast
+from repro.gossip import PatternBroadcast, PushPullGossip, Task
+from repro.graphs import WeightedGraph, weighted_diameter
+
+
+def build_sensor_field(n: int, radio_range: float, seed: int) -> WeightedGraph:
+    """Scatter ``n`` sensors on the unit square; latency grows with distance."""
+    rng = random.Random(seed)
+    positions = {node: (rng.random(), rng.random()) for node in range(n)}
+    graph = WeightedGraph(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            dx = positions[u][0] - positions[v][0]
+            dy = positions[u][1] - positions[v][1]
+            distance = math.hypot(dx, dy)
+            if distance <= radio_range:
+                # Latency = retransmission count: 1 for close nodes, growing
+                # quadratically with distance (free-space path loss).
+                latency = max(1, int(round(16 * (distance / radio_range) ** 2)))
+                graph.add_edge(u, v, latency)
+    # Connect stragglers to their nearest neighbour so aggregation is possible.
+    if not graph.is_connected():
+        components = graph.connected_components()
+        anchors = [min(component) for component in components]
+        for a, b in zip(anchors, anchors[1:]):
+            graph.add_edge(a, b, 16)
+    return graph
+
+
+def main() -> None:
+    table = ResultTable(title="all-to-all sensor aggregation vs deployment size")
+    for n in (20, 35, 50):
+        graph = build_sensor_field(n, radio_range=0.35, seed=n)
+        diameter = int(weighted_diameter(graph))
+        params = extract_parameters(graph, seed=n, diameter_sample=16)
+
+        pattern = PatternBroadcast(diameter=diameter).run(graph, seed=n)
+        push_pull = PushPullGossip(task=Task.ALL_TO_ALL).run(graph, seed=n)
+
+        table.add_row(
+            sensors=n,
+            weighted_diameter=diameter,
+            pattern_time=pattern.time,
+            push_pull_time=push_pull.time,
+            pattern_bound=round(upper_bound_pattern_broadcast(params), 1),
+        )
+    table.add_note("pattern_bound = D log^2 n log D (Lemma 27); the measured pattern time should stay")
+    table.add_note("within a constant factor of it as the field grows")
+    print(render_table(table))
+
+    print("Pattern Broadcast needs no bound on n and works with blocking radios, which is")
+    print("why it is the natural choice for sensor deployments; push-pull is competitive")
+    print("when the field is dense (good weighted conductance) but degrades with sparsity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that ``pip install -e .`` / ``python setup.py develop`` keep working in
+offline environments whose setuptools lacks the ``wheel`` package required by
+PEP 660 editable builds.
+"""
+
+from setuptools import setup
+
+setup()

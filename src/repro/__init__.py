@@ -1,0 +1,39 @@
+"""repro — reproduction of "Slow Links, Fast Links, and the Cost of Gossip".
+
+The package is organised as:
+
+* :mod:`repro.graphs` — weighted graphs, generators, lower-bound gadgets,
+  the Baswana–Sen directed spanner;
+* :mod:`repro.core` — the paper's contribution: weighted conductance
+  (φ_ℓ, φ*, ℓ*, φ_avg), the Theorem 5 relation, and theoretical bounds;
+* :mod:`repro.simulation` — the synchronous latency-aware gossip simulator;
+* :mod:`repro.gossip` — gossip algorithms (push-pull, DTG, RR Broadcast,
+  Spanner Broadcast, Pattern Broadcast, the unified strategy);
+* :mod:`repro.guessing_game` — the lower-bound guessing game and the
+  Lemma 6 reduction;
+* :mod:`repro.analysis` — the experiment / benchmark harness.
+
+Quickstart::
+
+    from repro.graphs import weighted_erdos_renyi
+    from repro.gossip import run_push_pull
+    from repro.core import check_theorem5
+
+    graph = weighted_erdos_renyi(n=64, p=0.2, seed=1)
+    result = run_push_pull(graph, source=0, seed=1)
+    print(result.time, result.metrics.messages)
+"""
+
+from . import analysis, core, gossip, graphs, guessing_game, simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "analysis",
+    "core",
+    "gossip",
+    "graphs",
+    "guessing_game",
+    "simulation",
+    "__version__",
+]

@@ -1,0 +1,38 @@
+"""Experiment harness: sweeps, statistics, tables, and ASCII plots."""
+
+from .experiment import Experiment, TrialOutcome, sweep
+from .plotting import ascii_scatter, ascii_series
+from .records import ResultRow, ResultTable
+from .report import table_to_markdown, tables_to_markdown
+from .stats import (
+    Summary,
+    geometric_mean,
+    linear_slope,
+    loglog_slope,
+    pearson_correlation,
+    ratio_statistics,
+    summarize,
+)
+from .tables import format_value, render_comparison, render_table
+
+__all__ = [
+    "Experiment",
+    "ResultRow",
+    "ResultTable",
+    "Summary",
+    "TrialOutcome",
+    "ascii_scatter",
+    "ascii_series",
+    "format_value",
+    "geometric_mean",
+    "linear_slope",
+    "loglog_slope",
+    "pearson_correlation",
+    "ratio_statistics",
+    "render_comparison",
+    "render_table",
+    "summarize",
+    "sweep",
+    "table_to_markdown",
+    "tables_to_markdown",
+]

@@ -1,0 +1,108 @@
+"""Experiment runner: parameter sweeps with repetitions and seed management.
+
+An :class:`Experiment` couples a *case generator* (the parameter grid) with a
+*trial function* (what to run and measure for one parameter setting and one
+seed) and aggregates repeated trials into a :class:`ResultTable`.  The
+benchmarks in ``benchmarks/`` are thin wrappers over this runner so that the
+same experiments can also be launched from the CLI or from notebooks.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+from .records import ResultTable
+from .stats import summarize
+
+__all__ = ["TrialOutcome", "Experiment", "sweep"]
+
+# A trial receives (case parameters, seed) and returns a mapping of measured
+# quantities, e.g. {"time": 123.0, "messages": 456}.
+TrialFunction = Callable[[Mapping[str, Any], int], Mapping[str, float]]
+
+
+@dataclass
+class TrialOutcome:
+    """All repetition results for one parameter case."""
+
+    case: dict[str, Any]
+    measurements: list[dict[str, float]] = field(default_factory=list)
+
+    def aggregate(self) -> dict[str, float]:
+        """Mean of every measured quantity across repetitions (plus min/max of 'time')."""
+        if not self.measurements:
+            return {}
+        keys = sorted({key for measurement in self.measurements for key in measurement})
+        aggregated: dict[str, float] = {}
+        for key in keys:
+            values = [m[key] for m in self.measurements if key in m]
+            aggregated[key] = statistics.fmean(values)
+            if key == "time" and len(values) > 1:
+                aggregated["time_min"] = min(values)
+                aggregated["time_max"] = max(values)
+        return aggregated
+
+
+@dataclass
+class Experiment:
+    """A named experiment: a parameter grid, a trial function, repetitions.
+
+    Parameters
+    ----------
+    name:
+        Experiment identifier (used as the table title).
+    cases:
+        Sequence of parameter dictionaries (one per table row).
+    trial:
+        Callable performing one measurement for (case, seed).
+    repetitions:
+        How many seeds to run per case.
+    base_seed:
+        First seed; repetition ``r`` of case ``i`` uses ``base_seed + 1000·i + r``.
+    """
+
+    name: str
+    cases: Sequence[Mapping[str, Any]]
+    trial: TrialFunction
+    repetitions: int = 3
+    base_seed: int = 0
+
+    def run(self, verbose: bool = False) -> ResultTable:
+        """Run every case and return the aggregated result table."""
+        table = ResultTable(title=self.name)
+        for case_index, case in enumerate(self.cases):
+            outcome = TrialOutcome(case=dict(case))
+            for repetition in range(self.repetitions):
+                seed = self.base_seed + 1000 * case_index + repetition
+                started = time.perf_counter()
+                measurement = dict(self.trial(case, seed))
+                measurement.setdefault("wall_seconds", time.perf_counter() - started)
+                outcome.measurements.append(measurement)
+            row_values: dict[str, Any] = dict(case)
+            row_values.update(outcome.aggregate())
+            table.add_row(**row_values)
+            if verbose:  # pragma: no cover - console convenience
+                print(f"[{self.name}] case {case_index + 1}/{len(self.cases)}: {row_values}")
+        table.add_note(f"{self.repetitions} repetitions per case, base seed {self.base_seed}")
+        return table
+
+
+def sweep(**parameters: Iterable[Any]) -> list[dict[str, Any]]:
+    """Build a full-factorial parameter grid from keyword iterables.
+
+    Example: ``sweep(n=[64, 128], phi=[0.1, 0.2])`` yields four cases.
+    """
+    cases: list[dict[str, Any]] = [{}]
+    for key, values in parameters.items():
+        expanded: list[dict[str, Any]] = []
+        for case in cases:
+            for value in values:
+                new_case = dict(case)
+                new_case[key] = value
+                expanded.append(new_case)
+        cases = expanded
+    return cases

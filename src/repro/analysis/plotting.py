@@ -1,0 +1,75 @@
+"""ASCII plots for quick visual inspection of scaling behaviour.
+
+The environment has no plotting library, so benchmarks that want to *show* a
+trend (e.g. completion time vs. 1/φ) render a simple character-based scatter
+plot.  The plots are intentionally coarse; the authoritative numbers are in
+the accompanying tables and CSV output.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["ascii_scatter", "ascii_series"]
+
+
+def _scale(values: Sequence[float], size: int, log: bool) -> list[int]:
+    transformed = [math.log10(v) if log and v > 0 else float(v) for v in values]
+    lo, hi = min(transformed), max(transformed)
+    if hi == lo:
+        return [size // 2 for _ in transformed]
+    return [int(round((v - lo) / (hi - lo) * (size - 1))) for v in transformed]
+
+
+def ascii_scatter(
+    x: Sequence[float],
+    y: Sequence[float],
+    width: int = 60,
+    height: int = 18,
+    log_x: bool = False,
+    log_y: bool = False,
+    title: str = "",
+    marker: str = "*",
+) -> str:
+    """Render a scatter plot of y against x using ASCII characters."""
+    if len(x) != len(y) or not x:
+        raise ValueError("x and y must be equal-length non-empty sequences")
+    columns = _scale(x, width, log_x)
+    rows = _scale(y, height, log_y)
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    for column, row in zip(columns, rows):
+        grid[height - 1 - row][column] = marker
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("+" + "-" * width + "+")
+    for grid_row in grid:
+        lines.append("|" + "".join(grid_row) + "|")
+    lines.append("+" + "-" * width + "+")
+    lines.append(
+        f"x: [{min(x):.3g}, {max(x):.3g}]{' (log)' if log_x else ''}   "
+        f"y: [{min(y):.3g}, {max(y):.3g}]{' (log)' if log_y else ''}"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def ascii_series(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    bar_char: str = "#",
+) -> str:
+    """Render a horizontal bar chart of labelled values."""
+    if len(labels) != len(values) or not labels:
+        raise ValueError("labels and values must be equal-length non-empty sequences")
+    maximum = max(values)
+    label_width = max(len(str(label)) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar_length = 0 if maximum <= 0 else int(round(value / maximum * width))
+        lines.append(f"{str(label).rjust(label_width)} | {bar_char * bar_length} {value:.3g}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,44 @@
+"""Markdown report generation from experiment result tables.
+
+EXPERIMENTS.md is hand-written prose, but it embeds numbers that come from
+the benchmark CSVs.  This module renders :class:`ResultTable` objects as
+GitHub-flavoured markdown so a refreshed report can be regenerated directly
+from a benchmark run (``python -m repro.cli experiment E7`` already prints
+the ASCII form; ``report.tables_to_markdown`` produces the markdown form).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from .records import ResultTable
+from .tables import format_value
+
+__all__ = ["table_to_markdown", "tables_to_markdown"]
+
+
+def table_to_markdown(table: ResultTable, float_digits: int = 3) -> str:
+    """Render one result table as a markdown section with a pipe table."""
+    lines = [f"### {table.title}", ""]
+    columns = table.columns()
+    if not columns:
+        lines.append("_(no rows)_")
+        return "\n".join(lines) + "\n"
+    lines.append("| " + " | ".join(str(column) for column in columns) + " |")
+    lines.append("|" + "|".join("---" for _ in columns) + "|")
+    for row in table.rows:
+        cells = [format_value(row.get(column), float_digits) or " " for column in columns]
+        lines.append("| " + " | ".join(cells) + " |")
+    if table.notes:
+        lines.append("")
+        for note in table.notes:
+            lines.append(f"*{note}*")
+    return "\n".join(lines) + "\n"
+
+
+def tables_to_markdown(tables: Iterable[ResultTable], title: str = "Experiment report") -> str:
+    """Render several tables as one markdown document."""
+    parts = [f"# {title}", ""]
+    for table in tables:
+        parts.append(table_to_markdown(table))
+    return "\n".join(parts)

@@ -1,0 +1,125 @@
+"""Summary statistics and scaling fits for experiment results.
+
+The paper's claims are asymptotic, so the benchmarks compare *shapes*: how a
+measured quantity scales with a swept parameter, and how it compares to a
+theoretical bound expression.  This module provides:
+
+* :func:`summarize` — mean / median / stdev / confidence interval,
+* :func:`loglog_slope` — least-squares slope of log(y) vs log(x), i.e. the
+  empirical growth exponent,
+* :func:`ratio_statistics` — statistics of measured/bound ratios,
+* :func:`pearson_correlation` — correlation between a measured series and a
+  bound series (a high value means the bound tracks the measurement).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Summary",
+    "summarize",
+    "loglog_slope",
+    "linear_slope",
+    "ratio_statistics",
+    "pearson_correlation",
+    "geometric_mean",
+]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Summary statistics of a sample."""
+
+    count: int
+    mean: float
+    median: float
+    stdev: float
+    minimum: float
+    maximum: float
+    ci95_half_width: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten for table rendering."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "median": self.median,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "ci95": self.ci95_half_width,
+        }
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute summary statistics of a non-empty sample."""
+    if not values:
+        raise ValueError("cannot summarize an empty sample")
+    data = [float(v) for v in values]
+    stdev = statistics.stdev(data) if len(data) > 1 else 0.0
+    ci95 = 1.96 * stdev / math.sqrt(len(data)) if len(data) > 1 else 0.0
+    return Summary(
+        count=len(data),
+        mean=statistics.fmean(data),
+        median=float(statistics.median(data)),
+        stdev=stdev,
+        minimum=min(data),
+        maximum=max(data),
+        ci95_half_width=ci95,
+    )
+
+
+def loglog_slope(x: Sequence[float], y: Sequence[float]) -> float:
+    """Return the least-squares slope of ``log(y)`` against ``log(x)``.
+
+    A slope of ~1 means linear scaling, ~2 quadratic, ~0 constant.  Points
+    with non-positive coordinates are dropped (they have no logarithm).
+    """
+    pairs = [(a, b) for a, b in zip(x, y) if a > 0 and b > 0]
+    if len(pairs) < 2:
+        raise ValueError("need at least two positive points for a log-log fit")
+    log_x = np.log([a for a, _b in pairs])
+    log_y = np.log([b for _a, b in pairs])
+    slope, _intercept = np.polyfit(log_x, log_y, 1)
+    return float(slope)
+
+
+def linear_slope(x: Sequence[float], y: Sequence[float]) -> float:
+    """Return the least-squares slope of ``y`` against ``x``."""
+    if len(x) < 2 or len(y) < 2:
+        raise ValueError("need at least two points for a linear fit")
+    slope, _intercept = np.polyfit(np.asarray(x, dtype=float), np.asarray(y, dtype=float), 1)
+    return float(slope)
+
+
+def ratio_statistics(measured: Sequence[float], bound: Sequence[float]) -> Summary:
+    """Summarize the ratios measured[i] / bound[i] (bound values of 0 are skipped)."""
+    ratios = [m / b for m, b in zip(measured, bound) if b not in (0, 0.0)]
+    if not ratios:
+        raise ValueError("no valid measured/bound ratios")
+    return summarize(ratios)
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Return the Pearson correlation coefficient of two equal-length series."""
+    if len(x) != len(y) or len(x) < 2:
+        raise ValueError("need two equal-length series with at least 2 points")
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if np.allclose(x_arr.std(), 0) or np.allclose(y_arr.std(), 0):
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Return the geometric mean of a sequence of positive values."""
+    positives = [v for v in values if v > 0]
+    if not positives:
+        raise ValueError("geometric mean requires at least one positive value")
+    return float(math.exp(statistics.fmean(math.log(v) for v in positives)))

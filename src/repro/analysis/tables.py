@@ -1,0 +1,71 @@
+"""ASCII rendering of result tables.
+
+The benchmark harness has no plotting dependency; results are reported as
+aligned plain-text tables (and CSV via :meth:`ResultTable.to_csv`).  This is
+what ``pytest benchmarks/ --benchmark-only`` and the CLI print.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Any
+
+from .records import ResultTable
+
+__all__ = ["format_value", "render_table", "render_comparison"]
+
+
+def format_value(value: Any, float_digits: int = 3) -> str:
+    """Format a cell value compactly."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value in (float("inf"), float("-inf")):
+            return "inf" if value > 0 else "-inf"
+        if abs(value) >= 1e6 or (0 < abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.{float_digits}f}".rstrip("0").rstrip(".") or "0"
+    return str(value)
+
+
+def render_table(table: ResultTable, float_digits: int = 3) -> str:
+    """Render a :class:`ResultTable` as an aligned ASCII table."""
+    columns = table.columns()
+    if not columns:
+        return f"== {table.title} ==\n(empty)\n"
+    header = [str(column) for column in columns]
+    body = [
+        [format_value(row.get(column), float_digits) for column in columns] for row in table.rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+        for i in range(len(columns))
+    ]
+    lines = [f"== {table.title} =="]
+    lines.append("  ".join(header[i].ljust(widths[i]) for i in range(len(columns))))
+    lines.append("  ".join("-" * widths[i] for i in range(len(columns))))
+    for line in body:
+        lines.append("  ".join(line[i].ljust(widths[i]) for i in range(len(columns))))
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines) + "\n"
+
+
+def render_comparison(
+    title: str,
+    labels: Sequence[str],
+    measured: Sequence[float],
+    bound: Sequence[float],
+    measured_name: str = "measured",
+    bound_name: str = "bound",
+) -> str:
+    """Render a two-series comparison with ratios, as used by EXPERIMENTS.md."""
+    table = ResultTable(title=title)
+    for label, m, b in zip(labels, measured, bound):
+        ratio = m / b if b else float("inf")
+        table.add_row(**{"case": label, measured_name: m, bound_name: b, "ratio": ratio})
+    return render_table(table)

@@ -1,0 +1,162 @@
+"""Command-line interface: ``repro-gossip`` / ``python -m repro.cli``.
+
+The CLI exposes three things:
+
+* ``run`` — run one gossip algorithm on one generated graph and print the
+  result (useful for quick experimentation),
+* ``conductance`` — print the weighted-conductance profile of a generated
+  graph,
+* ``experiment`` — regenerate one of the paper experiments (E1 .. E14) and
+  print its table; the same code paths the benchmark suite uses.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from typing import Optional
+
+from .analysis.tables import render_table
+from .core import check_theorem5, extract_parameters
+from .gossip import (
+    FloodingGossip,
+    PatternBroadcast,
+    PushPullGossip,
+    SpannerBroadcast,
+    Task,
+    UnifiedGossip,
+)
+from .graphs import (
+    WeightedGraph,
+    bimodal_latency,
+    constant_latency,
+    uniform_latency,
+    weighted_barabasi_albert,
+    weighted_clique,
+    weighted_erdos_renyi,
+    weighted_expander,
+    weighted_grid,
+)
+
+__all__ = ["main", "build_graph", "build_algorithm"]
+
+_GRAPH_BUILDERS = {
+    "clique": lambda n, model, seed: weighted_clique(n, model, seed=seed),
+    "expander": lambda n, model, seed: weighted_expander(n, 4, model, seed=seed),
+    "grid": lambda n, model, seed: weighted_grid(max(2, int(n ** 0.5)), max(2, int(n ** 0.5)), model, seed=seed),
+    "erdos-renyi": lambda n, model, seed: weighted_erdos_renyi(n, min(1.0, 8.0 / max(n, 2)), model, seed=seed),
+    "barabasi-albert": lambda n, model, seed: weighted_barabasi_albert(n, 3, model, seed=seed),
+}
+
+_LATENCY_MODELS = {
+    "unit": lambda: constant_latency(1),
+    "uniform": lambda: uniform_latency(1, 16),
+    "bimodal": lambda: bimodal_latency(fast=1, slow=64, slow_fraction=0.5),
+}
+
+_ALGORITHMS = {
+    "push-pull": lambda: PushPullGossip(task=Task.ALL_TO_ALL),
+    "flooding": lambda: FloodingGossip(task=Task.ALL_TO_ALL),
+    "spanner": lambda: SpannerBroadcast(),
+    "pattern": lambda: PatternBroadcast(),
+    "unified": lambda: UnifiedGossip(),
+}
+
+
+def build_graph(family: str, n: int, latency_model: str, seed: int) -> WeightedGraph:
+    """Build a graph from CLI arguments."""
+    if family not in _GRAPH_BUILDERS:
+        raise SystemExit(f"unknown graph family {family!r}; choose from {sorted(_GRAPH_BUILDERS)}")
+    if latency_model not in _LATENCY_MODELS:
+        raise SystemExit(f"unknown latency model {latency_model!r}; choose from {sorted(_LATENCY_MODELS)}")
+    return _GRAPH_BUILDERS[family](n, _LATENCY_MODELS[latency_model](), seed)
+
+
+def build_algorithm(name: str):
+    """Build a gossip algorithm from its CLI name."""
+    if name not in _ALGORITHMS:
+        raise SystemExit(f"unknown algorithm {name!r}; choose from {sorted(_ALGORITHMS)}")
+    return _ALGORITHMS[name]()
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    graph = build_graph(args.graph, args.nodes, args.latency, args.seed)
+    algorithm = build_algorithm(args.algorithm)
+    result = algorithm.run(graph, seed=args.seed)
+    print(f"graph      : {args.graph} (n={graph.num_nodes}, m={graph.num_edges}, lmax={graph.max_latency()})")
+    print(f"algorithm  : {result.algorithm}")
+    print(f"task       : {result.task.value}")
+    print(f"time       : {result.time:.1f}")
+    print(f"messages   : {result.metrics.messages}")
+    print(f"activations: {result.metrics.activations}")
+    print(f"complete   : {result.complete}")
+    for key, value in sorted(result.details.items()):
+        print(f"  {key}: {value}")
+    return 0
+
+
+def _command_conductance(args: argparse.Namespace) -> int:
+    graph = build_graph(args.graph, args.nodes, args.latency, args.seed)
+    params = extract_parameters(graph, seed=args.seed)
+    print(f"n                = {params.n}")
+    print(f"weighted diameter= {params.diameter:.1f}")
+    print(f"max degree       = {params.max_degree}")
+    print(f"phi*             = {params.phi_star:.5f}")
+    print(f"ell*             = {params.ell_star}")
+    print(f"phi_avg          = {params.phi_avg:.5f}")
+    print(f"latency classes  = {params.nonempty_classes}")
+    if graph.num_nodes <= 16:
+        report = check_theorem5(graph, seed=args.seed)
+        print(f"Theorem 5 holds  = {report.holds()}  (lower={report.lower:.5f}, upper={report.upper:.5f})")
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    # Imported lazily so the CLI stays usable without the benchmarks on path.
+    from benchmarks import registry  # type: ignore[import-not-found]
+
+    table = registry.run_experiment(args.experiment, quick=args.quick)
+    print(render_table(table))
+    return 0
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gossip",
+        description="Reproduction of 'Slow Links, Fast Links, and the Cost of Gossip'.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser("run", help="run one gossip algorithm on a generated graph")
+    run_parser.add_argument("--algorithm", default="push-pull", choices=sorted(_ALGORITHMS))
+    run_parser.add_argument("--graph", default="erdos-renyi", choices=sorted(_GRAPH_BUILDERS))
+    run_parser.add_argument("--latency", default="uniform", choices=sorted(_LATENCY_MODELS))
+    run_parser.add_argument("--nodes", type=int, default=64)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.set_defaults(handler=_command_run)
+
+    cond_parser = subparsers.add_parser("conductance", help="print the weighted-conductance profile")
+    cond_parser.add_argument("--graph", default="erdos-renyi", choices=sorted(_GRAPH_BUILDERS))
+    cond_parser.add_argument("--latency", default="bimodal", choices=sorted(_LATENCY_MODELS))
+    cond_parser.add_argument("--nodes", type=int, default=12)
+    cond_parser.add_argument("--seed", type=int, default=0)
+    cond_parser.set_defaults(handler=_command_conductance)
+
+    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E14)")
+    exp_parser.add_argument("experiment", help="experiment id, e.g. E1")
+    exp_parser.add_argument("--quick", action="store_true", help="reduced sweep for a fast smoke run")
+    exp_parser.set_defaults(handler=_command_experiment)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,151 @@
+"""Closed-form theoretical bounds from the paper.
+
+Each function evaluates one of the paper's bound expressions for a concrete
+parameter tuple ``(n, D, Δ, φ*, ℓ*, φ_avg, L, ℓmax)``.  Benchmarks report the
+measured completion time next to these values; EXPERIMENTS.md records the
+ratio, which should stay bounded by a modest constant across a sweep if the
+reproduction matches the paper's shape.
+
+All bounds ignore the hidden constants of the ``O``/``Ω`` notation — they are
+*shape* predictors, not absolute predictions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graphs.paths import weighted_diameter
+from ..graphs.weighted_graph import WeightedGraph
+from .estimation import estimate_profile
+
+__all__ = [
+    "GraphParameters",
+    "extract_parameters",
+    "lower_bound_dissemination",
+    "lower_bound_local_broadcast_degree",
+    "lower_bound_local_broadcast_conductance",
+    "lower_bound_dissemination_phi_avg",
+    "upper_bound_push_pull",
+    "upper_bound_push_pull_phi_avg",
+    "upper_bound_spanner_broadcast",
+    "upper_bound_pattern_broadcast",
+    "upper_bound_latency_discovery_spanner",
+    "upper_bound_unified",
+    "upper_bound_unified_phi_avg",
+]
+
+
+@dataclass(frozen=True)
+class GraphParameters:
+    """The parameter tuple all the paper's bounds are expressed in."""
+
+    n: int
+    diameter: float
+    max_degree: int
+    phi_star: float
+    ell_star: int
+    phi_avg: float
+    nonempty_classes: int
+    max_latency: int
+
+    def log_n(self) -> float:
+        """``log2 n`` clamped below at 1 so bounds stay positive for tiny n."""
+        return max(1.0, math.log2(max(self.n, 2)))
+
+    def log_diameter(self) -> float:
+        """``log2 D`` clamped below at 1."""
+        return max(1.0, math.log2(max(self.diameter, 2.0)))
+
+
+def extract_parameters(graph: WeightedGraph, seed: int = 0, diameter_sample: Optional[int] = None) -> GraphParameters:
+    """Measure the bound parameters of a concrete graph.
+
+    Conductance values are exact for small graphs and spectral estimates for
+    larger ones (see :mod:`repro.core.estimation`).
+    """
+    from .latency_classes import nonempty_latency_classes
+
+    profile = estimate_profile(graph, seed=seed)
+    return GraphParameters(
+        n=graph.num_nodes,
+        diameter=weighted_diameter(graph, sample=diameter_sample),
+        max_degree=graph.max_degree(),
+        phi_star=profile.critical_phi,
+        ell_star=profile.critical_latency,
+        phi_avg=profile.phi_avg,
+        nonempty_classes=len(nonempty_latency_classes(graph)),
+        max_latency=graph.max_latency(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Lower bounds (Section 3)
+# ----------------------------------------------------------------------
+def lower_bound_local_broadcast_degree(params: GraphParameters) -> float:
+    """Theorem 9: local broadcast needs Ω(Δ) rounds on the gadget family."""
+    return float(params.max_degree)
+
+
+def lower_bound_local_broadcast_conductance(params: GraphParameters) -> float:
+    """Theorem 10: local broadcast needs Ω(1/φ_ℓ + ℓ) rounds on the bipartite gadget."""
+    if params.phi_star == 0:
+        return math.inf
+    return 1.0 / params.phi_star + params.ell_star
+
+
+def lower_bound_dissemination(params: GraphParameters) -> float:
+    """Theorem 13: information dissemination needs Ω(min(D + Δ, ℓ*/φ*)) rounds."""
+    if params.phi_star == 0:
+        return params.diameter + params.max_degree
+    return min(params.diameter + params.max_degree, params.ell_star / params.phi_star)
+
+
+def lower_bound_dissemination_phi_avg(params: GraphParameters) -> float:
+    """Corollary 18: the Theorem 13 bound expressed via φ_avg: Ω(min(D + Δ, 1/φ_avg))."""
+    if params.phi_avg == 0:
+        return params.diameter + params.max_degree
+    return min(params.diameter + params.max_degree, 1.0 / params.phi_avg)
+
+
+# ----------------------------------------------------------------------
+# Upper bounds (Sections 4-6)
+# ----------------------------------------------------------------------
+def upper_bound_push_pull(params: GraphParameters) -> float:
+    """Theorem 29: push-pull completes in O((ℓ*/φ*)·log n)."""
+    if params.phi_star == 0:
+        return math.inf
+    return (params.ell_star / params.phi_star) * params.log_n()
+
+
+def upper_bound_push_pull_phi_avg(params: GraphParameters) -> float:
+    """Corollary 30: push-pull completes in O((L/φ_avg)·log n)."""
+    if params.phi_avg == 0:
+        return math.inf
+    return (params.nonempty_classes / params.phi_avg) * params.log_n()
+
+
+def upper_bound_spanner_broadcast(params: GraphParameters) -> float:
+    """Theorem 25: spanner broadcast (known latencies) completes in O(D·log³ n)."""
+    return params.diameter * params.log_n() ** 3
+
+
+def upper_bound_pattern_broadcast(params: GraphParameters) -> float:
+    """Lemma 27/28: pattern broadcast completes in O(D·log² n·log D)."""
+    return params.diameter * params.log_n() ** 2 * params.log_diameter()
+
+
+def upper_bound_latency_discovery_spanner(params: GraphParameters) -> float:
+    """Section 5.2: discover latencies then run the spanner: O((D + Δ)·log³ n)."""
+    return (params.diameter + params.max_degree) * params.log_n() ** 3
+
+
+def upper_bound_unified(params: GraphParameters) -> float:
+    """Theorem 31 (unknown latencies): O(min((D + Δ)·log³ n, (ℓ*/φ*)·log n))."""
+    return min(upper_bound_latency_discovery_spanner(params), upper_bound_push_pull(params))
+
+
+def upper_bound_unified_phi_avg(params: GraphParameters) -> float:
+    """Corollary 32 (unknown latencies): O(min((D + Δ)·log³ n, (L/φ_avg)·log n))."""
+    return min(upper_bound_latency_discovery_spanner(params), upper_bound_push_pull_phi_avg(params))

@@ -1,0 +1,247 @@
+"""Weighted conductance: exact computation of φ_ℓ, φ*, ℓ*, and φ_avg.
+
+This module implements the paper's core definitions:
+
+* **Weight-ℓ conductance** (Definition 1):
+  ``φ_ℓ(C) = |E_ℓ(C)| / min(Vol(U), Vol(V \\ U))`` for a cut ``C = (U, V\\U)``,
+  and ``φ_ℓ(G) = min_C φ_ℓ(C)``.
+* **Critical weighted conductance** (Definition 2): ``φ*`` is the ``φ_ℓ(G)``
+  whose ratio ``φ_ℓ(G)/ℓ`` is maximal over latencies ``ℓ``; the maximizing
+  ``ℓ`` is the critical latency ``ℓ*``.
+* **Average cut conductance / average weighted conductance**
+  (Definitions 3-4): each cut edge's contribution is down-weighted by the
+  upper bound ``2^i`` of its latency class, then minimized over cuts.
+
+Exact computation enumerates all ``2^(n-1) - 1`` cuts, so it is restricted to
+small graphs (``n <= max_exact_nodes``, default 18).  Larger graphs should
+use :mod:`repro.core.estimation` or closed forms for the known gadget
+families.
+
+When all latencies are 1, ``φ*`` equals the classical conductance and
+``φ_avg`` equals exactly half of it, matching the remarks after
+Definitions 2 and 4.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from ..graphs.cuts import Cut, cut_edges, cut_edges_within_latency, enumerate_cuts
+from ..graphs.weighted_graph import GraphError, WeightedGraph
+from .latency_classes import cut_class_counts, latency_class_upper_bound
+
+__all__ = [
+    "ConductanceResult",
+    "WeightedConductanceProfile",
+    "cut_weight_ell_conductance",
+    "weight_ell_conductance",
+    "critical_weighted_conductance",
+    "cut_average_conductance",
+    "average_weighted_conductance",
+    "classical_conductance",
+    "weighted_conductance_profile",
+    "DEFAULT_MAX_EXACT_NODES",
+]
+
+DEFAULT_MAX_EXACT_NODES = 18
+
+
+@dataclass(frozen=True)
+class ConductanceResult:
+    """The value of a conductance quantity together with its witness cut."""
+
+    value: float
+    witness: Optional[Cut]
+
+    def __float__(self) -> float:
+        return self.value
+
+
+@dataclass(frozen=True)
+class WeightedConductanceProfile:
+    """Full weighted-conductance profile of a graph.
+
+    Attributes
+    ----------
+    phi_by_latency:
+        ``{ℓ: φ_ℓ(G)}`` for every candidate latency ℓ considered.
+    critical_phi, critical_latency:
+        The critical weighted conductance ``φ*`` and critical latency ``ℓ*``.
+    phi_avg:
+        The average weighted conductance ``φ_avg``.
+    classical_phi:
+        The classical (unweighted) conductance, for comparison.
+    nonempty_classes:
+        The number ``L`` of non-empty latency classes.
+    max_latency:
+        ``ℓmax``.
+    """
+
+    phi_by_latency: dict[int, float]
+    critical_phi: float
+    critical_latency: int
+    phi_avg: float
+    classical_phi: float
+    nonempty_classes: int
+    max_latency: int
+
+    def theorem5_lower(self) -> float:
+        """Return the Theorem 5 lower bound on φ_avg: ``φ*/(2ℓ*)``."""
+        return self.critical_phi / (2 * self.critical_latency)
+
+    def theorem5_upper(self) -> float:
+        """Return the Theorem 5 upper bound on φ_avg: ``L·φ*/ℓ*``."""
+        return self.nonempty_classes * self.critical_phi / self.critical_latency
+
+    def theorem5_holds(self, tolerance: float = 1e-12) -> bool:
+        """Check the Theorem 5 sandwich ``φ*/2ℓ* <= φ_avg <= L·φ*/ℓ*``."""
+        return (
+            self.theorem5_lower() <= self.phi_avg + tolerance
+            and self.phi_avg <= self.theorem5_upper() + tolerance
+        )
+
+
+def _check_exact_feasible(graph: WeightedGraph, max_exact_nodes: int) -> None:
+    if graph.num_nodes < 2:
+        raise GraphError("conductance is undefined for graphs with fewer than 2 nodes")
+    if graph.num_edges == 0:
+        raise GraphError("conductance is undefined for graphs with no edges")
+    if graph.num_nodes > max_exact_nodes:
+        raise GraphError(
+            f"exact conductance enumerates 2^(n-1) cuts; n={graph.num_nodes} exceeds the "
+            f"limit of {max_exact_nodes}. Use repro.core.estimation for larger graphs."
+        )
+
+
+# ----------------------------------------------------------------------
+# Weight-ℓ conductance
+# ----------------------------------------------------------------------
+def cut_weight_ell_conductance(graph: WeightedGraph, cut: Cut, ell: int) -> float:
+    """Return ``φ_ℓ(C)`` for a single cut (Definition 1)."""
+    if ell < 1:
+        raise GraphError(f"ell must be >= 1, got {ell}")
+    volume = cut.min_volume(graph)
+    if volume == 0:
+        return 0.0
+    crossing = cut_edges_within_latency(graph, cut, ell)
+    return len(crossing) / volume
+
+
+def weight_ell_conductance(
+    graph: WeightedGraph, ell: int, max_exact_nodes: int = DEFAULT_MAX_EXACT_NODES
+) -> ConductanceResult:
+    """Return ``φ_ℓ(G) = min_C φ_ℓ(C)`` by exhaustive cut enumeration."""
+    _check_exact_feasible(graph, max_exact_nodes)
+    best_value = math.inf
+    best_cut: Optional[Cut] = None
+    for cut in enumerate_cuts(graph):
+        value = cut_weight_ell_conductance(graph, cut, ell)
+        if value < best_value:
+            best_value = value
+            best_cut = cut
+    return ConductanceResult(value=best_value, witness=best_cut)
+
+
+# ----------------------------------------------------------------------
+# Critical weighted conductance
+# ----------------------------------------------------------------------
+def _candidate_latencies(graph: WeightedGraph) -> list[int]:
+    """Latencies at which φ_ℓ can change: the distinct edge latencies."""
+    return graph.distinct_latencies()
+
+
+def critical_weighted_conductance(
+    graph: WeightedGraph, max_exact_nodes: int = DEFAULT_MAX_EXACT_NODES
+) -> tuple[float, int]:
+    """Return ``(φ*, ℓ*)`` (Definition 2) by exhaustive enumeration.
+
+    Only the distinct latencies present in the graph need to be considered:
+    ``φ_ℓ`` is a step function of ℓ that changes only at edge-latency values,
+    and the ratio ``φ_ℓ/ℓ`` is maximized at one of those steps (between steps
+    the numerator is constant while ℓ grows).
+    """
+    _check_exact_feasible(graph, max_exact_nodes)
+    best_ratio = -math.inf
+    best_phi = 0.0
+    best_ell = 1
+    for ell in _candidate_latencies(graph):
+        phi_ell = weight_ell_conductance(graph, ell, max_exact_nodes).value
+        ratio = phi_ell / ell
+        if ratio > best_ratio:
+            best_ratio = ratio
+            best_phi = phi_ell
+            best_ell = ell
+    return best_phi, best_ell
+
+
+# ----------------------------------------------------------------------
+# Average weighted conductance
+# ----------------------------------------------------------------------
+def cut_average_conductance(graph: WeightedGraph, cut: Cut) -> float:
+    """Return ``φ_avg(C)`` for a single cut (Definition 3)."""
+    volume = cut.min_volume(graph)
+    if volume == 0:
+        return 0.0
+    total = 0.0
+    for class_index, count in cut_class_counts(graph, cut).items():
+        total += count / latency_class_upper_bound(class_index)
+    return total / volume
+
+
+def average_weighted_conductance(
+    graph: WeightedGraph, max_exact_nodes: int = DEFAULT_MAX_EXACT_NODES
+) -> ConductanceResult:
+    """Return ``φ_avg(G) = min_C φ_avg(C)`` (Definition 4) by exhaustive enumeration."""
+    _check_exact_feasible(graph, max_exact_nodes)
+    best_value = math.inf
+    best_cut: Optional[Cut] = None
+    for cut in enumerate_cuts(graph):
+        value = cut_average_conductance(graph, cut)
+        if value < best_value:
+            best_value = value
+            best_cut = cut
+    return ConductanceResult(value=best_value, witness=best_cut)
+
+
+# ----------------------------------------------------------------------
+# Classical conductance and the full profile
+# ----------------------------------------------------------------------
+def classical_conductance(
+    graph: WeightedGraph, max_exact_nodes: int = DEFAULT_MAX_EXACT_NODES
+) -> ConductanceResult:
+    """Return the classical (latency-blind) conductance of the graph.
+
+    Every edge counts regardless of its latency — equivalently
+    ``φ_ℓ(G)`` with ``ℓ = ℓmax``.
+    """
+    return weight_ell_conductance(graph, graph.max_latency(), max_exact_nodes)
+
+
+def weighted_conductance_profile(
+    graph: WeightedGraph, max_exact_nodes: int = DEFAULT_MAX_EXACT_NODES
+) -> WeightedConductanceProfile:
+    """Compute the full weighted-conductance profile of a small graph."""
+    from .latency_classes import nonempty_latency_classes
+
+    _check_exact_feasible(graph, max_exact_nodes)
+    phi_by_latency = {
+        ell: weight_ell_conductance(graph, ell, max_exact_nodes).value
+        for ell in _candidate_latencies(graph)
+    }
+    critical_phi, critical_latency = max(
+        ((phi, ell) for ell, phi in phi_by_latency.items()),
+        key=lambda pair: (pair[0] / pair[1], -pair[1]),
+    )
+    phi_avg = average_weighted_conductance(graph, max_exact_nodes).value
+    classical_phi = classical_conductance(graph, max_exact_nodes).value
+    return WeightedConductanceProfile(
+        phi_by_latency=phi_by_latency,
+        critical_phi=critical_phi,
+        critical_latency=critical_latency,
+        phi_avg=phi_avg,
+        classical_phi=classical_phi,
+        nonempty_classes=len(nonempty_latency_classes(graph)),
+        max_latency=graph.max_latency(),
+    )

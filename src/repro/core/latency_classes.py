@@ -1,0 +1,81 @@
+"""Latency classes (Section 2.2 of the paper).
+
+The average weighted conductance partitions edges into ``⌈log ℓmax⌉`` latency
+classes: class 1 holds every edge of latency <= 2, and class ``i`` (i >= 2)
+holds the edges with latency in ``(2^(i-1), 2^i]``.  This module provides the
+class-index arithmetic and per-cut class decompositions used by
+:mod:`repro.core.conductance`.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable
+
+from ..graphs.cuts import Cut, cut_edges
+from ..graphs.weighted_graph import Edge, GraphError, WeightedGraph
+
+__all__ = [
+    "latency_class_index",
+    "latency_class_upper_bound",
+    "num_latency_classes",
+    "nonempty_latency_classes",
+    "classify_edges",
+    "cut_class_counts",
+]
+
+
+def latency_class_index(latency: int) -> int:
+    """Return the 1-based latency class of an edge latency.
+
+    Class 1 contains latencies <= 2; class ``i`` contains latencies in
+    ``(2^(i-1), 2^i]``.
+    """
+    if latency < 1:
+        raise GraphError(f"latency must be >= 1, got {latency}")
+    if latency <= 2:
+        return 1
+    return math.ceil(math.log2(latency))
+
+
+def latency_class_upper_bound(class_index: int) -> int:
+    """Return the largest latency belonging to a class (``2^i``)."""
+    if class_index < 1:
+        raise GraphError(f"class index must be >= 1, got {class_index}")
+    return 2 ** class_index
+
+
+def num_latency_classes(max_latency: int) -> int:
+    """Return the total number of possible latency classes, ``⌈log2 ℓmax⌉``.
+
+    The paper uses ``⌈log(ℓmax)⌉`` classes; for ``ℓmax <= 2`` there is a
+    single class.
+    """
+    if max_latency < 1:
+        raise GraphError(f"max latency must be >= 1, got {max_latency}")
+    return max(1, math.ceil(math.log2(max_latency)))
+
+
+def classify_edges(edges: Iterable[Edge]) -> dict[int, list[Edge]]:
+    """Group edges by latency class index."""
+    groups: dict[int, list[Edge]] = {}
+    for edge in edges:
+        groups.setdefault(latency_class_index(edge.latency), []).append(edge)
+    return groups
+
+
+def nonempty_latency_classes(graph: WeightedGraph) -> list[int]:
+    """Return the sorted class indices that contain at least one edge of ``graph``.
+
+    The count of these classes is the quantity ``L`` in Theorem 5.
+    """
+    return sorted({latency_class_index(edge.latency) for edge in graph.edges()})
+
+
+def cut_class_counts(graph: WeightedGraph, cut: Cut) -> Counter[int]:
+    """Return ``|k_i(C)|``: how many cut edges fall in each latency class."""
+    counts: Counter[int] = Counter()
+    for edge in cut_edges(graph, cut):
+        counts[latency_class_index(edge.latency)] += 1
+    return counts

@@ -1,0 +1,65 @@
+"""Gossip algorithms: the paper's upper-bound constructions plus baselines.
+
+* :mod:`~repro.gossip.push_pull` — random phone call push / pull / push-pull,
+* :mod:`~repro.gossip.flooding` — deterministic round-robin flooding baseline,
+* :mod:`~repro.gossip.dtg` — DTG and ℓ-DTG local broadcast,
+* :mod:`~repro.gossip.rr_broadcast` — RR Broadcast on a directed spanner,
+* :mod:`~repro.gossip.spanner_broadcast` — Spanner Broadcast (known / unknown D),
+* :mod:`~repro.gossip.pattern_broadcast` — the deterministic T(k) pattern,
+* :mod:`~repro.gossip.termination` — Termination_Check and guess-and-double,
+* :mod:`~repro.gossip.latency_discovery` — the O(D + Δ) discovery phase,
+* :mod:`~repro.gossip.unified` — the combined Theorem 31 strategy.
+"""
+
+from .aggregation import BUILTIN_AGGREGATES, AggregationResult, gossip_aggregate
+from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
+from .dtg import DTGResult, dtg_local_broadcast, ell_dtg
+from .flooding import FloodingGossip, run_flooding
+from .latency_discovery import DiscoveryResult, discover_latencies
+from .local_broadcast import DTGLocalBroadcast, RandomizedLocalBroadcast
+from .pattern_broadcast import PatternBroadcast, execute_pattern, pattern_schedule
+from .push_pull import PullGossip, PushGossip, PushPullGossip, run_push_pull
+from .rr_broadcast import RRBroadcastResult, rr_broadcast
+from .spanner_broadcast import SpannerBroadcast, spanner_broadcast_attempt
+from .termination import (
+    BroadcastPrimitive,
+    TerminationOutcome,
+    guess_and_double,
+    termination_check,
+)
+from .unified import UnifiedGossip
+
+__all__ = [
+    "AggregationResult",
+    "BUILTIN_AGGREGATES",
+    "BroadcastPrimitive",
+    "DTGLocalBroadcast",
+    "DTGResult",
+    "DiscoveryResult",
+    "DisseminationResult",
+    "FloodingGossip",
+    "RandomizedLocalBroadcast",
+    "GossipAlgorithm",
+    "PatternBroadcast",
+    "PullGossip",
+    "PushGossip",
+    "PushPullGossip",
+    "RRBroadcastResult",
+    "SpannerBroadcast",
+    "Task",
+    "TerminationOutcome",
+    "UnifiedGossip",
+    "discover_latencies",
+    "dtg_local_broadcast",
+    "ell_dtg",
+    "gossip_aggregate",
+    "execute_pattern",
+    "guess_and_double",
+    "pattern_schedule",
+    "require_connected",
+    "rr_broadcast",
+    "run_flooding",
+    "run_push_pull",
+    "spanner_broadcast_attempt",
+    "termination_check",
+]

@@ -1,0 +1,127 @@
+"""Common interfaces and result types for the gossip algorithms.
+
+Every algorithm in :mod:`repro.gossip` solves one of three tasks from the
+paper:
+
+* **one-to-all information dissemination** — a designated source has a rumor
+  and every node must learn it,
+* **all-to-all information dissemination** — every node starts with a rumor
+  and every node must learn all of them (Section 4 solves this directly),
+* **local broadcast** — every node must learn the rumor of each of its
+  neighbours (the building block used by the lower bounds and by DTG).
+
+Algorithms implement :class:`GossipAlgorithm` and return a
+:class:`DisseminationResult`, so experiments can sweep over algorithms
+uniformly.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from ..simulation.metrics import SimulationMetrics
+
+__all__ = ["Task", "DisseminationResult", "GossipAlgorithm", "require_connected"]
+
+
+class Task(enum.Enum):
+    """The dissemination task an algorithm solves."""
+
+    ONE_TO_ALL = "one-to-all"
+    ALL_TO_ALL = "all-to-all"
+    LOCAL_BROADCAST = "local-broadcast"
+
+
+@dataclass
+class DisseminationResult:
+    """Outcome of running a gossip algorithm on a graph.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm name.
+    task:
+        Which task was solved.
+    time:
+        Completion time in rounds (including analytically charged phases).
+    rounds_simulated:
+        Rounds actually simulated by the engine (excludes charged time).
+    complete:
+        Whether the task goal was reached (should always be true unless an
+        explicit round cap was hit).
+    metrics:
+        Full cost metrics.
+    details:
+        Algorithm-specific extras (e.g. number of guess-and-double epochs,
+        spanner statistics, per-phase timings).
+    """
+
+    algorithm: str
+    task: Task
+    time: float
+    rounds_simulated: int
+    complete: bool
+    metrics: SimulationMetrics
+    details: dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Flatten the headline numbers for table rendering."""
+        row = {
+            "algorithm": self.algorithm,
+            "task": self.task.value,
+            "time": self.time,
+            "rounds": self.rounds_simulated,
+            "complete": self.complete,
+            "messages": self.metrics.messages,
+            "activations": self.metrics.activations,
+        }
+        row.update({f"detail_{key}": value for key, value in self.details.items() if isinstance(value, (int, float, str, bool))})
+        return row
+
+
+def require_connected(graph: WeightedGraph) -> None:
+    """Raise :class:`GraphError` unless the graph is connected.
+
+    The paper assumes a connected network throughout; dissemination is
+    impossible otherwise, so algorithms fail fast.
+    """
+    if graph.num_nodes == 0:
+        raise GraphError("graph has no nodes")
+    if not graph.is_connected():
+        raise GraphError("information dissemination requires a connected graph")
+
+
+class GossipAlgorithm(abc.ABC):
+    """Base class for all gossip algorithms.
+
+    Subclasses provide :meth:`run`; the ``name`` attribute is used in result
+    tables.  Algorithms must be stateless across runs (all per-run state
+    lives in the engine or in locals) so one instance can be reused across a
+    parameter sweep.
+    """
+
+    name: str = "gossip"
+    task: Task = Task.ONE_TO_ALL
+
+    @abc.abstractmethod
+    def run(
+        self,
+        graph: WeightedGraph,
+        source: Optional[NodeId] = None,
+        seed: int = 0,
+        max_rounds: int = 1_000_000,
+    ) -> DisseminationResult:
+        """Run the algorithm on ``graph`` and return the result.
+
+        ``source`` is required for one-to-all algorithms and ignored by
+        all-to-all / local-broadcast algorithms.  ``seed`` makes randomized
+        algorithms reproducible.  ``max_rounds`` is a safety cap; hitting it
+        raises ``RuntimeError`` rather than returning a bogus result.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,84 @@
+"""Task-level wrapper for local broadcast.
+
+Local broadcast — every node delivers its rumor to each of its neighbours —
+is the building block of both the lower bounds (Theorems 9 and 10 are stated
+for it) and the upper-bound algorithms (DTG solves it).  This module wraps
+the two natural solutions behind the common :class:`GossipAlgorithm`
+interface so experiments can sweep over them exactly like the dissemination
+algorithms:
+
+* :class:`DTGLocalBroadcast` — the deterministic ℓ-DTG protocol (the paper's
+  building block), run at the full latency range so every neighbour is
+  reached; time is the paper's charged ``O(ℓmax·log² n)``.
+* :class:`RandomizedLocalBroadcast` — push-pull run until the local-broadcast
+  predicate holds; on gadget networks this is the algorithm the lower bounds
+  constrain.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.metrics import SimulationMetrics
+from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
+from .dtg import ell_dtg
+from .push_pull import PushPullGossip
+
+__all__ = ["DTGLocalBroadcast", "RandomizedLocalBroadcast"]
+
+
+class DTGLocalBroadcast(GossipAlgorithm):
+    """Solve local broadcast deterministically with one ℓmax-DTG phase."""
+
+    def __init__(self) -> None:
+        self.name = "dtg-local-broadcast"
+        self.task = Task.LOCAL_BROADCAST
+
+    def run(
+        self,
+        graph: WeightedGraph,
+        source: Optional[NodeId] = None,
+        seed: int = 0,
+        max_rounds: int = 1_000_000,
+    ) -> DisseminationResult:
+        require_connected(graph)
+        result = ell_dtg(graph, graph.max_latency(), phase_label="local-broadcast")
+        complete = all(
+            {rumor.origin for rumor in result.knowledge[node]} >= set(graph.neighbors(node))
+            for node in graph.nodes()
+        )
+        metrics = SimulationMetrics()
+        metrics.charge(result.charged_time)
+        metrics.completion_time = result.charged_time
+        metrics.activations = result.activations
+        metrics.messages = result.messages
+        return DisseminationResult(
+            algorithm=self.name,
+            task=self.task,
+            time=result.charged_time,
+            rounds_simulated=result.rounds,
+            complete=complete,
+            metrics=metrics,
+            details={"dtg_iterations": result.iterations, "ell": graph.max_latency()},
+        )
+
+
+class RandomizedLocalBroadcast(GossipAlgorithm):
+    """Solve local broadcast by running push-pull until the predicate holds."""
+
+    def __init__(self) -> None:
+        self.name = "push-pull-local-broadcast"
+        self.task = Task.LOCAL_BROADCAST
+        self._inner = PushPullGossip(task=Task.LOCAL_BROADCAST)
+
+    def run(
+        self,
+        graph: WeightedGraph,
+        source: Optional[NodeId] = None,
+        seed: int = 0,
+        max_rounds: int = 1_000_000,
+    ) -> DisseminationResult:
+        result = self._inner.run(graph, source=source, seed=seed, max_rounds=max_rounds)
+        result.algorithm = self.name
+        return result

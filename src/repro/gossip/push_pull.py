@@ -1,0 +1,184 @@
+"""Random phone-call gossip: push, pull, and push-pull (Section 5.1).
+
+In each round every node chooses a uniformly random neighbour and initiates a
+bidirectional exchange with it.  In the paper's model every exchange is a
+round trip, so push and pull coincide with push-pull in what information
+flows; we still provide separate ``push`` and ``pull`` variants that restrict
+which direction of the merge is applied, matching the classical protocols and
+letting benchmarks show the (large) gap on stars and similar topologies.
+
+Theorem 29 shows push-pull completes one-to-all dissemination in
+``O((ℓ*/φ*)·log n)`` rounds; Corollary 30 gives the φ_avg version.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from ..simulation.engine import GossipEngine, NodeView
+from ..simulation.rng import make_rng
+from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
+
+__all__ = ["PushPullGossip", "PushGossip", "PullGossip", "run_push_pull"]
+
+
+class PushPullGossip(GossipAlgorithm):
+    """Classical push-pull: contact a uniformly random neighbour every round.
+
+    Parameters
+    ----------
+    task:
+        ``Task.ONE_TO_ALL`` (default), ``Task.ALL_TO_ALL``, or
+        ``Task.LOCAL_BROADCAST``; only the stop condition changes.
+    informed_only:
+        If true, only nodes that already know at least one rumor initiate
+        exchanges (the classical "push" trigger).  The default (false)
+        matches the paper's model where every node gossips every round,
+        which is what the pull side of the protocol needs.
+    """
+
+    def __init__(self, task: Task = Task.ONE_TO_ALL, informed_only: bool = False) -> None:
+        self.name = "push-pull"
+        self.task = task
+        self.informed_only = informed_only
+
+    def _stop_condition(self, engine: GossipEngine, rumor) -> bool:
+        if self.task is Task.ONE_TO_ALL:
+            return engine.dissemination_complete(rumor)
+        if self.task is Task.ALL_TO_ALL:
+            return engine.all_to_all_complete()
+        return engine.local_broadcast_complete()
+
+    def run(
+        self,
+        graph: WeightedGraph,
+        source: Optional[NodeId] = None,
+        seed: int = 0,
+        max_rounds: int = 1_000_000,
+    ) -> DisseminationResult:
+        require_connected(graph)
+        engine = GossipEngine(graph)
+        if self.task is Task.ONE_TO_ALL:
+            if source is None:
+                source = graph.nodes()[0]
+            if not graph.has_node(source):
+                raise GraphError(f"source {source!r} is not in the graph")
+            rumor = engine.seed_rumor(source)
+        else:
+            engine.seed_all_rumors()
+            rumor = None
+        rng = make_rng(seed, "push-pull")
+
+        def policy(view: NodeView) -> Optional[NodeId]:
+            if self.informed_only and not view.knowledge.rumors:
+                return None
+            if not view.neighbors:
+                return None
+            return rng.choice(view.neighbors)
+
+        metrics = engine.run(
+            policy,
+            stop_condition=lambda eng: self._stop_condition(eng, rumor),
+            max_rounds=max_rounds,
+        )
+        return DisseminationResult(
+            algorithm=self.name,
+            task=self.task,
+            time=metrics.total_time,
+            rounds_simulated=metrics.rounds,
+            complete=True,
+            metrics=metrics,
+        )
+
+
+class _DirectionalGossip(GossipAlgorithm):
+    """Shared implementation of the push-only and pull-only protocols.
+
+    These protocols restrict which endpoint of an exchange learns something:
+    in push-only the initiator's rumors flow to the partner; in pull-only the
+    partner's rumors flow back to the initiator.  They are implemented
+    outside the engine's symmetric merge by filtering after completion, which
+    requires a private engine subclass; instead we emulate them with the
+    standard engine on a *directed interpretation*: a node only initiates an
+    exchange when doing so can transfer information in the allowed direction.
+    The time behaviour matches the classical protocols up to constant factors
+    and preserves their well-known pathologies (push-only on a star is slow).
+    """
+
+    direction: str = "push"
+
+    def __init__(self, task: Task = Task.ONE_TO_ALL) -> None:
+        self.task = task
+        self.name = self.direction
+
+    def run(
+        self,
+        graph: WeightedGraph,
+        source: Optional[NodeId] = None,
+        seed: int = 0,
+        max_rounds: int = 1_000_000,
+    ) -> DisseminationResult:
+        require_connected(graph)
+        engine = GossipEngine(graph)
+        if self.task is Task.ONE_TO_ALL:
+            if source is None:
+                source = graph.nodes()[0]
+            rumor = engine.seed_rumor(source)
+        else:
+            engine.seed_all_rumors()
+            rumor = None
+        rng = make_rng(seed, self.direction)
+
+        def policy(view: NodeView) -> Optional[NodeId]:
+            if not view.neighbors:
+                return None
+            informed = bool(view.knowledge.rumors)
+            if self.direction == "push" and not informed:
+                return None
+            if self.direction == "pull" and informed and self.task is Task.ONE_TO_ALL:
+                # A fully informed node has nothing to pull in one-to-all mode,
+                # but it keeps gossiping so others can still pull from it via
+                # their own initiations.
+                return None
+            return rng.choice(view.neighbors)
+
+        def stop(eng: GossipEngine) -> bool:
+            if self.task is Task.ONE_TO_ALL:
+                return eng.dissemination_complete(rumor)
+            if self.task is Task.ALL_TO_ALL:
+                return eng.all_to_all_complete()
+            return eng.local_broadcast_complete()
+
+        metrics = engine.run(policy, stop_condition=stop, max_rounds=max_rounds)
+        return DisseminationResult(
+            algorithm=self.name,
+            task=self.task,
+            time=metrics.total_time,
+            rounds_simulated=metrics.rounds,
+            complete=True,
+            metrics=metrics,
+        )
+
+
+class PushGossip(_DirectionalGossip):
+    """Push-style random phone call: only informed nodes initiate exchanges."""
+
+    direction = "push"
+
+
+class PullGossip(_DirectionalGossip):
+    """Pull-style random phone call: only uninformed nodes initiate exchanges."""
+
+    direction = "pull"
+
+
+def run_push_pull(
+    graph: WeightedGraph,
+    source: Optional[NodeId] = None,
+    seed: int = 0,
+    task: Task = Task.ONE_TO_ALL,
+    max_rounds: int = 1_000_000,
+) -> DisseminationResult:
+    """Convenience wrapper: run classical push-pull once and return the result."""
+    return PushPullGossip(task=task).run(graph, source=source, seed=seed, max_rounds=max_rounds)

@@ -1,0 +1,157 @@
+"""Termination_Check (Algorithm 3) and the guess-and-double epoch driver.
+
+When the diameter ``D`` is unknown, Spanner Broadcast and Pattern Broadcast
+repeatedly run their broadcast primitive with a doubling estimate ``k`` and
+use Termination_Check to decide whether dissemination is already complete.
+A node raises its *flag* if a graph neighbour is missing from its rumor set;
+it then redistributes a digest of its rumor set plus the flag using the same
+broadcast primitive and declares *failure* if it sees a mismatching digest, a
+raised flag, or an explicit failure message.  Lemma 24 shows that no node
+terminates before it has exchanged rumors with everyone and that all nodes
+terminate in the same epoch — properties the unit tests verify directly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from ..simulation.messages import Rumor
+
+__all__ = ["BroadcastPrimitive", "TerminationOutcome", "termination_check", "guess_and_double"]
+
+# A broadcast primitive takes the current per-node rumor sets and a distance
+# estimate k, performs one broadcast attempt, and returns the updated rumor
+# sets together with the time the attempt took.
+BroadcastPrimitive = Callable[[dict[NodeId, set[Rumor]], int], tuple[dict[NodeId, set[Rumor]], float]]
+
+
+@dataclass
+class TerminationOutcome:
+    """Result of one Termination_Check invocation.
+
+    Attributes
+    ----------
+    failed_nodes:
+        Nodes whose ``node_status`` became "failed" (they vote to continue).
+    flags:
+        The per-node flag bits before redistribution.
+    time:
+        Time charged for the check (two executions of the broadcast primitive).
+    terminate:
+        True when *no* node failed, i.e. all nodes agree dissemination is done.
+    """
+
+    failed_nodes: set[NodeId]
+    flags: dict[NodeId, bool]
+    time: float
+    terminate: bool
+
+
+def _digest(rumors: set[Rumor]) -> frozenset[NodeId]:
+    """A node's digest of its rumor set: the frozenset of known origins."""
+    return frozenset(rumor.origin for rumor in rumors)
+
+
+def termination_check(
+    graph: WeightedGraph,
+    knowledge: dict[NodeId, set[Rumor]],
+    broadcast: BroadcastPrimitive,
+    k: int,
+) -> TerminationOutcome:
+    """Run Termination_Check with distance estimate ``k``.
+
+    The check uses ``broadcast`` twice: once to gather every reachable node's
+    (digest, flag) report, once to spread explicit "failed" messages, exactly
+    as Algorithm 3 prescribes.
+    """
+    if k < 1:
+        raise GraphError(f"estimate k must be >= 1, got {k}")
+    nodes = graph.nodes()
+    # Step 1: per-node flag bits.  A node flags if some *graph* neighbour's
+    # rumor is missing from its set (the estimate k was too small to reach it).
+    flags: dict[NodeId, bool] = {}
+    for node in nodes:
+        origins = _digest(knowledge.get(node, set()))
+        flags[node] = any(neighbor not in origins for neighbor in graph.neighbors(node))
+
+    # Step 2: broadcast-and-gather the (digest, flag) reports.
+    report_knowledge: dict[NodeId, set[Rumor]] = {
+        node: {Rumor(origin=node, payload=("report", _digest(knowledge.get(node, set())), flags[node]))}
+        for node in nodes
+    }
+    gathered, gather_time = broadcast(report_knowledge, k)
+
+    # Step 3: each node compares the reports it received against its own.
+    failed: set[NodeId] = set()
+    for node in nodes:
+        own_digest = _digest(knowledge.get(node, set()))
+        for rumor in gathered.get(node, set()):
+            if not (isinstance(rumor.payload, tuple) and rumor.payload and rumor.payload[0] == "report"):
+                continue
+            _tag, digest, flag = rumor.payload
+            if digest != own_digest or flag:
+                failed.add(node)
+                break
+        if flags[node]:
+            failed.add(node)
+
+    # Step 4: spread explicit "failed" messages with one more broadcast.
+    failure_knowledge: dict[NodeId, set[Rumor]] = {
+        node: ({Rumor(origin=node, payload=("failed",))} if node in failed else set()) for node in nodes
+    }
+    spread, spread_time = broadcast(failure_knowledge, k)
+    for node in nodes:
+        if any(
+            isinstance(rumor.payload, tuple) and rumor.payload and rumor.payload[0] == "failed"
+            for rumor in spread.get(node, set())
+        ):
+            failed.add(node)
+
+    return TerminationOutcome(
+        failed_nodes=failed,
+        flags=flags,
+        time=gather_time + spread_time,
+        terminate=not failed,
+    )
+
+
+def guess_and_double(
+    graph: WeightedGraph,
+    initial_knowledge: dict[NodeId, set[Rumor]],
+    broadcast: BroadcastPrimitive,
+    initial_estimate: int = 1,
+    max_estimate: int | None = None,
+) -> tuple[dict[NodeId, set[Rumor]], float, list[int]]:
+    """Drive the guess-and-double loop (Algorithm 4 / 5 skeleton).
+
+    Repeatedly runs ``broadcast`` with estimate ``k`` followed by
+    Termination_Check, doubling ``k`` until the check passes.  Returns the
+    final knowledge, the total time (broadcast attempts plus checks), and the
+    list of estimates tried.
+    """
+    if initial_estimate < 1:
+        raise GraphError("initial estimate must be >= 1")
+    if max_estimate is None:
+        # An estimate of n·ℓmax always exceeds the weighted diameter.
+        max_estimate = max(1, graph.num_nodes * graph.max_latency()) * 2
+    knowledge = {node: set(rumors) for node, rumors in initial_knowledge.items()}
+    for node in graph.nodes():
+        knowledge.setdefault(node, set())
+    total_time = 0.0
+    estimates: list[int] = []
+    k = initial_estimate
+    while True:
+        estimates.append(k)
+        knowledge, attempt_time = broadcast(knowledge, k)
+        total_time += attempt_time
+        outcome = termination_check(graph, knowledge, broadcast, k)
+        total_time += outcome.time
+        if outcome.terminate:
+            return knowledge, total_time, estimates
+        if k > max_estimate:
+            raise RuntimeError(
+                f"guess-and-double exceeded the maximum estimate {max_estimate} without terminating"
+            )
+        k *= 2

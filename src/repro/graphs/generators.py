@@ -1,0 +1,370 @@
+"""Graph generators: standard families plus latency-assignment strategies.
+
+The benchmarks sweep over several graph families (cliques, expanders, grids,
+random graphs, geometric graphs, power-law graphs, dumbbells, ...) and several
+latency models (uniform, bimodal fast/slow, heavy-tailed, distance-based).
+All generators are deterministic given a ``seed`` and return
+:class:`~repro.graphs.weighted_graph.WeightedGraph` instances whose node ids
+are ``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Callable, Sequence
+from typing import Optional
+
+import networkx as nx
+
+from .weighted_graph import GraphError, WeightedGraph
+
+__all__ = [
+    "LatencyModel",
+    "uniform_latency",
+    "constant_latency",
+    "bimodal_latency",
+    "geometric_latency",
+    "power_law_latency",
+    "assign_latencies",
+    "clique",
+    "star",
+    "path_graph",
+    "cycle_graph",
+    "grid_graph",
+    "binary_tree",
+    "erdos_renyi",
+    "random_regular_expander",
+    "random_geometric",
+    "barabasi_albert",
+    "dumbbell",
+    "weighted_clique",
+    "weighted_expander",
+    "weighted_grid",
+    "weighted_erdos_renyi",
+    "weighted_barabasi_albert",
+    "two_cluster_slow_bridge",
+    "layered_ring",
+]
+
+# A latency model maps (rng, u, v) -> positive integer latency.
+LatencyModel = Callable[[random.Random, int, int], int]
+
+
+# ----------------------------------------------------------------------
+# Latency models
+# ----------------------------------------------------------------------
+def constant_latency(value: int = 1) -> LatencyModel:
+    """Every edge gets latency ``value``."""
+    if value < 1:
+        raise GraphError("latency must be >= 1")
+
+    def model(_rng: random.Random, _u: int, _v: int) -> int:
+        return value
+
+    return model
+
+
+def uniform_latency(low: int = 1, high: int = 16) -> LatencyModel:
+    """Latencies drawn uniformly from the integer range ``[low, high]``."""
+    if not 1 <= low <= high:
+        raise GraphError(f"invalid uniform latency range [{low}, {high}]")
+
+    def model(rng: random.Random, _u: int, _v: int) -> int:
+        return rng.randint(low, high)
+
+    return model
+
+
+def bimodal_latency(fast: int = 1, slow: int = 64, slow_fraction: float = 0.5) -> LatencyModel:
+    """Each edge is *slow* with probability ``slow_fraction`` and *fast* otherwise.
+
+    This is the latency structure the paper's lower-bound gadgets exploit:
+    a few hidden fast links among many slow ones.
+    """
+    if fast < 1 or slow < 1:
+        raise GraphError("latencies must be >= 1")
+    if not 0.0 <= slow_fraction <= 1.0:
+        raise GraphError("slow_fraction must be in [0, 1]")
+
+    def model(rng: random.Random, _u: int, _v: int) -> int:
+        return slow if rng.random() < slow_fraction else fast
+
+    return model
+
+
+def geometric_latency(mean: float = 8.0, cap: int = 1024) -> LatencyModel:
+    """Heavy-ish tail: latency ~ 1 + Geometric, capped at ``cap``."""
+    if mean <= 1.0:
+        raise GraphError("mean must exceed 1")
+    p = 1.0 / (mean - 0.0)
+
+    def model(rng: random.Random, _u: int, _v: int) -> int:
+        # Inverse-CDF sampling of a geometric distribution.
+        u = rng.random()
+        value = 1 + int(math.log(max(u, 1e-12)) / math.log(max(1.0 - p, 1e-12)))
+        return max(1, min(cap, value))
+
+    return model
+
+
+def power_law_latency(alpha: float = 2.0, max_latency: int = 1024) -> LatencyModel:
+    """Latency ~ discrete Pareto with exponent ``alpha``, truncated at ``max_latency``."""
+    if alpha <= 1.0:
+        raise GraphError("alpha must exceed 1")
+
+    def model(rng: random.Random, _u: int, _v: int) -> int:
+        u = rng.random()
+        value = int(round((1.0 - u) ** (-1.0 / (alpha - 1.0))))
+        return max(1, min(max_latency, value))
+
+    return model
+
+
+def assign_latencies(graph: WeightedGraph, model: LatencyModel, seed: int = 0) -> WeightedGraph:
+    """Return a copy of ``graph`` with every edge's latency re-drawn from ``model``."""
+    rng = random.Random(seed)
+    result = WeightedGraph(graph.nodes())
+    for edge in graph.edges():
+        result.add_edge(edge.u, edge.v, model(rng, edge.u, edge.v))
+    return result
+
+
+# ----------------------------------------------------------------------
+# Unweighted topologies (all latency 1); combine with ``assign_latencies``
+# ----------------------------------------------------------------------
+def clique(n: int) -> WeightedGraph:
+    """Complete graph on ``n`` nodes with unit latencies."""
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    graph = WeightedGraph(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.add_edge(u, v, 1)
+    return graph
+
+
+def star(n: int) -> WeightedGraph:
+    """Star on ``n`` nodes (node 0 is the hub) with unit latencies."""
+    if n < 2:
+        raise GraphError("a star needs at least 2 nodes")
+    graph = WeightedGraph(range(n))
+    for leaf in range(1, n):
+        graph.add_edge(0, leaf, 1)
+    return graph
+
+
+def path_graph(n: int) -> WeightedGraph:
+    """Path on ``n`` nodes with unit latencies."""
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    graph = WeightedGraph(range(n))
+    for u in range(n - 1):
+        graph.add_edge(u, u + 1, 1)
+    return graph
+
+
+def cycle_graph(n: int) -> WeightedGraph:
+    """Cycle on ``n`` nodes with unit latencies."""
+    if n < 3:
+        raise GraphError("a cycle needs at least 3 nodes")
+    graph = path_graph(n)
+    graph.add_edge(n - 1, 0, 1)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> WeightedGraph:
+    """2-D grid with unit latencies; node ``(r, c)`` is id ``r * cols + c``."""
+    if rows < 1 or cols < 1:
+        raise GraphError("grid dimensions must be >= 1")
+    graph = WeightedGraph(range(rows * cols))
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                graph.add_edge(node, node + 1, 1)
+            if r + 1 < rows:
+                graph.add_edge(node, node + cols, 1)
+    return graph
+
+
+def binary_tree(depth: int) -> WeightedGraph:
+    """Complete binary tree of the given depth (depth 0 is a single node)."""
+    if depth < 0:
+        raise GraphError("depth must be >= 0")
+    n = 2 ** (depth + 1) - 1
+    graph = WeightedGraph(range(n))
+    for node in range(1, n):
+        graph.add_edge(node, (node - 1) // 2, 1)
+    return graph
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0, ensure_connected: bool = True) -> WeightedGraph:
+    """Erdős–Rényi ``G(n, p)`` with unit latencies.
+
+    If ``ensure_connected`` is true, a Hamiltonian-path backbone over a random
+    permutation is added so the graph is always connected (this changes the
+    distribution slightly but keeps expected degree ~``np``).
+    """
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must be in [0, 1]")
+    rng = random.Random(seed)
+    graph = WeightedGraph(range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.add_edge(u, v, 1)
+    if ensure_connected and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for a, b in zip(order, order[1:]):
+            if not graph.has_edge(a, b):
+                graph.add_edge(a, b, 1)
+    return graph
+
+
+def random_regular_expander(n: int, degree: int = 4, seed: int = 0, max_tries: int = 50) -> WeightedGraph:
+    """Random ``degree``-regular graph, retried until connected (an expander w.h.p.).
+
+    The paper's Theorem 9 construction uses a constant-degree regular expander
+    with ``O(log n)`` diameter; random regular graphs have this property with
+    high probability, and we retry until the sample is connected.
+    """
+    if n < degree + 1:
+        raise GraphError("need n > degree for a regular graph")
+    if (n * degree) % 2 != 0:
+        raise GraphError("n * degree must be even")
+    for attempt in range(max_tries):
+        nx_graph = nx.random_regular_graph(degree, n, seed=seed + attempt)
+        if nx.is_connected(nx_graph):
+            return WeightedGraph.from_networkx(nx_graph, default_latency=1)
+    raise GraphError(f"failed to sample a connected {degree}-regular graph after {max_tries} tries")
+
+
+def random_geometric(n: int, radius: float, seed: int = 0, ensure_connected: bool = True) -> WeightedGraph:
+    """Random geometric graph on the unit square with unit latencies."""
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    nx_graph = nx.random_geometric_graph(n, radius, seed=seed)
+    graph = WeightedGraph.from_networkx(nx_graph, default_latency=1)
+    if ensure_connected and not graph.is_connected():
+        # Connect components along a chain of representative nodes.
+        components = graph.connected_components()
+        representatives = [min(component, key=repr) for component in components]
+        for a, b in zip(representatives, representatives[1:]):
+            graph.add_edge(a, b, 1)
+    return graph
+
+
+def barabasi_albert(n: int, m: int = 2, seed: int = 0) -> WeightedGraph:
+    """Barabási–Albert preferential-attachment graph with unit latencies."""
+    if n <= m:
+        raise GraphError("n must exceed m")
+    nx_graph = nx.barabasi_albert_graph(n, m, seed=seed)
+    return WeightedGraph.from_networkx(nx_graph, default_latency=1)
+
+
+def dumbbell(clique_size: int, bridge_latency: int = 1, bridge_length: int = 1) -> WeightedGraph:
+    """Two cliques joined by a path of ``bridge_length`` edges of the given latency.
+
+    A classic low-conductance family: the bridge is the bottleneck cut.
+    """
+    if clique_size < 2:
+        raise GraphError("clique_size must be >= 2")
+    if bridge_length < 1:
+        raise GraphError("bridge_length must be >= 1")
+    n = 2 * clique_size + (bridge_length - 1)
+    graph = WeightedGraph(range(n))
+    left = list(range(clique_size))
+    right = list(range(clique_size + bridge_length - 1, n))
+    middle = list(range(clique_size, clique_size + bridge_length - 1))
+    for group in (left, right):
+        for i, u in enumerate(group):
+            for v in group[i + 1:]:
+                graph.add_edge(u, v, 1)
+    chain = [left[-1], *middle, right[0]]
+    for a, b in zip(chain, chain[1:]):
+        graph.add_edge(a, b, bridge_latency)
+    return graph
+
+
+def two_cluster_slow_bridge(
+    cluster_size: int, fast_latency: int = 1, slow_latency: int = 32, bridges: int = 1
+) -> WeightedGraph:
+    """Two fast cliques connected by ``bridges`` slow edges.
+
+    This family makes the difference between classical conductance and the
+    weighted notions visible: the unweighted conductance only sees the number
+    of bridge edges, while φ* and φ_avg also see their latency.
+    """
+    if cluster_size < 2:
+        raise GraphError("cluster_size must be >= 2")
+    if bridges < 1 or bridges > cluster_size:
+        raise GraphError("bridges must be in [1, cluster_size]")
+    n = 2 * cluster_size
+    graph = WeightedGraph(range(n))
+    for offset in (0, cluster_size):
+        for i in range(cluster_size):
+            for j in range(i + 1, cluster_size):
+                graph.add_edge(offset + i, offset + j, fast_latency)
+    for b in range(bridges):
+        graph.add_edge(b, cluster_size + b, slow_latency)
+    return graph
+
+
+def layered_ring(layers: int, layer_size: int, intra_latency: int = 1, inter_latency: int = 1) -> WeightedGraph:
+    """A ring of cliques: each layer is a clique, adjacent layers fully connected.
+
+    A simplified (non-adversarial) cousin of the Theorem 13 ring-of-gadgets,
+    useful as a sanity-check topology in tests and examples.
+    """
+    if layers < 3:
+        raise GraphError("need at least 3 layers")
+    if layer_size < 1:
+        raise GraphError("layer_size must be >= 1")
+    n = layers * layer_size
+    graph = WeightedGraph(range(n))
+    def layer_nodes(index: int) -> range:
+        start = index * layer_size
+        return range(start, start + layer_size)
+
+    for layer in range(layers):
+        members = list(layer_nodes(layer))
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                graph.add_edge(u, v, intra_latency)
+        nxt = list(layer_nodes((layer + 1) % layers))
+        for u in members:
+            for v in nxt:
+                graph.add_edge(u, v, inter_latency)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Weighted convenience constructors
+# ----------------------------------------------------------------------
+def weighted_clique(n: int, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
+    """Clique with latencies drawn from ``model`` (uniform [1, 16] by default)."""
+    return assign_latencies(clique(n), model or uniform_latency(), seed=seed)
+
+
+def weighted_expander(n: int, degree: int = 4, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
+    """Random regular expander with latencies drawn from ``model``."""
+    return assign_latencies(random_regular_expander(n, degree, seed=seed), model or uniform_latency(), seed=seed)
+
+
+def weighted_grid(rows: int, cols: int, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
+    """Grid with latencies drawn from ``model``."""
+    return assign_latencies(grid_graph(rows, cols), model or uniform_latency(), seed=seed)
+
+
+def weighted_erdos_renyi(n: int, p: float, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
+    """Erdős–Rényi graph with latencies drawn from ``model``."""
+    return assign_latencies(erdos_renyi(n, p, seed=seed), model or uniform_latency(), seed=seed)
+
+
+def weighted_barabasi_albert(n: int, m: int = 2, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
+    """Barabási–Albert graph with latencies drawn from ``model``."""
+    return assign_latencies(barabasi_albert(n, m, seed=seed), model or uniform_latency(), seed=seed)

@@ -1,0 +1,120 @@
+"""Serialization of weighted graphs: edge lists and JSON documents.
+
+Downstream users need to move latency-annotated topologies in and out of the
+library (measured RTT matrices, exported overlay snapshots, fixtures for
+regression tests).  Two formats are supported:
+
+* a plain-text **edge list** — one ``u v latency`` triple per line, ``#``
+  comments allowed — matching the format used by most network datasets, and
+* a **JSON document** with explicit node and edge arrays, which preserves
+  isolated nodes and arbitrary (stringified) node identifiers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .weighted_graph import GraphError, WeightedGraph
+
+__all__ = [
+    "to_edge_list",
+    "from_edge_list",
+    "save_edge_list",
+    "load_edge_list",
+    "to_json",
+    "from_json",
+    "save_json",
+    "load_json",
+]
+
+PathLike = Union[str, Path]
+
+
+# ----------------------------------------------------------------------
+# Edge-list format
+# ----------------------------------------------------------------------
+def to_edge_list(graph: WeightedGraph) -> str:
+    """Serialize a graph to edge-list text (``u v latency`` per line).
+
+    Isolated nodes cannot be represented in this format; use JSON for graphs
+    that have them.
+    """
+    lines = [f"# {graph.num_nodes} nodes, {graph.num_edges} edges"]
+    for edge in sorted(graph.edges(), key=lambda e: (repr(e.u), repr(e.v))):
+        lines.append(f"{edge.u} {edge.v} {edge.latency}")
+    return "\n".join(lines) + "\n"
+
+
+def from_edge_list(text: str, node_type=int) -> WeightedGraph:
+    """Parse edge-list text into a graph.
+
+    ``node_type`` converts the node tokens (``int`` by default; pass ``str``
+    to keep them as labels).
+    """
+    graph = WeightedGraph()
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (2, 3):
+            raise GraphError(f"line {line_number}: expected 'u v [latency]', got {raw_line!r}")
+        u, v = node_type(parts[0]), node_type(parts[1])
+        latency = int(parts[2]) if len(parts) == 3 else 1
+        graph.add_edge(u, v, latency)
+    return graph
+
+
+def save_edge_list(graph: WeightedGraph, path: PathLike) -> None:
+    """Write the edge-list serialization to a file."""
+    Path(path).write_text(to_edge_list(graph), encoding="utf-8")
+
+
+def load_edge_list(path: PathLike, node_type=int) -> WeightedGraph:
+    """Read a graph from an edge-list file."""
+    return from_edge_list(Path(path).read_text(encoding="utf-8"), node_type=node_type)
+
+
+# ----------------------------------------------------------------------
+# JSON format
+# ----------------------------------------------------------------------
+def to_json(graph: WeightedGraph) -> str:
+    """Serialize a graph to a JSON document (preserves isolated nodes)."""
+    document = {
+        "format": "repro-weighted-graph",
+        "version": 1,
+        "nodes": [repr(node) if not isinstance(node, (int, str)) else node for node in graph.nodes()],
+        "edges": [
+            {"u": edge.u if isinstance(edge.u, (int, str)) else repr(edge.u),
+             "v": edge.v if isinstance(edge.v, (int, str)) else repr(edge.v),
+             "latency": edge.latency}
+            for edge in graph.edges()
+        ],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def from_json(text: str) -> WeightedGraph:
+    """Parse a JSON document produced by :func:`to_json`."""
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise GraphError(f"invalid JSON graph document: {exc}") from exc
+    if document.get("format") != "repro-weighted-graph":
+        raise GraphError("not a repro-weighted-graph JSON document")
+    graph = WeightedGraph(document.get("nodes", []))
+    for edge in document.get("edges", []):
+        graph.add_edge(edge["u"], edge["v"], int(edge["latency"]))
+    return graph
+
+
+def save_json(graph: WeightedGraph, path: PathLike) -> None:
+    """Write the JSON serialization to a file."""
+    Path(path).write_text(to_json(graph), encoding="utf-8")
+
+
+def load_json(path: PathLike) -> WeightedGraph:
+    """Read a graph from a JSON file."""
+    return from_json(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,188 @@
+"""Shortest paths, weighted diameter, and hop diameter.
+
+The paper uses the *weighted diameter* ``D`` (shortest-path distances with
+latencies as weights) throughout, and occasionally the *hop diameter* (number
+of edges on a path, ignoring latencies).  This module implements Dijkstra's
+algorithm on :class:`~repro.graphs.weighted_graph.WeightedGraph`, plus
+eccentricity / diameter helpers used by generators, benchmarks, and tests.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from collections.abc import Iterable
+from typing import Optional
+
+from .weighted_graph import GraphError, NodeId, WeightedGraph
+
+__all__ = [
+    "dijkstra",
+    "dijkstra_with_paths",
+    "weighted_distance",
+    "weighted_eccentricity",
+    "weighted_diameter",
+    "weighted_radius",
+    "hop_distances",
+    "hop_diameter",
+    "shortest_path",
+    "all_pairs_weighted_distances",
+    "nodes_within_distance",
+]
+
+_INF = float("inf")
+
+
+def dijkstra(graph: WeightedGraph, source: NodeId) -> dict[NodeId, float]:
+    """Return single-source shortest-path distances with latencies as weights.
+
+    Unreachable nodes are absent from the returned mapping.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source node {source!r} not in graph")
+    dist: dict[NodeId, float] = {source: 0.0}
+    visited: set[NodeId] = set()
+    heap: list[tuple[float, int, NodeId]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, latency in graph.neighbor_latencies(node).items():
+            candidate = d + latency
+            if candidate < dist.get(neighbor, _INF):
+                dist[neighbor] = candidate
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return dist
+
+
+def dijkstra_with_paths(
+    graph: WeightedGraph, source: NodeId
+) -> tuple[dict[NodeId, float], dict[NodeId, Optional[NodeId]]]:
+    """Return distances and a predecessor map for path reconstruction."""
+    if not graph.has_node(source):
+        raise GraphError(f"source node {source!r} not in graph")
+    dist: dict[NodeId, float] = {source: 0.0}
+    pred: dict[NodeId, Optional[NodeId]] = {source: None}
+    visited: set[NodeId] = set()
+    heap: list[tuple[float, int, NodeId]] = [(0.0, 0, source)]
+    counter = 0
+    while heap:
+        d, _, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, latency in graph.neighbor_latencies(node).items():
+            candidate = d + latency
+            if candidate < dist.get(neighbor, _INF):
+                dist[neighbor] = candidate
+                pred[neighbor] = node
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return dist, pred
+
+
+def shortest_path(graph: WeightedGraph, source: NodeId, target: NodeId) -> list[NodeId]:
+    """Return the node sequence of a shortest (latency-weighted) path.
+
+    Raises :class:`GraphError` if ``target`` is unreachable from ``source``.
+    """
+    dist, pred = dijkstra_with_paths(graph, source)
+    if target not in dist:
+        raise GraphError(f"node {target!r} is unreachable from {source!r}")
+    path = [target]
+    while pred[path[-1]] is not None:
+        path.append(pred[path[-1]])
+    path.reverse()
+    return path
+
+
+def weighted_distance(graph: WeightedGraph, source: NodeId, target: NodeId) -> float:
+    """Return the latency-weighted distance between two nodes (inf if disconnected)."""
+    return dijkstra(graph, source).get(target, _INF)
+
+
+def weighted_eccentricity(graph: WeightedGraph, node: NodeId) -> float:
+    """Return the weighted eccentricity of ``node`` (inf if the graph is disconnected)."""
+    dist = dijkstra(graph, node)
+    if len(dist) != graph.num_nodes:
+        return _INF
+    return max(dist.values()) if dist else 0.0
+
+
+def weighted_diameter(graph: WeightedGraph, sample: Optional[int] = None, seed: int = 0) -> float:
+    """Return the weighted diameter ``D`` of the graph.
+
+    Parameters
+    ----------
+    graph:
+        The graph to measure.
+    sample:
+        If given, estimate the diameter using ``sample`` source nodes chosen
+        deterministically (stride sampling over the node order) instead of
+        all nodes.  The estimate is a lower bound on the true diameter; it is
+        exact whenever the sampled set contains a diameter endpoint.
+    seed:
+        Reserved for future randomized sampling strategies; the current
+        stride sampling is deterministic and ignores it.
+    """
+    if graph.num_nodes == 0:
+        return 0.0
+    nodes = graph.nodes()
+    if sample is not None and sample < len(nodes):
+        stride = max(1, len(nodes) // sample)
+        nodes = nodes[::stride][:sample]
+    best = 0.0
+    for node in nodes:
+        dist = dijkstra(graph, node)
+        if len(dist) != graph.num_nodes:
+            return _INF
+        best = max(best, max(dist.values()))
+    return best
+
+
+def weighted_radius(graph: WeightedGraph) -> float:
+    """Return the weighted radius (minimum eccentricity) of the graph."""
+    if graph.num_nodes == 0:
+        return 0.0
+    return min(weighted_eccentricity(graph, node) for node in graph.nodes())
+
+
+def hop_distances(graph: WeightedGraph, source: NodeId) -> dict[NodeId, int]:
+    """Return BFS hop distances (latencies ignored) from ``source``."""
+    if not graph.has_node(source):
+        raise GraphError(f"source node {source!r} not in graph")
+    dist = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in dist:
+                dist[neighbor] = dist[node] + 1
+                queue.append(neighbor)
+    return dist
+
+
+def hop_diameter(graph: WeightedGraph) -> float:
+    """Return the hop (unweighted) diameter of the graph."""
+    if graph.num_nodes == 0:
+        return 0.0
+    best = 0
+    for node in graph.nodes():
+        dist = hop_distances(graph, node)
+        if len(dist) != graph.num_nodes:
+            return _INF
+        best = max(best, max(dist.values()))
+    return float(best)
+
+
+def all_pairs_weighted_distances(graph: WeightedGraph) -> dict[NodeId, dict[NodeId, float]]:
+    """Return all-pairs weighted distances (quadratic memory; small graphs only)."""
+    return {node: dijkstra(graph, node) for node in graph.nodes()}
+
+
+def nodes_within_distance(graph: WeightedGraph, source: NodeId, radius: float) -> set[NodeId]:
+    """Return the set of nodes at weighted distance <= ``radius`` from ``source``."""
+    return {node for node, d in dijkstra(graph, source).items() if d <= radius}

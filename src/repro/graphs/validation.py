@@ -1,0 +1,92 @@
+"""Structural validation helpers for graphs used in experiments.
+
+Benchmarks and the gadget constructions make claims about the graphs they
+build (connected, expected degree, diameter in a range, regularity, ...).
+This module centralizes those checks so tests and benchmarks can assert them
+uniformly and report clear errors when a construction drifts from the paper's
+description.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .paths import hop_diameter, weighted_diameter
+from .weighted_graph import GraphError, WeightedGraph
+
+__all__ = ["GraphReport", "validate_graph", "describe_graph"]
+
+
+@dataclass(frozen=True)
+class GraphReport:
+    """Summary of the structural properties of a graph."""
+
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    min_degree: int
+    is_connected: bool
+    max_latency: int
+    min_latency: int
+    weighted_diameter: float
+    hop_diameter: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Return the report as a plain dictionary (for table rendering)."""
+        return {
+            "n": self.num_nodes,
+            "m": self.num_edges,
+            "max_degree": self.max_degree,
+            "min_degree": self.min_degree,
+            "connected": int(self.is_connected),
+            "lmax": self.max_latency,
+            "lmin": self.min_latency,
+            "weighted_diameter": self.weighted_diameter,
+            "hop_diameter": self.hop_diameter,
+        }
+
+
+def describe_graph(graph: WeightedGraph, exact_diameter: bool = True, diameter_sample: int = 16) -> GraphReport:
+    """Compute a :class:`GraphReport` for ``graph``.
+
+    Set ``exact_diameter=False`` for large graphs to use sampled diameter
+    estimation (a lower bound).
+    """
+    degrees = [graph.degree(v) for v in graph.nodes()] or [0]
+    sample = None if exact_diameter else diameter_sample
+    return GraphReport(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=max(degrees),
+        min_degree=min(degrees),
+        is_connected=graph.is_connected(),
+        max_latency=graph.max_latency(),
+        min_latency=graph.min_latency(),
+        weighted_diameter=weighted_diameter(graph, sample=sample),
+        hop_diameter=hop_diameter(graph) if exact_diameter else float("nan"),
+    )
+
+
+def validate_graph(
+    graph: WeightedGraph,
+    require_connected: bool = True,
+    min_nodes: int = 1,
+    max_latency: Optional[int] = None,
+    expected_regular_degree: Optional[int] = None,
+) -> None:
+    """Raise :class:`GraphError` unless ``graph`` satisfies the given constraints."""
+    if graph.num_nodes < min_nodes:
+        raise GraphError(f"graph has {graph.num_nodes} nodes, expected at least {min_nodes}")
+    if require_connected and not graph.is_connected():
+        raise GraphError("graph is not connected")
+    if max_latency is not None and graph.max_latency() > max_latency:
+        raise GraphError(
+            f"graph has an edge of latency {graph.max_latency()}, exceeding the cap {max_latency}"
+        )
+    if expected_regular_degree is not None:
+        degrees = {graph.degree(v) for v in graph.nodes()}
+        if degrees != {expected_regular_degree}:
+            raise GraphError(
+                f"graph is not {expected_regular_degree}-regular (degrees observed: {sorted(degrees)})"
+            )

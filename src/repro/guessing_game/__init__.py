@@ -1,0 +1,57 @@
+"""The combinatorial guessing game used by the paper's lower bounds.
+
+* :mod:`~repro.guessing_game.game` — the game state and the oracle's rules,
+* :mod:`~repro.guessing_game.predicates` — target-set predicates (singleton, Random_p),
+* :mod:`~repro.guessing_game.strategies` — Alice strategies and the play loop,
+* :mod:`~repro.guessing_game.reduction` — the Lemma 6 gossip-to-game reduction,
+* :mod:`~repro.guessing_game.lower_bounds` — round-count statistics vs. the bounds.
+"""
+
+from .game import GameError, GuessingGame, GuessingGameState
+from .lower_bounds import (
+    GameStatistics,
+    measure_game_rounds,
+    random_p_oblivious_lower_bound,
+    random_p_round_lower_bound,
+    singleton_round_lower_bound,
+)
+from .predicates import (
+    Predicate,
+    fixed_predicate,
+    full_predicate,
+    random_p_predicate,
+    singleton_predicate,
+)
+from .reduction import ReductionResult, run_gossip_reduction
+from .strategies import (
+    AdaptiveFreshStrategy,
+    ExhaustiveSweepStrategy,
+    GamePlayout,
+    GuessingStrategy,
+    RandomGuessingStrategy,
+    play_game,
+)
+
+__all__ = [
+    "AdaptiveFreshStrategy",
+    "ExhaustiveSweepStrategy",
+    "GameError",
+    "GamePlayout",
+    "GameStatistics",
+    "GuessingGame",
+    "GuessingGameState",
+    "GuessingStrategy",
+    "Predicate",
+    "RandomGuessingStrategy",
+    "ReductionResult",
+    "fixed_predicate",
+    "full_predicate",
+    "measure_game_rounds",
+    "play_game",
+    "random_p_oblivious_lower_bound",
+    "random_p_predicate",
+    "random_p_round_lower_bound",
+    "run_gossip_reduction",
+    "singleton_predicate",
+    "singleton_round_lower_bound",
+]

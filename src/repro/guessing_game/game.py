@@ -1,0 +1,120 @@
+"""The combinatorial guessing game of Section 3.1.
+
+The game ``Guessing(2m, P)`` is played by Alice against an oracle on a
+conceptual complete bipartite graph between two disjoint sets ``A`` and ``B``
+of ``m`` integers each:
+
+* The oracle draws a *target set* ``T ⊆ A × B`` from the predicate ``P``.
+* In each round Alice submits at most ``2m`` guesses (pairs from ``A × B``).
+* The oracle reveals which guesses hit the target set, then removes from the
+  target set every pair whose ``B``-component was hit this round
+  (Equation (3) of the paper).
+* The game ends in the first round after which the target set is empty.
+
+The oracle is the information-theoretic adversary used by the Lemma 6
+reduction: a gossip algorithm only learns whether a cross edge is fast when
+it activates that edge, which corresponds exactly to Alice submitting the
+edge as a guess.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..simulation.rng import make_rng
+
+__all__ = ["GuessingGameState", "GuessingGame", "GameError"]
+
+
+class GameError(ValueError):
+    """Raised on malformed game configurations or illegal moves."""
+
+
+Pair = tuple[int, int]
+
+
+@dataclass
+class GuessingGameState:
+    """Public snapshot of a game in progress."""
+
+    m: int
+    round: int
+    remaining_targets: int
+    finished: bool
+    guesses_submitted: int
+
+
+class GuessingGame:
+    """One instance of ``Guessing(2m, P)`` with an explicit target set.
+
+    Parameters
+    ----------
+    m:
+        Size of each side; ``A = {0..m-1}`` and ``B = {0..m-1}`` (pairs are
+        index pairs ``(a, b)``).
+    target:
+        The oracle's initial target set ``T_1`` (usually produced by a
+        predicate from :mod:`repro.guessing_game.predicates`).
+    max_guesses_per_round:
+        Alice may submit at most this many guesses per round; defaults to the
+        paper's ``2m``.
+    """
+
+    def __init__(self, m: int, target: set[Pair], max_guesses_per_round: int | None = None) -> None:
+        if m < 1:
+            raise GameError("m must be >= 1")
+        for (a, b) in target:
+            if not (0 <= a < m and 0 <= b < m):
+                raise GameError(f"target pair {(a, b)} out of range for m={m}")
+        self.m = m
+        self.initial_target: frozenset[Pair] = frozenset(target)
+        self.target: set[Pair] = set(target)
+        self.max_guesses_per_round = max_guesses_per_round if max_guesses_per_round is not None else 2 * m
+        self.round = 0
+        self.total_guesses = 0
+        self.history: list[tuple[frozenset[Pair], frozenset[Pair]]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        """The game ends when the target set is empty."""
+        return not self.target
+
+    def state(self) -> GuessingGameState:
+        """Return a public snapshot of the game."""
+        return GuessingGameState(
+            m=self.m,
+            round=self.round,
+            remaining_targets=len(self.target),
+            finished=self.finished,
+            guesses_submitted=self.total_guesses,
+        )
+
+    def remaining_b_components(self) -> set[int]:
+        """Return ``T^B_r``: the B-components still present in the target set."""
+        return {b for (_a, b) in self.target}
+
+    # ------------------------------------------------------------------
+    def submit_guesses(self, guesses: set[Pair]) -> frozenset[Pair]:
+        """Play one round: submit Alice's guesses, get back the hits.
+
+        Implements the oracle's update rule (Equation (3)): every target pair
+        whose B-component matches a hit B-component is removed.
+        """
+        if self.finished:
+            raise GameError("the game is already over")
+        if len(guesses) > self.max_guesses_per_round:
+            raise GameError(
+                f"at most {self.max_guesses_per_round} guesses per round, got {len(guesses)}"
+            )
+        for (a, b) in guesses:
+            if not (0 <= a < self.m and 0 <= b < self.m):
+                raise GameError(f"guess {(a, b)} out of range for m={self.m}")
+        self.round += 1
+        self.total_guesses += len(guesses)
+        hits = frozenset(guesses & self.target)
+        hit_b_components = {b for (_a, b) in hits}
+        if hit_b_components:
+            self.target = {(a, b) for (a, b) in self.target if b not in hit_b_components}
+        self.history.append((frozenset(guesses), hits))
+        return hits

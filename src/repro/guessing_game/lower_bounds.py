@@ -1,0 +1,103 @@
+"""Empirical round-count statistics for the guessing-game lower bounds.
+
+Lemmas 7 and 8 bound the number of rounds any Alice strategy needs:
+
+* singleton target: Ω(m) rounds (Lemma 7),
+* ``Random_p`` target, any protocol: Ω(1/p) rounds (Lemma 8a),
+* ``Random_p`` target, oblivious random guessing: Ω(log m / p) rounds (Lemma 8b).
+
+The functions here repeat games over seeds and compare the measured averages
+to the corresponding theoretical expressions, giving benchmarks E2/E3 a
+single entry point.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+from dataclasses import dataclass
+
+from .predicates import Predicate, random_p_predicate, singleton_predicate
+from .strategies import AdaptiveFreshStrategy, GuessingStrategy, RandomGuessingStrategy, play_game
+
+__all__ = [
+    "GameStatistics",
+    "measure_game_rounds",
+    "singleton_round_lower_bound",
+    "random_p_round_lower_bound",
+    "random_p_oblivious_lower_bound",
+]
+
+
+@dataclass(frozen=True)
+class GameStatistics:
+    """Aggregated round counts over repeated games."""
+
+    m: int
+    strategy: str
+    repetitions: int
+    mean_rounds: float
+    median_rounds: float
+    min_rounds: int
+    max_rounds: int
+    mean_guesses: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten for table rendering."""
+        return {
+            "m": self.m,
+            "strategy": self.strategy,
+            "repetitions": self.repetitions,
+            "mean_rounds": self.mean_rounds,
+            "median_rounds": self.median_rounds,
+            "min_rounds": self.min_rounds,
+            "max_rounds": self.max_rounds,
+            "mean_guesses": self.mean_guesses,
+        }
+
+
+def measure_game_rounds(
+    m: int,
+    predicate: Predicate,
+    strategy: GuessingStrategy,
+    repetitions: int = 10,
+    seed: int = 0,
+) -> GameStatistics:
+    """Play ``repetitions`` independent games and aggregate the round counts."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    rounds: list[int] = []
+    guesses: list[int] = []
+    for repetition in range(repetitions):
+        playout = play_game(m, predicate, strategy, seed=seed + repetition)
+        rounds.append(playout.rounds)
+        guesses.append(playout.total_guesses)
+    return GameStatistics(
+        m=m,
+        strategy=strategy.name,
+        repetitions=repetitions,
+        mean_rounds=statistics.fmean(rounds),
+        median_rounds=float(statistics.median(rounds)),
+        min_rounds=min(rounds),
+        max_rounds=max(rounds),
+        mean_guesses=statistics.fmean(guesses),
+    )
+
+
+def singleton_round_lower_bound(m: int) -> float:
+    """Lemma 7 shape: Ω(m) rounds (the proof gives ~m/2 - 1)."""
+    return max(1.0, m / 2 - 1)
+
+
+def random_p_round_lower_bound(p: float) -> float:
+    """Lemma 8a shape: Ω(1/p) rounds for any protocol."""
+    if p <= 0:
+        return math.inf
+    return 1.0 / p
+
+
+def random_p_oblivious_lower_bound(p: float, m: int) -> float:
+    """Lemma 8b shape: Ω(log m / p) rounds for the oblivious random-guessing protocol."""
+    if p <= 0:
+        return math.inf
+    return max(1.0, math.log(max(m, 2))) / p

@@ -1,0 +1,75 @@
+"""Target-set predicates for the guessing game.
+
+A predicate ``P`` determines the oracle's initial target set ``T_1 ⊆ A × B``.
+The paper uses two:
+
+* the **singleton** predicate — a single pair chosen uniformly at random
+  (Lemma 7, Theorem 9, Theorem 13),
+* ``Random_p`` — every pair joins the target independently with probability
+  ``p`` (Lemma 8, Theorem 10).
+
+Predicates are callables ``(m, rng) -> set[(a, b)]`` so new ones (e.g. a
+fixed adversarial pattern for tests) can be added easily.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+
+from .game import GameError, Pair
+
+__all__ = ["Predicate", "singleton_predicate", "random_p_predicate", "fixed_predicate", "full_predicate"]
+
+Predicate = Callable[[int, random.Random], set[Pair]]
+
+
+def singleton_predicate() -> Predicate:
+    """Predicate returning a single uniformly random pair (``P(|T| = 1)``)."""
+
+    def predicate(m: int, rng: random.Random) -> set[Pair]:
+        if m < 1:
+            raise GameError("m must be >= 1")
+        return {(rng.randrange(m), rng.randrange(m))}
+
+    return predicate
+
+
+def random_p_predicate(p: float, ensure_nonempty: bool = True) -> Predicate:
+    """Predicate ``Random_p``: each pair joins the target independently with probability ``p``.
+
+    With ``ensure_nonempty`` (default) an empty sample is replaced by a single
+    random pair so the game is never trivially won in round zero — the paper's
+    regime ``p = Ω(1/m)`` makes an empty target vanishingly unlikely anyway.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise GameError(f"p must be in [0, 1], got {p}")
+
+    def predicate(m: int, rng: random.Random) -> set[Pair]:
+        target = {(a, b) for a in range(m) for b in range(m) if rng.random() < p}
+        if not target and ensure_nonempty:
+            target = {(rng.randrange(m), rng.randrange(m))}
+        return target
+
+    return predicate
+
+
+def fixed_predicate(pairs: set[Pair]) -> Predicate:
+    """Predicate returning a fixed target set (useful for deterministic tests)."""
+
+    def predicate(m: int, _rng: random.Random) -> set[Pair]:
+        for (a, b) in pairs:
+            if not (0 <= a < m and 0 <= b < m):
+                raise GameError(f"fixed pair {(a, b)} out of range for m={m}")
+        return set(pairs)
+
+    return predicate
+
+
+def full_predicate() -> Predicate:
+    """Predicate returning every pair (the easiest possible game)."""
+
+    def predicate(m: int, _rng: random.Random) -> set[Pair]:
+        return {(a, b) for a in range(m) for b in range(m)}
+
+    return predicate

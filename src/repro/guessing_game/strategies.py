@@ -1,0 +1,188 @@
+"""Alice strategies for the guessing game, and the play loop.
+
+Two strategies mirror the two regimes analysed in Lemma 8:
+
+* :class:`AdaptiveFreshStrategy` — a near-optimal adaptive protocol that
+  never repeats a guess and targets only B-components that still need to be
+  hit.  Its round complexity is Θ(m) against a singleton target (Lemma 7)
+  and Θ(1/p) against ``Random_p`` (Lemma 8a).
+* :class:`RandomGuessingStrategy` — the oblivious protocol that picks, for
+  every ``a ∈ A``, a uniformly random partner ``b`` and vice versa.  This is
+  exactly how push-pull behaves on the gadget networks, and it needs
+  Θ(log m / p) rounds against ``Random_p`` (Lemma 8b).
+
+:class:`ExhaustiveSweepStrategy` (column-by-column sweeping) is included as
+the deterministic worst case for the singleton game.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+
+from ..simulation.rng import make_rng
+from .game import GameError, GuessingGame, Pair
+from .predicates import Predicate
+
+__all__ = [
+    "GuessingStrategy",
+    "AdaptiveFreshStrategy",
+    "RandomGuessingStrategy",
+    "ExhaustiveSweepStrategy",
+    "GamePlayout",
+    "play_game",
+]
+
+
+class GuessingStrategy(abc.ABC):
+    """Base class for Alice strategies.
+
+    A strategy sees only public information: ``m``, the set of B-components
+    it has already hit, and its own past guesses.  Implementations keep that
+    state themselves and are reset between games via :meth:`reset`.
+    """
+
+    name: str = "strategy"
+
+    @abc.abstractmethod
+    def reset(self, m: int, rng: random.Random) -> None:
+        """Prepare for a new game of size ``m``."""
+
+    @abc.abstractmethod
+    def next_guesses(self, max_guesses: int) -> set[Pair]:
+        """Return this round's guesses (at most ``max_guesses`` pairs)."""
+
+    def observe(self, guesses: set[Pair], hits: frozenset[Pair]) -> None:
+        """Receive the oracle's answer for the last round (optional hook)."""
+
+
+class AdaptiveFreshStrategy(GuessingStrategy):
+    """Adaptive strategy: guess fresh pairs aimed at un-hit B-components."""
+
+    name = "adaptive"
+
+    def reset(self, m: int, rng: random.Random) -> None:
+        self.m = m
+        self.rng = rng
+        self.guessed: set[Pair] = set()
+        self.hit_b: set[int] = set()
+
+    def next_guesses(self, max_guesses: int) -> set[Pair]:
+        guesses: set[Pair] = set()
+        candidates_b = [b for b in range(self.m) if b not in self.hit_b]
+        if not candidates_b:
+            candidates_b = list(range(self.m))
+        attempts = 0
+        budget = max_guesses
+        while len(guesses) < budget and attempts < 20 * budget:
+            attempts += 1
+            b = self.rng.choice(candidates_b)
+            a = self.rng.randrange(self.m)
+            pair = (a, b)
+            if pair in self.guessed or pair in guesses:
+                continue
+            guesses.add(pair)
+        # If nearly everything has been guessed already, fall back to any
+        # remaining fresh pair deterministically.
+        if len(guesses) < budget:
+            for b in candidates_b:
+                for a in range(self.m):
+                    pair = (a, b)
+                    if pair not in self.guessed and pair not in guesses:
+                        guesses.add(pair)
+                        if len(guesses) >= budget:
+                            break
+                if len(guesses) >= budget:
+                    break
+        return guesses
+
+    def observe(self, guesses: set[Pair], hits: frozenset[Pair]) -> None:
+        self.guessed |= guesses
+        self.hit_b |= {b for (_a, b) in hits}
+
+
+class RandomGuessingStrategy(GuessingStrategy):
+    """Oblivious strategy mirroring push-pull: random partner per element."""
+
+    name = "random-guessing"
+
+    def reset(self, m: int, rng: random.Random) -> None:
+        self.m = m
+        self.rng = rng
+
+    def next_guesses(self, max_guesses: int) -> set[Pair]:
+        guesses: set[Pair] = set()
+        for a in range(self.m):
+            guesses.add((a, self.rng.randrange(self.m)))
+        for b in range(self.m):
+            guesses.add((self.rng.randrange(self.m), b))
+        # The two loops can overlap; the set keeps at most 2m distinct pairs,
+        # within the per-round budget.
+        if len(guesses) > max_guesses:
+            guesses = set(list(guesses)[:max_guesses])
+        return guesses
+
+
+class ExhaustiveSweepStrategy(GuessingStrategy):
+    """Deterministic sweep over A × B in row-major order."""
+
+    name = "sweep"
+
+    def reset(self, m: int, rng: random.Random) -> None:
+        self.m = m
+        self.cursor = 0
+
+    def next_guesses(self, max_guesses: int) -> set[Pair]:
+        guesses: set[Pair] = set()
+        total = self.m * self.m
+        while len(guesses) < max_guesses and self.cursor < total:
+            a, b = divmod(self.cursor, self.m)
+            guesses.add((a, b))
+            self.cursor += 1
+        if not guesses:
+            # Wrapped around: start over (should not happen in a valid game).
+            self.cursor = 0
+            return self.next_guesses(max_guesses)
+        return guesses
+
+
+@dataclass
+class GamePlayout:
+    """Outcome of playing one guessing game to completion."""
+
+    m: int
+    strategy: str
+    rounds: int
+    total_guesses: int
+    initial_target_size: int
+
+
+def play_game(
+    m: int,
+    predicate: Predicate,
+    strategy: GuessingStrategy,
+    seed: int = 0,
+    max_rounds: int = 1_000_000,
+) -> GamePlayout:
+    """Play ``Guessing(2m, P)`` with the given strategy until the target empties."""
+    oracle_rng = make_rng(seed, "oracle")
+    alice_rng = make_rng(seed, "alice", strategy.name)
+    target = predicate(m, oracle_rng)
+    game = GuessingGame(m, target)
+    strategy.reset(m, alice_rng)
+    while not game.finished:
+        if game.round >= max_rounds:
+            raise RuntimeError(f"guessing game did not finish within {max_rounds} rounds")
+        guesses = strategy.next_guesses(game.max_guesses_per_round)
+        if not guesses:
+            raise GameError(f"strategy {strategy.name} produced no guesses")
+        hits = game.submit_guesses(guesses)
+        strategy.observe(guesses, hits)
+    return GamePlayout(
+        m=m,
+        strategy=strategy.name,
+        rounds=game.round,
+        total_guesses=game.total_guesses,
+        initial_target_size=len(game.initial_target),
+    )

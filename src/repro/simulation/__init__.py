@@ -1,0 +1,34 @@
+"""Latency-aware synchronous gossip simulator.
+
+* :mod:`~repro.simulation.engine` — the round/exchange engine,
+* :mod:`~repro.simulation.messages` — rumors and per-node knowledge,
+* :mod:`~repro.simulation.metrics` — time / message / activation counters,
+* :mod:`~repro.simulation.tracing` — optional event traces,
+* :mod:`~repro.simulation.rng` — deterministic seed derivation.
+"""
+
+from .engine import ExchangePolicy, GossipEngine, NodeView, PendingExchange
+from .faults import FaultPlan, FaultyEngine, random_crash_plan, random_edge_drop_plan
+from .messages import KnowledgeState, Rumor
+from .metrics import SimulationMetrics
+from .rng import derive_seed, make_rng, spawn_rngs
+from .tracing import EventTrace, TraceEvent
+
+__all__ = [
+    "EventTrace",
+    "ExchangePolicy",
+    "FaultPlan",
+    "FaultyEngine",
+    "GossipEngine",
+    "KnowledgeState",
+    "NodeView",
+    "PendingExchange",
+    "Rumor",
+    "SimulationMetrics",
+    "TraceEvent",
+    "derive_seed",
+    "make_rng",
+    "random_crash_plan",
+    "random_edge_drop_plan",
+    "spawn_rngs",
+]

@@ -1,0 +1,187 @@
+"""Fault injection for gossip simulations.
+
+Section 6 of the paper observes that "exchanging messages with the help of
+the spanner does not have good robustness properties whereas push-pull is
+inherently quite robust", and the conclusion lists fault-tolerant variants as
+future work.  This module makes that comparison measurable: a
+:class:`FaultPlan` describes node crashes and edge drops over time, and
+:func:`apply_faults_policy` wraps an exchange policy so that crashed nodes
+stay silent and dropped edges cannot be activated.
+
+The fault model is crash-stop (no recovery) for nodes and permanent removal
+for edges; both are scheduled by round so experiments can, e.g., crash 10% of
+nodes halfway through dissemination and measure how much longer each
+algorithm needs — the E15 robustness benchmark does exactly that.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from .engine import ExchangePolicy, GossipEngine, NodeView
+from .rng import make_rng
+
+__all__ = ["FaultPlan", "random_crash_plan", "random_edge_drop_plan", "FaultyEngine"]
+
+
+@dataclass
+class FaultPlan:
+    """A schedule of crash-stop node failures and permanent edge drops.
+
+    Attributes
+    ----------
+    node_crashes:
+        Mapping from node id to the round at the start of which it crashes.
+        A crashed node neither initiates nor responds usefully: exchanges it
+        would deliver are suppressed.
+    edge_drops:
+        Mapping from a frozenset pair of endpoints to the round at the start
+        of which the edge disappears.
+    """
+
+    node_crashes: dict[NodeId, int] = field(default_factory=dict)
+    edge_drops: dict[frozenset, int] = field(default_factory=dict)
+
+    def is_node_crashed(self, node: NodeId, round_number: int) -> bool:
+        """Whether ``node`` has crashed by ``round_number``."""
+        crash_round = self.node_crashes.get(node)
+        return crash_round is not None and round_number >= crash_round
+
+    def is_edge_dropped(self, u: NodeId, v: NodeId, round_number: int) -> bool:
+        """Whether the edge ``{u, v}`` has been dropped by ``round_number``."""
+        drop_round = self.edge_drops.get(frozenset((u, v)))
+        return drop_round is not None and round_number >= drop_round
+
+    def surviving_nodes(self, graph: WeightedGraph, round_number: int) -> set[NodeId]:
+        """The nodes that have not crashed by ``round_number``."""
+        return {node for node in graph.nodes() if not self.is_node_crashed(node, round_number)}
+
+    def merge(self, other: "FaultPlan") -> "FaultPlan":
+        """Combine two fault plans (earliest failure round wins per element)."""
+        crashes = dict(self.node_crashes)
+        for node, round_number in other.node_crashes.items():
+            crashes[node] = min(round_number, crashes.get(node, round_number))
+        drops = dict(self.edge_drops)
+        for edge, round_number in other.edge_drops.items():
+            drops[edge] = min(round_number, drops.get(edge, round_number))
+        return FaultPlan(node_crashes=crashes, edge_drops=drops)
+
+
+def random_crash_plan(
+    graph: WeightedGraph,
+    crash_fraction: float,
+    crash_round: int,
+    seed: int = 0,
+    protect: Optional[set[NodeId]] = None,
+) -> FaultPlan:
+    """Crash a random fraction of nodes at a fixed round.
+
+    ``protect`` lists nodes that must survive (e.g. the rumor source, without
+    which dissemination is trivially impossible).
+    """
+    if not 0.0 <= crash_fraction <= 1.0:
+        raise GraphError("crash_fraction must be in [0, 1]")
+    if crash_round < 0:
+        raise GraphError("crash_round must be >= 0")
+    rng = make_rng(seed, "crash-plan")
+    protected = protect or set()
+    candidates = [node for node in graph.nodes() if node not in protected]
+    count = int(round(crash_fraction * len(candidates)))
+    crashed = rng.sample(candidates, min(count, len(candidates))) if count else []
+    return FaultPlan(node_crashes={node: crash_round for node in crashed})
+
+
+def random_edge_drop_plan(
+    graph: WeightedGraph,
+    drop_fraction: float,
+    drop_round: int,
+    seed: int = 0,
+) -> FaultPlan:
+    """Drop a random fraction of edges at a fixed round."""
+    if not 0.0 <= drop_fraction <= 1.0:
+        raise GraphError("drop_fraction must be in [0, 1]")
+    rng = make_rng(seed, "edge-drop-plan")
+    edges = graph.edge_list()
+    count = int(round(drop_fraction * len(edges)))
+    dropped = rng.sample(edges, min(count, len(edges))) if count else []
+    return FaultPlan(edge_drops={frozenset((edge.u, edge.v)): drop_round for edge in dropped})
+
+
+class FaultyEngine(GossipEngine):
+    """A :class:`GossipEngine` that honours a :class:`FaultPlan`.
+
+    Crashed nodes are skipped when policies are consulted, any exchange they
+    initiated but that completes after their crash is suppressed, and
+    exchanges over dropped edges are suppressed likewise.  Completion
+    predicates are restricted to surviving nodes (a crashed node can never
+    learn anything, so requiring it to would make every run fail).
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        fault_plan: FaultPlan,
+        blocking: bool = False,
+        trace=None,
+    ) -> None:
+        super().__init__(graph, blocking=blocking, trace=trace)
+        self.fault_plan = fault_plan
+
+    # -- fault-aware overrides -------------------------------------------
+    def _deliver_due_exchanges(self) -> None:
+        import heapq
+
+        while self._pending and self._pending[0].completes_at <= self.round:
+            exchange = heapq.heappop(self._pending)
+            u, v = exchange.initiator, exchange.responder
+            self._outstanding[u] = max(0, self._outstanding[u] - 1)
+            if (
+                self.fault_plan.is_node_crashed(u, self.round)
+                or self.fault_plan.is_node_crashed(v, self.round)
+                or self.fault_plan.is_edge_dropped(u, v, self.round)
+            ):
+                continue
+            new_for_v = self.knowledge[v].merge(set(exchange.initiator_payload))
+            new_for_u = self.knowledge[u].merge(set(exchange.responder_payload))
+            self.metrics.record_exchange_completed(
+                payload_size=len(exchange.initiator_payload) + len(exchange.responder_payload)
+            )
+            self.metrics.record_deliveries(new_for_u + new_for_v)
+            if self.trace is not None:
+                self.trace.record(
+                    self.round, "complete", u, v, new_for_initiator=new_for_u, new_for_responder=new_for_v
+                )
+
+    def step(self, policy: ExchangePolicy) -> None:
+        self.round += 1
+        self.metrics.rounds = self.round
+        self._deliver_due_exchanges()
+        for node in self.graph.nodes():
+            if self.fault_plan.is_node_crashed(node, self.round):
+                continue
+            if self.blocking and self._outstanding[node] > 0:
+                continue
+            choice = policy(self.node_view(node))
+            if choice is None:
+                continue
+            if not self.graph.has_edge(node, choice):
+                raise GraphError(f"policy for node {node!r} chose {choice!r}, which is not a neighbour")
+            if self.fault_plan.is_node_crashed(choice, self.round) or self.fault_plan.is_edge_dropped(
+                node, choice, self.round
+            ):
+                # The initiation happens (and is paid for) but delivers nothing.
+                self.initiate_exchange(node, choice)
+                continue
+            self.initiate_exchange(node, choice)
+
+    # -- fault-aware completion predicates --------------------------------
+    def dissemination_complete(self, rumor) -> bool:
+        survivors = self.fault_plan.surviving_nodes(self.graph, self.round)
+        return all(self.knowledge[node].knows(rumor) for node in survivors)
+
+    def all_to_all_complete(self) -> bool:
+        survivors = self.fault_plan.surviving_nodes(self.graph, self.round)
+        return all(self.knowledge[node].origins() >= survivors for node in survivors)

@@ -1,0 +1,75 @@
+"""Rumors and per-node knowledge state.
+
+A *rumor* is the unit of information disseminated by the algorithms: in
+one-to-all dissemination a single source starts with one rumor; in all-to-all
+dissemination every node starts with its own.  Rumors are small frozen
+objects so knowledge sets stay cheap to copy and compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..graphs.weighted_graph import NodeId
+
+__all__ = ["Rumor", "KnowledgeState"]
+
+
+@dataclass(frozen=True)
+class Rumor:
+    """A piece of information originating at a node.
+
+    Attributes
+    ----------
+    origin:
+        The node where the rumor started.
+    payload:
+        Optional application payload (examples use strings; the algorithms
+        never look inside it).
+    """
+
+    origin: NodeId
+    payload: Any = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Rumor({self.origin!r})"
+
+
+@dataclass
+class KnowledgeState:
+    """The set of rumors a node currently knows, plus bookkeeping flags.
+
+    ``flag`` mirrors the error flag of the Termination_Check algorithm
+    (Algorithm 3); ``failed`` mirrors its ``node_status`` field.
+    """
+
+    node: NodeId
+    rumors: set[Rumor] = field(default_factory=set)
+    flag: bool = False
+    failed: bool = False
+
+    def knows(self, rumor: Rumor) -> bool:
+        """Return whether this node already knows ``rumor``."""
+        return rumor in self.rumors
+
+    def knows_origin(self, origin: NodeId) -> bool:
+        """Return whether this node knows a rumor originating at ``origin``."""
+        return any(rumor.origin == origin for rumor in self.rumors)
+
+    def add(self, rumor: Rumor) -> bool:
+        """Add a rumor; return True if it was new."""
+        if rumor in self.rumors:
+            return False
+        self.rumors.add(rumor)
+        return True
+
+    def merge(self, rumors: set[Rumor]) -> int:
+        """Merge a set of rumors; return how many were new."""
+        before = len(self.rumors)
+        self.rumors |= rumors
+        return len(self.rumors) - before
+
+    def origins(self) -> set[NodeId]:
+        """Return the set of origins of all known rumors."""
+        return {rumor.origin for rumor in self.rumors}

@@ -1,0 +1,119 @@
+"""Cost metrics collected while simulating gossip algorithms.
+
+The paper measures *time* (rounds, where a latency-ℓ exchange costs ℓ time
+before it completes).  For completeness we also track message counts and
+per-edge activation counts, which make the message-complexity behaviour of
+the algorithms visible in benchmarks (e.g. push-pull's Θ(n log n) messages on
+a clique).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..graphs.weighted_graph import NodeId
+
+__all__ = ["SimulationMetrics"]
+
+
+@dataclass
+class SimulationMetrics:
+    """Counters accumulated during a simulation run.
+
+    Attributes
+    ----------
+    rounds:
+        Number of synchronous rounds in which at least one node took an action.
+    completion_time:
+        The time at which the algorithm's goal was reached (dissemination
+        complete), in the same units as rounds; ``None`` until it completes.
+    charged_time:
+        Extra time charged analytically rather than simulated round-by-round
+        (used by the DTG-based algorithms, which simulate one DTG round of the
+        latency-thresholded subgraph as ℓ rounds of the real network).
+    activations:
+        Total number of edge activations (exchange initiations).
+    messages:
+        Total messages sent (2 per completed exchange: request + response).
+    edge_activations:
+        Activation count per canonical edge.
+    rumor_deliveries:
+        Number of (node, rumor) pairs that became newly known.
+    """
+
+    rounds: int = 0
+    completion_time: Optional[float] = None
+    charged_time: float = 0.0
+    activations: int = 0
+    messages: int = 0
+    edge_activations: Counter = field(default_factory=Counter)
+    rumor_deliveries: int = 0
+    payload_rumors_sent: int = 0
+    max_payload_size: int = 0
+
+    def record_activation(self, u: NodeId, v: NodeId) -> None:
+        """Record that the edge {u, v} was activated (an exchange initiated)."""
+        key = tuple(sorted((repr(u), repr(v))))
+        self.activations += 1
+        self.edge_activations[key] += 1
+
+    def record_exchange_completed(self, payload_size: int = 0) -> None:
+        """Record the two messages of a completed round-trip exchange.
+
+        ``payload_size`` is the total number of rumors carried by the two
+        messages; it feeds the Section 6 message-size comparison (push-pull
+        works with small messages, the DTG-based algorithms do not).
+        """
+        self.messages += 2
+        self.payload_rumors_sent += payload_size
+        self.max_payload_size = max(self.max_payload_size, payload_size)
+
+    def record_deliveries(self, count: int) -> None:
+        """Record ``count`` newly-learned (node, rumor) pairs."""
+        self.rumor_deliveries += count
+
+    def charge(self, time: float) -> None:
+        """Charge analytical time (e.g. a DTG phase simulated at coarse grain)."""
+        if time < 0:
+            raise ValueError(f"cannot charge negative time {time}")
+        self.charged_time += time
+
+    @property
+    def total_time(self) -> float:
+        """Total time: completion time if known, else simulated + charged time."""
+        if self.completion_time is not None:
+            return self.completion_time
+        return self.rounds + self.charged_time
+
+    def most_activated_edges(self, k: int = 5) -> list[tuple[tuple[str, str], int]]:
+        """Return the ``k`` most frequently activated edges (for diagnostics)."""
+        return self.edge_activations.most_common(k)
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten the headline numbers for table rendering."""
+        return {
+            "rounds": self.rounds,
+            "time": self.total_time,
+            "charged_time": self.charged_time,
+            "activations": self.activations,
+            "messages": self.messages,
+            "rumor_deliveries": self.rumor_deliveries,
+            "payload_rumors_sent": self.payload_rumors_sent,
+            "max_payload_size": self.max_payload_size,
+        }
+
+    def merge(self, other: "SimulationMetrics") -> None:
+        """Accumulate another metrics object into this one (for phased algorithms)."""
+        self.rounds += other.rounds
+        self.charged_time += other.charged_time
+        self.activations += other.activations
+        self.messages += other.messages
+        self.rumor_deliveries += other.rumor_deliveries
+        self.payload_rumors_sent += other.payload_rumors_sent
+        self.max_payload_size = max(self.max_payload_size, other.max_payload_size)
+        self.edge_activations.update(other.edge_activations)
+        if other.completion_time is not None:
+            base = self.completion_time if self.completion_time is not None else 0.0
+            self.completion_time = base + other.completion_time

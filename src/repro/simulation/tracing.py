@@ -1,0 +1,74 @@
+"""Event tracing for simulations.
+
+A trace records every exchange initiation and completion with its round
+number.  Traces are optional (they cost memory proportional to the number of
+events) and are mainly used by tests that verify ordering properties and by
+examples that want to display what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..graphs.weighted_graph import NodeId
+
+__all__ = ["TraceEvent", "EventTrace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """A single traced event."""
+
+    round: int
+    kind: str
+    u: NodeId
+    v: NodeId
+    details: tuple[tuple[str, Any], ...] = ()
+
+    def detail(self, key: str, default: Any = None) -> Any:
+        """Look up a detail value by key."""
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+
+class EventTrace:
+    """An append-only list of :class:`TraceEvent` objects."""
+
+    def __init__(self, max_events: int = 1_000_000) -> None:
+        self.events: list[TraceEvent] = []
+        self.max_events = max_events
+        self.dropped = 0
+
+    def record(self, round_number: int, kind: str, u: NodeId, v: NodeId, **details: Any) -> None:
+        """Record an event (silently dropping events past ``max_events``)."""
+        if len(self.events) >= self.max_events:
+            self.dropped += 1
+            return
+        self.events.append(
+            TraceEvent(round=round_number, kind=kind, u=u, v=v, details=tuple(details.items()))
+        )
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """Return all events of the given kind."""
+        return [event for event in self.events if event.kind == kind]
+
+    def initiations(self) -> list[TraceEvent]:
+        """Return all exchange initiations."""
+        return self.of_kind("initiate")
+
+    def completions(self) -> list[TraceEvent]:
+        """Return all exchange completions."""
+        return self.of_kind("complete")
+
+    def activations_of(self, node: NodeId) -> list[TraceEvent]:
+        """Return initiations made by ``node``."""
+        return [event for event in self.initiations() if event.u == node]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    WeightedGraph,
+    clique,
+    cycle_graph,
+    dumbbell,
+    grid_graph,
+    path_graph,
+    star,
+    two_cluster_slow_bridge,
+    weighted_erdos_renyi,
+)
+
+
+@pytest.fixture
+def triangle() -> WeightedGraph:
+    """A 3-node triangle with mixed latencies."""
+    graph = WeightedGraph(range(3))
+    graph.add_edge(0, 1, 1)
+    graph.add_edge(1, 2, 2)
+    graph.add_edge(0, 2, 4)
+    return graph
+
+
+@pytest.fixture
+def small_clique() -> WeightedGraph:
+    """K6 with unit latencies."""
+    return clique(6)
+
+
+@pytest.fixture
+def small_path() -> WeightedGraph:
+    """A 6-node unit-latency path."""
+    return path_graph(6)
+
+
+@pytest.fixture
+def small_star() -> WeightedGraph:
+    """A 7-node star with unit latencies."""
+    return star(7)
+
+
+@pytest.fixture
+def slow_bridge() -> WeightedGraph:
+    """Two K5 cliques joined by a single slow (latency 16) edge."""
+    return two_cluster_slow_bridge(5, fast_latency=1, slow_latency=16, bridges=1)
+
+
+@pytest.fixture
+def small_weighted_er() -> WeightedGraph:
+    """A 24-node weighted Erdős–Rényi graph (connected, seeded)."""
+    return weighted_erdos_renyi(24, 0.25, seed=7)
+
+
+@pytest.fixture
+def small_grid() -> WeightedGraph:
+    """A 4x4 unit-latency grid."""
+    return grid_graph(4, 4)

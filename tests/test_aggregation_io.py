@@ -1,0 +1,127 @@
+"""Unit tests for gossip aggregation and graph serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip import gossip_aggregate
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    clique,
+    from_edge_list,
+    from_json,
+    load_edge_list,
+    load_json,
+    path_graph,
+    save_edge_list,
+    save_json,
+    to_edge_list,
+    to_json,
+    weighted_erdos_renyi,
+)
+
+
+class TestGossipAggregate:
+    @pytest.mark.parametrize("aggregate,expected", [("min", 1.0), ("max", 8.0), ("sum", 36.0), ("mean", 4.5)])
+    def test_builtin_aggregates_exact(self, aggregate, expected):
+        graph = clique(8)
+        inputs = {node: float(node + 1) for node in graph.nodes()}
+        result = gossip_aggregate(graph, inputs, aggregate=aggregate, seed=1)
+        assert result.exact
+        assert result.consensus_value() == pytest.approx(expected)
+
+    def test_custom_reducer(self):
+        graph = weighted_erdos_renyi(12, 0.4, seed=2)
+        inputs = {node: float(node) for node in graph.nodes()}
+        result = gossip_aggregate(graph, inputs, aggregate=lambda values: max(values) - min(values), seed=2)
+        assert result.consensus_value() == pytest.approx(11.0)
+
+    def test_time_positive_and_bounded_by_push_pull(self):
+        graph = path_graph(8)
+        inputs = {node: 1.0 for node in graph.nodes()}
+        result = gossip_aggregate(graph, inputs, aggregate="count", seed=3)
+        assert result.time >= 7  # at least the diameter
+        assert result.consensus_value() == 8
+
+    def test_missing_inputs_rejected(self):
+        graph = clique(4)
+        with pytest.raises(GraphError):
+            gossip_aggregate(graph, {0: 1.0}, aggregate="sum")
+
+    def test_unknown_aggregate_rejected(self):
+        graph = clique(4)
+        inputs = {node: 1.0 for node in graph.nodes()}
+        with pytest.raises(GraphError):
+            gossip_aggregate(graph, inputs, aggregate="mode")
+
+    def test_disconnected_graph_rejected(self):
+        graph = WeightedGraph(range(4))
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(GraphError):
+            gossip_aggregate(graph, {n: 1.0 for n in graph.nodes()}, aggregate="sum")
+
+
+class TestEdgeListSerialization:
+    def test_round_trip(self, triangle):
+        text = to_edge_list(triangle)
+        back = from_edge_list(text)
+        assert back == triangle
+
+    def test_comments_and_default_latency(self):
+        text = "# a comment\n0 1\n1 2 7\n"
+        graph = from_edge_list(text)
+        assert graph.latency(0, 1) == 1
+        assert graph.latency(1, 2) == 7
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(GraphError):
+            from_edge_list("0 1 2 3 4\n")
+
+    def test_string_nodes(self):
+        graph = from_edge_list("a b 3\n", node_type=str)
+        assert graph.latency("a", "b") == 3
+
+    def test_file_round_trip(self, tmp_path, slow_bridge):
+        path = tmp_path / "graph.edges"
+        save_edge_list(slow_bridge, path)
+        assert load_edge_list(path) == slow_bridge
+
+
+class TestJsonSerialization:
+    def test_round_trip_preserves_isolated_nodes(self):
+        graph = WeightedGraph(range(5))
+        graph.add_edge(0, 1, 3)
+        back = from_json(to_json(graph))
+        assert back == graph
+        assert back.num_nodes == 5
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(GraphError):
+            from_json("not json at all")
+        with pytest.raises(GraphError):
+            from_json('{"format": "something-else"}')
+
+    def test_file_round_trip(self, tmp_path, small_weighted_er):
+        path = tmp_path / "graph.json"
+        save_json(small_weighted_er, path)
+        assert load_json(path) == small_weighted_er
+
+
+class TestPayloadMetrics:
+    def test_one_to_all_push_pull_has_small_payloads(self):
+        from repro.gossip import PushPullGossip, Task
+
+        graph = clique(12)
+        result = PushPullGossip(task=Task.ONE_TO_ALL).run(graph, source=0, seed=1)
+        # Each message carries at most the single rumor (2 per exchange).
+        assert result.metrics.max_payload_size <= 2
+        assert result.metrics.payload_rumors_sent <= result.metrics.messages
+
+    def test_all_to_all_payloads_grow_with_n(self):
+        from repro.gossip import PushPullGossip, Task
+
+        graph = clique(12)
+        result = PushPullGossip(task=Task.ALL_TO_ALL).run(graph, seed=1)
+        assert result.metrics.max_payload_size > 2
+        assert result.metrics.max_payload_size <= 2 * graph.num_nodes

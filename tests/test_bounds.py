@@ -1,0 +1,118 @@
+"""Unit tests for repro.core.bounds (closed-form theoretical bounds)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    GraphParameters,
+    extract_parameters,
+    lower_bound_dissemination,
+    lower_bound_dissemination_phi_avg,
+    lower_bound_local_broadcast_conductance,
+    lower_bound_local_broadcast_degree,
+    upper_bound_latency_discovery_spanner,
+    upper_bound_pattern_broadcast,
+    upper_bound_push_pull,
+    upper_bound_push_pull_phi_avg,
+    upper_bound_spanner_broadcast,
+    upper_bound_unified,
+    upper_bound_unified_phi_avg,
+)
+from repro.graphs import clique, two_cluster_slow_bridge
+
+
+@pytest.fixture
+def params() -> GraphParameters:
+    return GraphParameters(
+        n=1024,
+        diameter=20.0,
+        max_degree=30,
+        phi_star=0.1,
+        ell_star=4,
+        phi_avg=0.02,
+        nonempty_classes=3,
+        max_latency=64,
+    )
+
+
+class TestParameterExtraction:
+    def test_extract_from_clique(self):
+        params = extract_parameters(clique(8))
+        assert params.n == 8
+        assert params.diameter == 1
+        assert params.max_degree == 7
+        assert params.ell_star == 1
+        assert params.nonempty_classes == 1
+
+    def test_extract_from_slow_bridge(self, slow_bridge):
+        params = extract_parameters(slow_bridge)
+        assert params.max_latency == 16
+        assert params.phi_star > 0
+        assert params.phi_avg > 0
+
+    def test_log_helpers(self, params):
+        assert params.log_n() == pytest.approx(10.0)
+        assert params.log_diameter() == pytest.approx(math.log2(20.0))
+
+
+class TestLowerBounds:
+    def test_degree_bound(self, params):
+        assert lower_bound_local_broadcast_degree(params) == 30
+
+    def test_conductance_bound(self, params):
+        assert lower_bound_local_broadcast_conductance(params) == pytest.approx(1 / 0.1 + 4)
+
+    def test_dissemination_bound_takes_min(self, params):
+        assert lower_bound_dissemination(params) == pytest.approx(min(20 + 30, 4 / 0.1))
+
+    def test_dissemination_bound_phi_avg(self, params):
+        assert lower_bound_dissemination_phi_avg(params) == pytest.approx(min(50, 1 / 0.02))
+
+    def test_zero_conductance_degenerates_gracefully(self, params):
+        degenerate = GraphParameters(
+            n=params.n,
+            diameter=params.diameter,
+            max_degree=params.max_degree,
+            phi_star=0.0,
+            ell_star=1,
+            phi_avg=0.0,
+            nonempty_classes=1,
+            max_latency=1,
+        )
+        assert lower_bound_dissemination(degenerate) == 50
+        assert math.isinf(lower_bound_local_broadcast_conductance(degenerate))
+
+
+class TestUpperBounds:
+    def test_push_pull_bound(self, params):
+        assert upper_bound_push_pull(params) == pytest.approx((4 / 0.1) * 10)
+
+    def test_push_pull_phi_avg_bound(self, params):
+        assert upper_bound_push_pull_phi_avg(params) == pytest.approx((3 / 0.02) * 10)
+
+    def test_spanner_bound(self, params):
+        assert upper_bound_spanner_broadcast(params) == pytest.approx(20 * 10 ** 3)
+
+    def test_pattern_bound(self, params):
+        expected = 20 * 10 ** 2 * math.log2(20)
+        assert upper_bound_pattern_broadcast(params) == pytest.approx(expected)
+
+    def test_discovery_bound(self, params):
+        assert upper_bound_latency_discovery_spanner(params) == pytest.approx(50 * 1000)
+
+    def test_unified_takes_min(self, params):
+        assert upper_bound_unified(params) == pytest.approx(
+            min(upper_bound_latency_discovery_spanner(params), upper_bound_push_pull(params))
+        )
+
+    def test_unified_phi_avg_takes_min(self, params):
+        assert upper_bound_unified_phi_avg(params) == pytest.approx(
+            min(upper_bound_latency_discovery_spanner(params), upper_bound_push_pull_phi_avg(params))
+        )
+
+    def test_lower_bound_never_exceeds_unified_upper_bound(self, slow_bridge):
+        params = extract_parameters(slow_bridge)
+        assert lower_bound_dissemination(params) <= upper_bound_unified(params) + 1e-9

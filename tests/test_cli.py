@@ -1,0 +1,60 @@
+"""Unit tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_algorithm, build_graph, main
+
+
+class TestBuilders:
+    def test_build_graph_families(self):
+        for family in ["clique", "expander", "grid", "erdos-renyi", "barabasi-albert"]:
+            graph = build_graph(family, 20, "uniform", seed=1)
+            assert graph.num_nodes >= 16
+            assert graph.is_connected()
+
+    def test_build_graph_latency_models(self):
+        unit = build_graph("clique", 8, "unit", seed=0)
+        assert unit.max_latency() == 1
+        bimodal = build_graph("clique", 8, "bimodal", seed=0)
+        assert bimodal.max_latency() in {1, 64}
+
+    def test_build_graph_unknown_family(self):
+        with pytest.raises(SystemExit):
+            build_graph("torus", 8, "unit", seed=0)
+
+    def test_build_graph_unknown_latency(self):
+        with pytest.raises(SystemExit):
+            build_graph("clique", 8, "warp", seed=0)
+
+    def test_build_algorithm(self):
+        assert build_algorithm("push-pull").name == "push-pull"
+        assert build_algorithm("pattern").name.startswith("pattern-broadcast")
+        with pytest.raises(SystemExit):
+            build_algorithm("carrier-pigeon")
+
+
+class TestCommands:
+    def test_run_command(self, capsys):
+        exit_code = main(["run", "--algorithm", "push-pull", "--graph", "clique", "--nodes", "12", "--seed", "1"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "push-pull" in captured
+        assert "time" in captured
+
+    def test_run_flooding_command(self, capsys):
+        exit_code = main(["run", "--algorithm", "flooding", "--graph", "grid", "--nodes", "16", "--latency", "unit"])
+        assert exit_code == 0
+        assert "flooding" in capsys.readouterr().out
+
+    def test_conductance_command(self, capsys):
+        exit_code = main(["conductance", "--graph", "erdos-renyi", "--nodes", "10", "--seed", "2"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "phi*" in captured
+        assert "Theorem 5 holds  = True" in captured
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

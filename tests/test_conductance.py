@@ -1,0 +1,144 @@
+"""Unit tests for repro.core.conductance (exact weighted conductance)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import (
+    average_weighted_conductance,
+    classical_conductance,
+    critical_weighted_conductance,
+    cut_average_conductance,
+    cut_weight_ell_conductance,
+    weight_ell_conductance,
+    weighted_conductance_profile,
+)
+from repro.graphs import (
+    Cut,
+    GraphError,
+    WeightedGraph,
+    clique,
+    cycle_graph,
+    path_graph,
+    two_cluster_slow_bridge,
+)
+
+
+class TestWeightEllConductance:
+    def test_cut_value_on_triangle(self, triangle):
+        cut = Cut.of([0])
+        # Node 0 has degree 2 (volume 2); edges to 1 (lat 1) and 2 (lat 4).
+        assert cut_weight_ell_conductance(triangle, cut, 1) == pytest.approx(1 / 2)
+        assert cut_weight_ell_conductance(triangle, cut, 4) == pytest.approx(2 / 2)
+
+    def test_invalid_ell(self, triangle):
+        with pytest.raises(GraphError):
+            cut_weight_ell_conductance(triangle, Cut.of([0]), 0)
+
+    def test_unit_clique_matches_classical(self):
+        graph = clique(6)
+        # Classical conductance of K_n is minimized by the balanced cut:
+        # |cut| = (n/2)^2, volume = (n/2)(n-1).
+        expected = (3 * 3) / (3 * 5)
+        assert weight_ell_conductance(graph, 1).value == pytest.approx(expected)
+
+    def test_phi_ell_monotone_in_ell(self, slow_bridge):
+        phi_1 = weight_ell_conductance(slow_bridge, 1).value
+        phi_16 = weight_ell_conductance(slow_bridge, 16).value
+        assert phi_1 <= phi_16
+
+    def test_slow_bridge_phi1_zero(self, slow_bridge):
+        # With only latency-1 edges, the bridge cut has no crossing edges.
+        assert weight_ell_conductance(slow_bridge, 1).value == 0.0
+
+    def test_witness_cut_is_minimizing(self, slow_bridge):
+        result = weight_ell_conductance(slow_bridge, 16)
+        assert result.witness is not None
+        recomputed = cut_weight_ell_conductance(slow_bridge, result.witness, 16)
+        assert recomputed == pytest.approx(result.value)
+
+    def test_too_large_graph_rejected(self):
+        with pytest.raises(GraphError):
+            weight_ell_conductance(clique(25), 1)
+
+    def test_edgeless_graph_rejected(self):
+        with pytest.raises(GraphError):
+            weight_ell_conductance(WeightedGraph(range(3)), 1)
+
+
+class TestCriticalConductance:
+    def test_unit_graph_critical_latency_is_one(self, small_clique):
+        phi_star, ell_star = critical_weighted_conductance(small_clique)
+        assert ell_star == 1
+        assert phi_star == pytest.approx(weight_ell_conductance(small_clique, 1).value)
+
+    def test_slow_bridge_prefers_slow_threshold(self, slow_bridge):
+        # phi_1 = 0 so the ratio is maximized at ell = 16 despite the division.
+        phi_star, ell_star = critical_weighted_conductance(slow_bridge)
+        assert ell_star == 16
+        assert phi_star > 0
+
+    def test_fast_alternative_path_prefers_fast_threshold(self):
+        # Two cliques joined by MANY slow edges AND one fast edge: phi_1 > 0,
+        # and phi_1/1 beats phi_64/64.
+        graph = two_cluster_slow_bridge(4, fast_latency=1, slow_latency=64, bridges=4)
+        graph.set_latency(0, 4, 1)  # make one bridge fast
+        phi_star, ell_star = critical_weighted_conductance(graph)
+        assert ell_star == 1
+
+    def test_critical_ratio_dominates_all_latencies(self, triangle):
+        phi_star, ell_star = critical_weighted_conductance(triangle)
+        for ell in triangle.distinct_latencies():
+            phi_ell = weight_ell_conductance(triangle, ell).value
+            assert phi_star / ell_star >= phi_ell / ell - 1e-12
+
+
+class TestAverageConductance:
+    def test_cut_average_on_triangle(self, triangle):
+        cut = Cut.of([0])
+        # Edge latency 1 -> class 1 (weight 1/2); latency 4 -> class 2 (1/4).
+        expected = (1 / 2 + 1 / 4) / 2
+        assert cut_average_conductance(triangle, cut) == pytest.approx(expected)
+
+    def test_unit_graph_is_half_classical(self, small_clique):
+        phi_avg = average_weighted_conductance(small_clique).value
+        classical = classical_conductance(small_clique).value
+        assert phi_avg == pytest.approx(classical / 2)
+
+    def test_average_leq_any_cut(self, slow_bridge):
+        phi_avg = average_weighted_conductance(slow_bridge).value
+        for side in ([0], [0, 1], list(range(5))):
+            assert phi_avg <= cut_average_conductance(slow_bridge, Cut.of(side)) + 1e-12
+
+    def test_classical_conductance_uses_all_edges(self, slow_bridge):
+        classical = classical_conductance(slow_bridge).value
+        assert classical > 0
+
+
+class TestProfile:
+    def test_profile_consistency(self, slow_bridge):
+        profile = weighted_conductance_profile(slow_bridge)
+        assert profile.critical_latency in profile.phi_by_latency
+        assert profile.critical_phi == pytest.approx(profile.phi_by_latency[profile.critical_latency])
+        assert profile.nonempty_classes == 2
+        assert profile.max_latency == 16
+
+    def test_profile_theorem5_bounds(self, slow_bridge):
+        profile = weighted_conductance_profile(slow_bridge)
+        assert profile.theorem5_holds()
+        assert profile.theorem5_lower() <= profile.phi_avg
+        assert profile.phi_avg <= profile.theorem5_upper()
+
+    def test_profile_on_cycle(self):
+        profile = weighted_conductance_profile(cycle_graph(8))
+        # Cycle conductance: balanced cut crosses 2 edges over volume 8.
+        assert profile.critical_phi == pytest.approx(2 / 8)
+        assert profile.critical_latency == 1
+
+    def test_profile_on_path(self):
+        profile = weighted_conductance_profile(path_graph(6))
+        # Worst cut severs one end edge: 1 crossing / volume 1 at the endpoint?
+        # The minimizing cut is the balanced one: 1 crossing over volume 5.
+        assert profile.critical_phi == pytest.approx(1 / 5)

@@ -1,0 +1,87 @@
+"""Unit tests for repro.graphs.cuts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Cut,
+    GraphError,
+    WeightedGraph,
+    clique,
+    cut_edges,
+    cut_edges_within_latency,
+    enumerate_cuts,
+    path_graph,
+    sweep_cuts,
+)
+
+
+class TestCut:
+    def test_requires_non_empty_side(self):
+        with pytest.raises(GraphError):
+            Cut(frozenset())
+
+    def test_of_builds_frozenset(self):
+        cut = Cut.of([1, 2, 2])
+        assert cut.side == frozenset({1, 2})
+
+    def test_other_side(self, small_clique):
+        cut = Cut.of([0, 1])
+        assert cut.other_side(small_clique) == frozenset({2, 3, 4, 5})
+
+    def test_is_proper(self, small_clique):
+        assert Cut.of([0]).is_proper(small_clique)
+        assert not Cut.of(small_clique.nodes()).is_proper(small_clique)
+
+    def test_min_volume_clique(self, small_clique):
+        # K6: each node has degree 5; side of 2 nodes has volume 10 < 20.
+        assert Cut.of([0, 1]).min_volume(small_clique) == 10
+
+    def test_min_volume_picks_smaller_side(self):
+        graph = path_graph(4)
+        cut = Cut.of([0])
+        assert cut.min_volume(graph) == 1
+
+
+class TestCutEdges:
+    def test_cut_edges_on_path(self):
+        graph = path_graph(4)
+        crossing = cut_edges(graph, Cut.of([0, 1]))
+        assert len(crossing) == 1
+        assert {crossing[0].u, crossing[0].v} == {1, 2}
+
+    def test_cut_edges_latency_filter(self, triangle):
+        cut = Cut.of([0])
+        all_edges = cut_edges(triangle, cut)
+        fast_edges = cut_edges_within_latency(triangle, cut, 1)
+        assert len(all_edges) == 2
+        assert len(fast_edges) == 1
+        assert fast_edges[0].latency == 1
+
+    def test_cut_edges_clique(self, small_clique):
+        crossing = cut_edges(small_clique, Cut.of([0, 1, 2]))
+        assert len(crossing) == 9
+
+
+class TestEnumeration:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_number_of_proper_cuts(self, n):
+        graph = clique(n)
+        cuts = list(enumerate_cuts(graph))
+        assert len(cuts) == 2 ** (n - 1) - 1
+
+    def test_cuts_are_distinct_partitions(self):
+        graph = clique(4)
+        partitions = set()
+        for cut in enumerate_cuts(graph):
+            other = frozenset(graph.nodes()) - cut.side
+            partitions.add(frozenset({cut.side, other}))
+        assert len(partitions) == 2 ** 3 - 1
+
+    def test_no_cuts_for_single_node(self):
+        assert list(enumerate_cuts(WeightedGraph([0]))) == []
+
+    def test_sweep_cuts(self):
+        cuts = list(sweep_cuts([3, 1, 2]))
+        assert [sorted(c.side) for c in cuts] == [[3], [1, 3]]

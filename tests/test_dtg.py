@@ -1,0 +1,125 @@
+"""Unit tests for DTG / ℓ-DTG local broadcast (repro.gossip.dtg)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.gossip import dtg_local_broadcast, ell_dtg
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    clique,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star,
+    two_cluster_slow_bridge,
+    weighted_erdos_renyi,
+)
+from repro.simulation import Rumor
+
+
+def _local_broadcast_achieved(graph, knowledge) -> bool:
+    """Every node knows a rumor originating at each of its neighbours."""
+    for node in graph.nodes():
+        origins = {rumor.origin for rumor in knowledge[node]}
+        if any(neighbor not in origins for neighbor in graph.neighbors(node)):
+            return False
+    return True
+
+
+class TestDTG:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: clique(12),
+            lambda: path_graph(10),
+            lambda: star(12),
+            lambda: cycle_graph(9),
+            lambda: grid_graph(4, 4),
+            lambda: weighted_erdos_renyi(24, 0.2, seed=3),
+        ],
+    )
+    def test_solves_local_broadcast(self, graph_builder):
+        graph = graph_builder()
+        result = dtg_local_broadcast(graph)
+        assert _local_broadcast_achieved(graph, result.knowledge)
+
+    def test_round_complexity_is_polylog_on_clique(self):
+        graph = clique(32)
+        result = dtg_local_broadcast(graph)
+        # O(log^2 n) rounds; generous constant.
+        assert result.rounds <= 20 * math.log2(32) ** 2
+        assert result.iterations <= 3 * math.log2(32)
+
+    def test_iterations_bounded_by_degree(self):
+        graph = star(20)
+        result = dtg_local_broadcast(graph)
+        assert result.iterations <= graph.max_degree()
+
+    def test_tokens_removed_from_output(self):
+        graph = clique(6)
+        result = dtg_local_broadcast(graph)
+        for rumors in result.knowledge.values():
+            for rumor in rumors:
+                assert not (isinstance(rumor.payload, tuple) and rumor.payload and rumor.payload[0] == "__dtg_token__")
+
+    def test_preserves_initial_knowledge(self):
+        graph = path_graph(5)
+        initial = {node: {Rumor(origin=node, payload=f"data-{node}")} for node in graph.nodes()}
+        result = dtg_local_broadcast(graph, knowledge=initial)
+        # Node 2 must now hold the payload rumors of its neighbours 1 and 3.
+        payloads = {rumor.payload for rumor in result.knowledge[2]}
+        assert {"data-1", "data-2", "data-3"} <= payloads
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            dtg_local_broadcast(WeightedGraph())
+
+    def test_single_node_graph_trivial(self):
+        result = dtg_local_broadcast(WeightedGraph([0]))
+        assert result.rounds == 0
+        assert result.iterations == 0
+
+    def test_exchanged_pairs_cover_all_edges(self):
+        graph = cycle_graph(7)
+        result = dtg_local_broadcast(graph)
+        assert result.exchanged_pairs == {frozenset((e.u, e.v)) for e in graph.edges()}
+
+
+class TestEllDTG:
+    def test_charged_time_scales_with_ell(self):
+        graph = weighted_erdos_renyi(16, 0.3, seed=1)
+        r1 = ell_dtg(graph, 1)
+        r4 = ell_dtg(graph, graph.max_latency())
+        assert r1.charged_time == r1.rounds
+        assert r4.charged_time == graph.max_latency() * r4.rounds
+
+    def test_only_fast_neighbours_guaranteed(self):
+        graph = two_cluster_slow_bridge(4, fast_latency=1, slow_latency=50, bridges=1)
+        result = ell_dtg(graph, 1)
+        # Within each clique local broadcast holds; across the slow bridge it need not.
+        origins_0 = {rumor.origin for rumor in result.knowledge[0]}
+        assert {1, 2, 3} <= origins_0
+        # The latency-50 bridge neighbour (node 4) is not guaranteed.
+        knowledge_bridge = {rumor.origin for rumor in result.knowledge[4]}
+        assert {5, 6, 7} <= knowledge_bridge
+
+    def test_full_threshold_matches_local_broadcast(self):
+        graph = two_cluster_slow_bridge(3, fast_latency=1, slow_latency=9, bridges=1)
+        result = ell_dtg(graph, 9)
+        assert _local_broadcast_achieved(graph, result.knowledge)
+
+    def test_invalid_ell(self):
+        with pytest.raises(GraphError):
+            ell_dtg(clique(4), 0)
+
+    def test_isolated_nodes_in_threshold_subgraph(self):
+        graph = WeightedGraph(range(3))
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(1, 2, 10)
+        result = ell_dtg(graph, 1)
+        # Node 2 is isolated in G_1 but still appears in the output.
+        assert 2 in result.knowledge

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.estimation (sweep-cut conductance estimators)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    average_weighted_conductance,
+    critical_weighted_conductance,
+    estimate_average_conductance,
+    estimate_critical_conductance,
+    estimate_profile,
+    estimate_weight_ell_conductance,
+    fiedler_ordering,
+    weight_ell_conductance,
+)
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    assign_latencies,
+    bimodal_latency,
+    clique,
+    dumbbell,
+    two_cluster_slow_bridge,
+    weighted_erdos_renyi,
+)
+
+
+class TestSmallGraphsAreExact:
+    def test_small_graph_matches_exact_phi_ell(self, slow_bridge):
+        exact = weight_ell_conductance(slow_bridge, 16).value
+        estimated = estimate_weight_ell_conductance(slow_bridge, 16)
+        assert estimated == pytest.approx(exact)
+
+    def test_small_graph_matches_exact_critical(self, slow_bridge):
+        assert estimate_critical_conductance(slow_bridge) == critical_weighted_conductance(slow_bridge)
+
+    def test_small_graph_matches_exact_average(self, slow_bridge):
+        assert estimate_average_conductance(slow_bridge) == pytest.approx(
+            average_weighted_conductance(slow_bridge).value
+        )
+
+    def test_profile_marks_exactness(self, slow_bridge):
+        profile = estimate_profile(slow_bridge)
+        assert profile.exact
+        assert profile.ratio() == pytest.approx(profile.critical_latency / profile.critical_phi)
+
+
+class TestLargeGraphEstimates:
+    def test_estimate_is_upper_bound_of_true_minimum(self):
+        # Estimation scans a subset of cuts, so its value can only be >= the
+        # true minimum; check it against the obvious bottleneck cut of a
+        # large dumbbell (which the sweep should find).
+        graph = dumbbell(20, bridge_latency=1)
+        estimate = estimate_weight_ell_conductance(graph, 1, seed=1)
+        # The bridge cut: one crossing edge over volume ~20*20.
+        bottleneck = 1 / (19 * 20 + 2)
+        assert estimate <= 5 * bottleneck
+        assert estimate > 0
+
+    def test_estimated_profile_on_large_bridge(self):
+        graph = two_cluster_slow_bridge(15, fast_latency=1, slow_latency=32, bridges=1)
+        profile = estimate_profile(graph, seed=2)
+        assert not profile.exact
+        assert profile.critical_latency == 32
+        assert profile.critical_phi > 0
+        assert profile.phi_avg > 0
+
+    def test_estimate_critical_on_er(self):
+        graph = weighted_erdos_renyi(40, 0.3, seed=3)
+        phi_star, ell_star = estimate_critical_conductance(graph, seed=3)
+        assert 0 < phi_star <= 1
+        assert ell_star in graph.distinct_latencies()
+
+    def test_estimate_profile_rejects_degenerate(self):
+        with pytest.raises(GraphError):
+            estimate_profile(WeightedGraph(range(3)))
+
+
+class TestFiedlerOrdering:
+    def test_ordering_is_permutation(self):
+        graph = weighted_erdos_renyi(25, 0.2, seed=1)
+        ordering = fiedler_ordering(graph)
+        assert sorted(ordering) == sorted(graph.nodes())
+
+    def test_ordering_separates_dumbbell_halves(self):
+        graph = dumbbell(10, bridge_latency=1)
+        ordering = fiedler_ordering(graph)
+        first_half = set(ordering[:10])
+        left = set(range(10))
+        right = set(graph.nodes()) - left
+        # The Fiedler ordering should place one clique (almost) entirely first.
+        overlap = max(len(first_half & left), len(first_half & right))
+        assert overlap >= 9
+
+    def test_tiny_graph_passthrough(self):
+        graph = clique(2)
+        assert fiedler_ordering(graph) == graph.nodes()

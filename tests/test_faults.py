@@ -1,0 +1,128 @@
+"""Unit tests for fault injection (repro.simulation.faults)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import GraphError, clique, path_graph, weighted_erdos_renyi
+from repro.simulation import (
+    FaultPlan,
+    FaultyEngine,
+    GossipEngine,
+    random_crash_plan,
+    random_edge_drop_plan,
+)
+from repro.simulation.rng import make_rng
+
+
+class TestFaultPlan:
+    def test_crash_and_drop_predicates(self):
+        plan = FaultPlan(node_crashes={1: 5}, edge_drops={frozenset((0, 2)): 3})
+        assert not plan.is_node_crashed(1, 4)
+        assert plan.is_node_crashed(1, 5)
+        assert not plan.is_edge_dropped(0, 2, 2)
+        assert plan.is_edge_dropped(2, 0, 3)
+        assert not plan.is_edge_dropped(0, 1, 10)
+
+    def test_surviving_nodes(self):
+        graph = clique(4)
+        plan = FaultPlan(node_crashes={0: 2, 1: 10})
+        assert plan.surviving_nodes(graph, 5) == {1, 2, 3}
+
+    def test_merge_takes_earliest(self):
+        a = FaultPlan(node_crashes={0: 5})
+        b = FaultPlan(node_crashes={0: 3, 1: 7})
+        merged = a.merge(b)
+        assert merged.node_crashes == {0: 3, 1: 7}
+
+    def test_random_crash_plan_respects_fraction_and_protection(self):
+        graph = clique(20)
+        plan = random_crash_plan(graph, crash_fraction=0.5, crash_round=4, seed=1, protect={0})
+        assert 0 not in plan.node_crashes
+        assert len(plan.node_crashes) == round(0.5 * 19)
+        assert all(round_number == 4 for round_number in plan.node_crashes.values())
+
+    def test_random_crash_plan_validation(self):
+        with pytest.raises(GraphError):
+            random_crash_plan(clique(4), crash_fraction=1.5, crash_round=1)
+        with pytest.raises(GraphError):
+            random_crash_plan(clique(4), crash_fraction=0.5, crash_round=-1)
+
+    def test_random_edge_drop_plan(self):
+        graph = clique(10)
+        plan = random_edge_drop_plan(graph, drop_fraction=0.2, drop_round=2, seed=3)
+        assert len(plan.edge_drops) == round(0.2 * graph.num_edges)
+        with pytest.raises(GraphError):
+            random_edge_drop_plan(graph, drop_fraction=-0.1, drop_round=2)
+
+
+class TestFaultyEngine:
+    def test_no_faults_behaves_like_plain_engine(self):
+        graph = clique(8)
+        rng_a, rng_b = make_rng(1, "a"), make_rng(1, "a")
+        plain = GossipEngine(graph)
+        plain.seed_all_rumors()
+        faulty = FaultyEngine(graph, FaultPlan())
+        faulty.seed_all_rumors()
+        policy_a = lambda view: rng_a.choice(view.neighbors)
+        policy_b = lambda view: rng_b.choice(view.neighbors)
+        a = plain.run(policy_a, stop_condition=lambda e: e.all_to_all_complete(), max_rounds=500)
+        b = faulty.run(policy_b, stop_condition=lambda e: e.all_to_all_complete(), max_rounds=500)
+        assert a.rounds == b.rounds
+
+    def test_crashed_node_never_learns_and_is_excluded(self):
+        graph = clique(8)
+        plan = FaultPlan(node_crashes={7: 1})
+        engine = FaultyEngine(graph, plan)
+        engine.seed_all_rumors()
+        rng = make_rng(2, "crash")
+        engine.run(
+            lambda view: rng.choice(view.neighbors),
+            stop_condition=lambda e: e.all_to_all_complete(),
+            max_rounds=500,
+        )
+        # Node 7 crashed before exchanging anything: it knows only its own rumor.
+        assert engine.knowledge[7].origins() == {7}
+        # Survivors completed all-to-all among themselves.
+        survivors = plan.surviving_nodes(graph, engine.round)
+        for node in survivors:
+            assert engine.knowledge[node].origins() >= survivors
+
+    def test_dropped_edge_blocks_dissemination_on_a_path(self):
+        graph = path_graph(4)
+        plan = FaultPlan(edge_drops={frozenset((1, 2)): 0})
+        engine = FaultyEngine(graph, plan)
+        rumor = engine.seed_rumor(0)
+        rng = make_rng(3, "drop")
+        with pytest.raises(RuntimeError):
+            engine.run(
+                lambda view: rng.choice(view.neighbors),
+                stop_condition=lambda e: all(e.knowledge[n].knows(rumor) for n in graph.nodes()),
+                max_rounds=200,
+            )
+        assert not engine.knowledge[3].knows(rumor)
+
+    def test_push_pull_robust_to_moderate_crashes(self):
+        graph = weighted_erdos_renyi(24, 0.3, seed=4)
+        plan = random_crash_plan(graph, crash_fraction=0.2, crash_round=3, seed=4)
+        engine = FaultyEngine(graph, plan)
+        engine.seed_all_rumors()
+        rng = make_rng(4, "robust")
+        metrics = engine.run(
+            lambda view: rng.choice(view.neighbors),
+            stop_condition=lambda e: e.all_to_all_complete(),
+            max_rounds=5000,
+        )
+        assert metrics.completion_time is not None
+
+    def test_exchange_in_flight_when_crash_happens_is_suppressed(self):
+        graph = path_graph(2)
+        graph.set_latency(0, 1, 5)
+        plan = FaultPlan(node_crashes={1: 3})
+        engine = FaultyEngine(graph, plan)
+        rumor = engine.seed_rumor(0)
+        engine.initiate_exchange(0, 1)
+        for _ in range(8):
+            engine.step(lambda view: None)
+        # The exchange would have completed at round 5, after node 1 crashed.
+        assert not engine.knowledge[1].knows(rumor)

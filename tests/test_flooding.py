@@ -1,0 +1,61 @@
+"""Unit tests for the flooding baseline (repro.gossip.flooding)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip import FloodingGossip, Task, run_flooding
+from repro.graphs import GraphError, WeightedGraph, clique, path_graph, star
+
+
+class TestFlooding:
+    def test_completes_on_clique(self):
+        result = run_flooding(clique(10), source=0, seed=0)
+        assert result.complete
+        assert result.time >= 1
+
+    def test_completes_on_path_in_diameter_time(self):
+        result = run_flooding(path_graph(10), source=0, seed=0)
+        assert result.complete
+        # Flooding on a unit path: the rumor advances at least one hop per
+        # two rounds (round-robin over <=2 neighbours), so time is Θ(n).
+        assert 9 <= result.time <= 30
+
+    def test_all_to_all(self):
+        result = FloodingGossip(task=Task.ALL_TO_ALL).run(clique(8), seed=1)
+        assert result.complete
+
+    def test_local_broadcast(self):
+        # On a star, local broadcast is fast even under flooding: every leaf
+        # contacts the hub in round 1 and the responses carry the hub's rumor,
+        # so two rounds suffice (the Ω(Δ) lower bound needs the hidden-latency
+        # gadget of Theorem 9, not a plain star).
+        result = FloodingGossip(task=Task.LOCAL_BROADCAST).run(star(8), seed=1)
+        assert result.complete
+        assert result.time >= 2
+
+    def test_informed_only_variant(self):
+        result = FloodingGossip(informed_only=True).run(path_graph(6), source=0, seed=1)
+        assert result.complete
+
+    def test_invalid_source(self):
+        with pytest.raises(GraphError):
+            run_flooding(clique(4), source=77)
+
+    def test_disconnected_rejected(self):
+        graph = WeightedGraph(range(3))
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(GraphError):
+            run_flooding(graph, source=0)
+
+    def test_deterministic(self):
+        a = run_flooding(clique(9), source=0, seed=0)
+        b = run_flooding(clique(9), source=0, seed=5)
+        # Flooding is deterministic, so the seed must not matter.
+        assert a.time == b.time
+
+    def test_latency_respected(self):
+        graph = WeightedGraph(range(2))
+        graph.add_edge(0, 1, 7)
+        result = run_flooding(graph, source=0)
+        assert result.time >= 7

@@ -1,0 +1,182 @@
+"""Unit tests for the lower-bound gadget constructions (repro.graphs.gadgets)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    guessing_gadget,
+    symmetric_guessing_gadget,
+    theorem9_network,
+    theorem10_network,
+    theorem13_parameters,
+    theorem13_ring_network,
+    weighted_diameter,
+)
+
+
+class TestGuessingGadget:
+    def test_structure(self):
+        graph, info = guessing_gadget(m=4, lo=1, hi=10, fast_edges={(0, 0), (2, 3)})
+        # Left clique K4 (6 edges) + complete bipartite 16 cross edges.
+        assert graph.num_nodes == 8
+        assert graph.num_edges == 6 + 16
+        assert info.m == 4
+        assert len(info.fast_edges) == 2
+
+    def test_latency_assignment(self):
+        graph, info = guessing_gadget(m=3, lo=2, hi=9, fast_edges={(1, 1)})
+        left, right = info.left, info.right
+        assert graph.latency(left[1], right[1]) == 2
+        assert graph.latency(left[0], right[0]) == 9
+        # Left clique is unit latency.
+        assert graph.latency(left[0], left[1]) == 1
+
+    def test_is_fast_symmetry(self):
+        _graph, info = guessing_gadget(m=3, lo=1, hi=5, fast_edges={(0, 2)})
+        u, v = info.left[0], info.right[2]
+        assert info.is_fast(u, v)
+        assert info.is_fast(v, u)
+        assert not info.is_fast(info.left[1], info.right[2])
+
+    def test_cross_edges_enumeration(self):
+        _graph, info = guessing_gadget(m=3, lo=1, hi=5, fast_edges=set())
+        assert len(info.cross_edges()) == 9
+
+    def test_node_offset(self):
+        graph, info = guessing_gadget(m=2, lo=1, hi=3, fast_edges=set(), node_offset=100)
+        assert min(graph.nodes()) == 100
+        assert info.left == (100, 101)
+        assert info.right == (102, 103)
+
+    def test_invalid_fast_edge_index(self):
+        with pytest.raises(GraphError):
+            guessing_gadget(m=2, lo=1, hi=3, fast_edges={(0, 5)})
+
+    def test_invalid_latency_order(self):
+        with pytest.raises(GraphError):
+            guessing_gadget(m=2, lo=5, hi=3, fast_edges=set())
+
+    def test_symmetric_gadget_has_both_cliques(self):
+        graph, info = symmetric_guessing_gadget(m=4, lo=1, hi=8, fast_edges={(0, 0)})
+        assert info.symmetric
+        # Two K4 cliques (12 edges) + 16 cross edges.
+        assert graph.num_edges == 12 + 16
+        assert graph.latency(info.right[0], info.right[1]) == 1
+
+
+class TestTheorem9Network:
+    def test_degree_and_diameter(self):
+        graph, info = theorem9_network(n=64, delta=8, seed=1)
+        assert graph.num_nodes == 64
+        # The gadget nodes dominate the degree: each left node sees the
+        # clique (delta-1), all right nodes (delta), and the expander attach node.
+        assert graph.max_degree() >= 2 * 8 - 1
+        assert graph.is_connected()
+        # Weighted diameter stays logarithmic-ish despite the slow cross edges.
+        assert weighted_diameter(graph) <= 4 * math.log2(64) + 4
+
+    def test_single_fast_edge(self):
+        _graph, info = theorem9_network(n=40, delta=6, seed=3)
+        assert len(info.fast_edges) == 1
+        assert info.fast_latency == 1
+        assert info.slow_latency == 6
+
+    def test_small_remainder_uses_clique(self):
+        graph, _info = theorem9_network(n=2 * 6 + 3, delta=6, seed=0)
+        assert graph.num_nodes == 15
+        assert graph.is_connected()
+
+    def test_exact_gadget_only(self):
+        graph, info = theorem9_network(n=12, delta=6, seed=0)
+        assert graph.num_nodes == 12
+        assert set(info.left) | set(info.right) == set(graph.nodes())
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            theorem9_network(n=10, delta=6)
+        with pytest.raises(GraphError):
+            theorem9_network(n=10, delta=1)
+
+    def test_deterministic(self):
+        g1, i1 = theorem9_network(n=40, delta=6, seed=7)
+        g2, i2 = theorem9_network(n=40, delta=6, seed=7)
+        assert g1 == g2
+        assert i1.fast_edges == i2.fast_edges
+
+
+class TestTheorem10Network:
+    def test_size_and_latencies(self):
+        graph, info = theorem10_network(n=10, phi=0.2, ell=3, seed=1)
+        assert graph.num_nodes == 20
+        assert info.fast_latency == 3
+        assert info.slow_latency == 100
+        latencies = set(graph.distinct_latencies())
+        assert latencies <= {1, 3, 100}
+
+    def test_every_right_node_covered(self):
+        _graph, info = theorem10_network(n=12, phi=0.15, ell=1, seed=2)
+        covered = {v for (_u, v) in info.fast_edges}
+        assert covered == set(info.right)
+
+    def test_diameter_is_order_ell(self):
+        graph, _info = theorem10_network(n=10, phi=0.4, ell=4, seed=3)
+        assert weighted_diameter(graph) <= 3 * 4
+
+    def test_fast_edge_probability_scaling(self):
+        _g_low, info_low = theorem10_network(n=20, phi=0.05, seed=5, ensure_covered=False)
+        _g_high, info_high = theorem10_network(n=20, phi=0.5, seed=5, ensure_covered=False)
+        assert len(info_high.fast_edges) > len(info_low.fast_edges)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            theorem10_network(n=1, phi=0.5)
+        with pytest.raises(GraphError):
+            theorem10_network(n=10, phi=0.0)
+        with pytest.raises(GraphError):
+            theorem10_network(n=10, phi=0.5, ell=0)
+
+
+class TestTheorem13Ring:
+    def test_parameters(self):
+        k, s, c = theorem13_parameters(n=32, alpha=0.25)
+        assert k >= 4
+        assert s >= 2
+        assert k % 2 == 0
+
+    def test_parameters_validation(self):
+        with pytest.raises(GraphError):
+            theorem13_parameters(n=2, alpha=0.5)
+        with pytest.raises(GraphError):
+            theorem13_parameters(n=32, alpha=0)
+
+    def test_network_structure(self):
+        graph, info = theorem13_ring_network(n=24, alpha=0.25, ell=8, seed=1)
+        assert info.num_layers >= 4
+        assert graph.num_nodes == info.num_layers * info.layer_size
+        assert graph.is_connected()
+        # Each consecutive layer pair hides exactly one fast edge.
+        assert all(len(g.fast_edges) == 1 for g in info.gadgets)
+        assert len(info.gadgets) == info.num_layers
+
+    def test_regularity(self):
+        graph, info = theorem13_ring_network(n=24, alpha=0.25, ell=4, seed=2)
+        s = info.layer_size
+        degrees = {graph.degree(v) for v in graph.nodes()}
+        assert degrees == {3 * s - 1}
+
+    def test_latency_values(self):
+        graph, info = theorem13_ring_network(n=20, alpha=0.3, ell=16, seed=3)
+        assert set(graph.distinct_latencies()) == {1, 16}
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            theorem13_ring_network(n=24, alpha=0.25, ell=0)
+
+    def test_deterministic(self):
+        g1, _ = theorem13_ring_network(n=24, alpha=0.25, ell=8, seed=9)
+        g2, _ = theorem13_ring_network(n=24, alpha=0.25, ell=8, seed=9)
+        assert g1 == g2

@@ -1,0 +1,188 @@
+"""Unit tests for repro.graphs.generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    assign_latencies,
+    barabasi_albert,
+    bimodal_latency,
+    binary_tree,
+    clique,
+    constant_latency,
+    cycle_graph,
+    dumbbell,
+    erdos_renyi,
+    geometric_latency,
+    grid_graph,
+    layered_ring,
+    path_graph,
+    power_law_latency,
+    random_geometric,
+    random_regular_expander,
+    star,
+    two_cluster_slow_bridge,
+    uniform_latency,
+    weighted_clique,
+    weighted_erdos_renyi,
+    weighted_expander,
+    weighted_grid,
+    weighted_diameter,
+)
+
+
+class TestBasicTopologies:
+    def test_clique(self):
+        graph = clique(5)
+        assert graph.num_edges == 10
+        assert graph.is_regular()
+
+    def test_clique_requires_positive_n(self):
+        with pytest.raises(GraphError):
+            clique(0)
+
+    def test_star(self):
+        graph = star(6)
+        assert graph.degree(0) == 5
+        assert graph.max_degree() == 5
+        assert graph.num_edges == 5
+
+    def test_path_and_cycle(self):
+        assert path_graph(5).num_edges == 4
+        assert cycle_graph(5).num_edges == 5
+        with pytest.raises(GraphError):
+            cycle_graph(2)
+
+    def test_grid(self):
+        graph = grid_graph(3, 4)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 3 * 3 + 4 * 2
+        assert graph.is_connected()
+
+    def test_binary_tree(self):
+        graph = binary_tree(3)
+        assert graph.num_nodes == 15
+        assert graph.num_edges == 14
+        assert graph.is_connected()
+
+    def test_dumbbell(self):
+        graph = dumbbell(4, bridge_latency=8, bridge_length=3)
+        assert graph.is_connected()
+        assert graph.max_latency() == 8
+
+    def test_two_cluster_slow_bridge(self):
+        graph = two_cluster_slow_bridge(4, slow_latency=32, bridges=2)
+        assert graph.num_nodes == 8
+        assert graph.is_connected()
+        assert graph.max_latency() == 32
+        with pytest.raises(GraphError):
+            two_cluster_slow_bridge(4, bridges=5)
+
+    def test_layered_ring(self):
+        graph = layered_ring(4, 3, inter_latency=5)
+        assert graph.num_nodes == 12
+        assert graph.is_connected()
+        assert graph.max_latency() == 5
+        with pytest.raises(GraphError):
+            layered_ring(2, 3)
+
+
+class TestRandomTopologies:
+    def test_erdos_renyi_connected(self):
+        graph = erdos_renyi(40, 0.05, seed=3)
+        assert graph.is_connected()
+        assert graph.num_nodes == 40
+
+    def test_erdos_renyi_deterministic(self):
+        assert erdos_renyi(30, 0.2, seed=5) == erdos_renyi(30, 0.2, seed=5)
+        assert erdos_renyi(30, 0.2, seed=5) != erdos_renyi(30, 0.2, seed=6)
+
+    def test_expander_is_regular_and_low_diameter(self):
+        graph = random_regular_expander(64, degree=4, seed=1)
+        assert graph.is_regular()
+        assert graph.is_connected()
+        assert weighted_diameter(graph) <= 10  # O(log n) for an expander
+
+    def test_expander_parity_check(self):
+        with pytest.raises(GraphError):
+            random_regular_expander(9, degree=3)
+
+    def test_random_geometric_connected(self):
+        graph = random_geometric(30, 0.3, seed=2)
+        assert graph.is_connected()
+
+    def test_barabasi_albert(self):
+        graph = barabasi_albert(50, 2, seed=1)
+        assert graph.is_connected()
+        assert graph.num_nodes == 50
+
+
+class TestLatencyModels:
+    def test_constant_latency(self):
+        model = constant_latency(7)
+        graph = assign_latencies(clique(4), model)
+        assert graph.distinct_latencies() == [7]
+
+    def test_constant_latency_validation(self):
+        with pytest.raises(GraphError):
+            constant_latency(0)
+
+    def test_uniform_latency_range(self):
+        graph = assign_latencies(clique(8), uniform_latency(2, 5), seed=1)
+        assert all(2 <= e.latency <= 5 for e in graph.edges())
+
+    def test_uniform_latency_validation(self):
+        with pytest.raises(GraphError):
+            uniform_latency(3, 2)
+
+    def test_bimodal_latency_values(self):
+        graph = assign_latencies(clique(10), bimodal_latency(fast=1, slow=50, slow_fraction=0.5), seed=1)
+        assert set(graph.distinct_latencies()) <= {1, 50}
+        assert len(graph.distinct_latencies()) == 2
+
+    def test_bimodal_extremes(self):
+        all_slow = assign_latencies(clique(5), bimodal_latency(1, 9, slow_fraction=1.0), seed=1)
+        assert all_slow.distinct_latencies() == [9]
+        all_fast = assign_latencies(clique(5), bimodal_latency(1, 9, slow_fraction=0.0), seed=1)
+        assert all_fast.distinct_latencies() == [1]
+
+    def test_geometric_latency_positive(self):
+        graph = assign_latencies(clique(8), geometric_latency(mean=4.0), seed=2)
+        assert all(e.latency >= 1 for e in graph.edges())
+
+    def test_power_law_latency_capped(self):
+        graph = assign_latencies(clique(8), power_law_latency(alpha=1.5, max_latency=100), seed=2)
+        assert all(1 <= e.latency <= 100 for e in graph.edges())
+
+    def test_assign_latencies_deterministic(self):
+        base = clique(6)
+        a = assign_latencies(base, uniform_latency(1, 100), seed=9)
+        b = assign_latencies(base, uniform_latency(1, 100), seed=9)
+        assert a == b
+
+    def test_assign_latencies_preserves_topology(self):
+        base = grid_graph(3, 3)
+        weighted = assign_latencies(base, uniform_latency(1, 9), seed=0)
+        assert weighted.num_edges == base.num_edges
+        assert set(weighted.nodes()) == set(base.nodes())
+
+
+class TestWeightedConvenience:
+    def test_weighted_clique(self):
+        graph = weighted_clique(6, seed=1)
+        assert graph.num_edges == 15
+        assert graph.max_latency() >= 1
+
+    def test_weighted_expander(self):
+        graph = weighted_expander(32, degree=4, seed=1)
+        assert graph.is_connected()
+
+    def test_weighted_grid(self):
+        graph = weighted_grid(3, 3, seed=1)
+        assert graph.num_nodes == 9
+
+    def test_weighted_erdos_renyi(self):
+        graph = weighted_erdos_renyi(20, 0.3, seed=1)
+        assert graph.is_connected()

@@ -1,0 +1,167 @@
+"""Unit tests for the guessing game, predicates, and strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.guessing_game import (
+    AdaptiveFreshStrategy,
+    ExhaustiveSweepStrategy,
+    GameError,
+    GuessingGame,
+    RandomGuessingStrategy,
+    fixed_predicate,
+    full_predicate,
+    measure_game_rounds,
+    play_game,
+    random_p_oblivious_lower_bound,
+    random_p_predicate,
+    random_p_round_lower_bound,
+    singleton_predicate,
+    singleton_round_lower_bound,
+)
+
+
+class TestGameMechanics:
+    def test_hit_removes_matching_b_components(self):
+        # Target shares B-component 1 across two pairs; hitting either clears both.
+        game = GuessingGame(m=3, target={(0, 1), (2, 1), (2, 2)})
+        hits = game.submit_guesses({(0, 1)})
+        assert hits == frozenset({(0, 1)})
+        assert game.target == {(2, 2)}
+        assert not game.finished
+
+    def test_game_finishes_when_target_empty(self):
+        game = GuessingGame(m=2, target={(0, 0)})
+        game.submit_guesses({(0, 0)})
+        assert game.finished
+        with pytest.raises(GameError):
+            game.submit_guesses({(1, 1)})
+
+    def test_miss_leaves_target_unchanged(self):
+        game = GuessingGame(m=3, target={(1, 1)})
+        hits = game.submit_guesses({(0, 0), (2, 2)})
+        assert hits == frozenset()
+        assert game.target == {(1, 1)}
+
+    def test_guess_budget_enforced(self):
+        game = GuessingGame(m=2, target={(0, 0)}, max_guesses_per_round=3)
+        with pytest.raises(GameError):
+            game.submit_guesses({(0, 0), (0, 1), (1, 0), (1, 1)})
+        # The default budget of 2m guesses is accepted.
+        default_game = GuessingGame(m=2, target={(0, 0)})
+        default_game.submit_guesses({(0, 1), (1, 0), (1, 1)})
+        assert default_game.round == 1
+
+    def test_out_of_range_guess_rejected(self):
+        game = GuessingGame(m=2, target={(0, 0)})
+        with pytest.raises(GameError):
+            game.submit_guesses({(5, 0)})
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(GameError):
+            GuessingGame(m=2, target={(0, 9)})
+
+    def test_state_snapshot(self):
+        game = GuessingGame(m=4, target={(0, 0), (1, 1)})
+        game.submit_guesses({(3, 3)})
+        state = game.state()
+        assert state.round == 1
+        assert state.remaining_targets == 2
+        assert not state.finished
+        assert state.guesses_submitted == 1
+
+    def test_remaining_b_components(self):
+        game = GuessingGame(m=4, target={(0, 0), (1, 1), (2, 1)})
+        assert game.remaining_b_components() == {0, 1}
+
+
+class TestPredicates:
+    def test_singleton_predicate(self):
+        target = singleton_predicate()(10, random.Random(1))
+        assert len(target) == 1
+
+    def test_random_p_predicate_scaling(self):
+        rng = random.Random(2)
+        sparse = random_p_predicate(0.05, ensure_nonempty=False)(20, rng)
+        dense = random_p_predicate(0.6, ensure_nonempty=False)(20, random.Random(2))
+        assert len(dense) > len(sparse)
+
+    def test_random_p_nonempty_guarantee(self):
+        target = random_p_predicate(0.0)(5, random.Random(3))
+        assert len(target) == 1
+
+    def test_random_p_validation(self):
+        with pytest.raises(GameError):
+            random_p_predicate(1.5)
+
+    def test_fixed_predicate(self):
+        predicate = fixed_predicate({(0, 1)})
+        assert predicate(3, random.Random(0)) == {(0, 1)}
+        with pytest.raises(GameError):
+            fixed_predicate({(9, 9)})(3, random.Random(0))
+
+    def test_full_predicate(self):
+        assert len(full_predicate()(4, random.Random(0))) == 16
+
+
+class TestStrategies:
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [AdaptiveFreshStrategy, RandomGuessingStrategy, ExhaustiveSweepStrategy],
+    )
+    def test_every_strategy_wins_singleton(self, strategy_factory):
+        playout = play_game(12, singleton_predicate(), strategy_factory(), seed=1)
+        assert playout.rounds >= 1
+        assert playout.initial_target_size == 1
+
+    @pytest.mark.parametrize(
+        "strategy_factory",
+        [AdaptiveFreshStrategy, RandomGuessingStrategy],
+    )
+    def test_every_strategy_wins_random_p(self, strategy_factory):
+        playout = play_game(12, random_p_predicate(0.2), strategy_factory(), seed=2)
+        assert playout.rounds >= 1
+
+    def test_sweep_strategy_worst_case_is_linear(self):
+        # The deterministic sweep needs ~m/2 rounds on average and up to m
+        # rounds in the worst case for a singleton target.
+        playout = play_game(16, fixed_predicate({(15, 15)}), ExhaustiveSweepStrategy(), seed=0)
+        assert playout.rounds == 8  # last pair visited by the row-major sweep
+
+    def test_adaptive_strategy_scales_linearly_with_m(self):
+        small = measure_game_rounds(8, singleton_predicate(), AdaptiveFreshStrategy(), repetitions=8, seed=1)
+        large = measure_game_rounds(32, singleton_predicate(), AdaptiveFreshStrategy(), repetitions=8, seed=1)
+        assert large.mean_rounds > 2 * small.mean_rounds
+
+    def test_random_guessing_needs_more_rounds_than_adaptive(self):
+        p = 0.08
+        adaptive = measure_game_rounds(24, random_p_predicate(p), AdaptiveFreshStrategy(), repetitions=6, seed=3)
+        oblivious = measure_game_rounds(24, random_p_predicate(p), RandomGuessingStrategy(), repetitions=6, seed=3)
+        assert oblivious.mean_rounds >= adaptive.mean_rounds
+
+    def test_measurement_statistics_fields(self):
+        stats = measure_game_rounds(10, singleton_predicate(), AdaptiveFreshStrategy(), repetitions=5, seed=4)
+        assert stats.min_rounds <= stats.median_rounds <= stats.max_rounds
+        assert stats.repetitions == 5
+        assert stats.as_dict()["strategy"] == "adaptive"
+
+    def test_repetitions_validation(self):
+        with pytest.raises(ValueError):
+            measure_game_rounds(5, singleton_predicate(), AdaptiveFreshStrategy(), repetitions=0)
+
+
+class TestTheoreticalBounds:
+    def test_singleton_bound_linear(self):
+        assert singleton_round_lower_bound(100) == pytest.approx(49)
+        assert singleton_round_lower_bound(2) >= 1
+
+    def test_random_p_bounds(self):
+        assert random_p_round_lower_bound(0.1) == pytest.approx(10)
+        assert random_p_oblivious_lower_bound(0.1, 100) > random_p_round_lower_bound(0.1)
+
+    def test_degenerate_p(self):
+        assert random_p_round_lower_bound(0) == float("inf")
+        assert random_p_oblivious_lower_bound(0, 10) == float("inf")

@@ -1,0 +1,81 @@
+"""Unit tests for repro.core.latency_classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    classify_edges,
+    cut_class_counts,
+    latency_class_index,
+    latency_class_upper_bound,
+    nonempty_latency_classes,
+    num_latency_classes,
+)
+from repro.graphs import Cut, GraphError, WeightedGraph
+
+
+class TestClassIndex:
+    @pytest.mark.parametrize(
+        "latency,expected",
+        [(1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5), (1024, 10)],
+    )
+    def test_class_boundaries(self, latency, expected):
+        assert latency_class_index(latency) == expected
+
+    def test_invalid_latency(self):
+        with pytest.raises(GraphError):
+            latency_class_index(0)
+
+    def test_class_upper_bound(self):
+        assert latency_class_upper_bound(1) == 2
+        assert latency_class_upper_bound(3) == 8
+
+    def test_class_upper_bound_validation(self):
+        with pytest.raises(GraphError):
+            latency_class_upper_bound(0)
+
+    def test_latency_within_its_class_bounds(self):
+        for latency in range(1, 200):
+            index = latency_class_index(latency)
+            upper = latency_class_upper_bound(index)
+            lower = latency_class_upper_bound(index - 1) if index > 1 else 0
+            assert lower < latency <= upper
+
+
+class TestClassCounts:
+    def test_num_latency_classes(self):
+        assert num_latency_classes(1) == 1
+        assert num_latency_classes(2) == 1
+        assert num_latency_classes(3) == 2
+        assert num_latency_classes(16) == 4
+        assert num_latency_classes(17) == 5
+
+    def test_num_latency_classes_validation(self):
+        with pytest.raises(GraphError):
+            num_latency_classes(0)
+
+    def test_classify_edges(self, triangle):
+        groups = classify_edges(triangle.edges())
+        assert sorted(groups) == [1, 2]
+        assert len(groups[1]) == 2  # latencies 1 and 2
+        assert len(groups[2]) == 1  # latency 4
+
+    def test_nonempty_classes(self, triangle):
+        assert nonempty_latency_classes(triangle) == [1, 2]
+
+    def test_nonempty_classes_unit_graph(self, small_clique):
+        assert nonempty_latency_classes(small_clique) == [1]
+
+    def test_cut_class_counts(self, triangle):
+        counts = cut_class_counts(triangle, Cut.of([0]))
+        # Edges incident to node 0: latency 1 (class 1) and latency 4 (class 2).
+        assert counts[1] == 1
+        assert counts[2] == 1
+
+    def test_cut_class_counts_no_crossing(self):
+        graph = WeightedGraph(range(4))
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(2, 3, 1)
+        counts = cut_class_counts(graph, Cut.of([0, 1]))
+        assert sum(counts.values()) == 0

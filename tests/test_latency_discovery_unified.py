@@ -1,0 +1,78 @@
+"""Unit tests for latency discovery (Section 5.2) and the unified strategy (Section 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip import UnifiedGossip, discover_latencies
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    clique,
+    two_cluster_slow_bridge,
+    weighted_diameter,
+    weighted_erdos_renyi,
+)
+
+
+class TestLatencyDiscovery:
+    def test_discovers_all_latencies_within_horizon(self, slow_bridge):
+        result = discover_latencies(slow_bridge, known_diameter=int(weighted_diameter(slow_bridge)))
+        for node in slow_bridge.nodes():
+            for neighbor, latency in slow_bridge.neighbor_latencies(node).items():
+                assert result.latencies[node][neighbor] == latency
+
+    def test_bridge_probe_timeout_explicit(self):
+        graph = two_cluster_slow_bridge(3, fast_latency=1, slow_latency=50, bridges=1)
+        result = discover_latencies(graph, known_diameter=5, known_max_degree=graph.max_degree())
+        # left cluster = {0, 1, 2}; right cluster = {3, 4, 5}; bridge = (0, 3).
+        assert result.latencies[0][1] == 1
+        assert result.latencies[0][2] == 1
+        assert result.latencies[0][3] is None
+
+    def test_cost_known_parameters(self):
+        graph = clique(10)
+        result = discover_latencies(graph, known_diameter=1, known_max_degree=9)
+        assert result.time == pytest.approx(9 + 1)
+
+    def test_cost_unknown_parameters_doubles(self):
+        graph = clique(10)
+        known = discover_latencies(graph, known_diameter=1, known_max_degree=9)
+        unknown = discover_latencies(graph)
+        assert unknown.time == pytest.approx(2 * 9 + 2 * 1)
+        assert unknown.time > known.time
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            discover_latencies(WeightedGraph())
+
+
+class TestUnifiedGossip:
+    def test_completes_and_reports_winner(self):
+        graph = weighted_erdos_renyi(16, 0.3, seed=1)
+        result = UnifiedGossip().run(graph, seed=1)
+        assert result.complete
+        assert result.details["winner"] in {"push-pull", "spanner"}
+        assert result.time == pytest.approx(
+            min(result.details["push_pull_time"], result.details["spanner_time"])
+        )
+
+    def test_push_pull_wins_on_well_connected_graph(self):
+        # On a unit-latency clique, push-pull finishes in O(log n) while the
+        # spanner path pays at least the discovery + DTG overhead.
+        graph = clique(16)
+        result = UnifiedGossip().run(graph, seed=2)
+        assert result.details["winner"] == "push-pull"
+
+    def test_known_latencies_skip_discovery(self):
+        graph = weighted_erdos_renyi(14, 0.3, seed=3)
+        diameter = int(weighted_diameter(graph))
+        unknown = UnifiedGossip(latencies_known=False, diameter=diameter).run(graph, seed=3)
+        known = UnifiedGossip(latencies_known=True, diameter=diameter).run(graph, seed=3)
+        assert known.details["spanner_time"] <= unknown.details["spanner_time"]
+
+    def test_unified_never_slower_than_both_branches(self):
+        graph = weighted_erdos_renyi(12, 0.35, seed=4)
+        result = UnifiedGossip().run(graph, seed=4)
+        assert result.time <= result.details["push_pull_time"]
+        assert result.time <= result.details["spanner_time"]

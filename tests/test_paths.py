@@ -1,0 +1,129 @@
+"""Unit tests for repro.graphs.paths."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    all_pairs_weighted_distances,
+    clique,
+    dijkstra,
+    dijkstra_with_paths,
+    hop_diameter,
+    hop_distances,
+    nodes_within_distance,
+    path_graph,
+    shortest_path,
+    weighted_diameter,
+    weighted_distance,
+    weighted_eccentricity,
+    weighted_radius,
+)
+
+
+@pytest.fixture
+def detour_graph() -> WeightedGraph:
+    """A graph where the direct edge is slower than the two-hop detour."""
+    graph = WeightedGraph(range(3))
+    graph.add_edge(0, 2, 10)
+    graph.add_edge(0, 1, 1)
+    graph.add_edge(1, 2, 1)
+    return graph
+
+
+class TestDijkstra:
+    def test_prefers_multi_hop_fast_path(self, detour_graph):
+        dist = dijkstra(detour_graph, 0)
+        assert dist[2] == 2
+
+    def test_distances_on_path(self):
+        graph = path_graph(5)
+        dist = dijkstra(graph, 0)
+        assert dist == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_unreachable_nodes_absent(self):
+        graph = WeightedGraph(range(3))
+        graph.add_edge(0, 1, 1)
+        dist = dijkstra(graph, 0)
+        assert 2 not in dist
+
+    def test_missing_source_raises(self):
+        with pytest.raises(GraphError):
+            dijkstra(WeightedGraph(range(2)), 9)
+
+    def test_predecessors_reconstruct_path(self, detour_graph):
+        dist, pred = dijkstra_with_paths(detour_graph, 0)
+        assert dist[2] == 2
+        assert pred[2] == 1
+        assert pred[1] == 0
+        assert pred[0] is None
+
+
+class TestShortestPath:
+    def test_path_nodes(self, detour_graph):
+        assert shortest_path(detour_graph, 0, 2) == [0, 1, 2]
+
+    def test_unreachable_target_raises(self):
+        graph = WeightedGraph(range(3))
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(GraphError):
+            shortest_path(graph, 0, 2)
+
+    def test_weighted_distance(self, detour_graph):
+        assert weighted_distance(detour_graph, 0, 2) == 2
+        assert weighted_distance(detour_graph, 2, 0) == 2
+
+
+class TestDiameter:
+    def test_path_diameter(self):
+        graph = path_graph(6)
+        assert weighted_diameter(graph) == 5
+        assert hop_diameter(graph) == 5
+
+    def test_weighted_vs_hop_diameter_differ(self, detour_graph):
+        assert hop_diameter(detour_graph) == 1
+        assert weighted_diameter(detour_graph) == 2
+
+    def test_clique_diameter(self):
+        assert weighted_diameter(clique(5)) == 1
+
+    def test_disconnected_graph_is_infinite(self):
+        graph = WeightedGraph(range(3))
+        graph.add_edge(0, 1, 1)
+        assert math.isinf(weighted_diameter(graph))
+        assert math.isinf(hop_diameter(graph))
+
+    def test_sampled_diameter_is_lower_bound(self):
+        graph = path_graph(30)
+        sampled = weighted_diameter(graph, sample=5)
+        assert sampled <= 29
+        assert sampled >= 15  # stride sampling still reaches far nodes
+
+    def test_radius_and_eccentricity(self):
+        graph = path_graph(5)
+        assert weighted_eccentricity(graph, 2) == 2
+        assert weighted_eccentricity(graph, 0) == 4
+        assert weighted_radius(graph) == 2
+
+    def test_empty_graph_diameter_zero(self):
+        assert weighted_diameter(WeightedGraph()) == 0.0
+
+
+class TestHopAndNeighbourhood:
+    def test_hop_distances(self, detour_graph):
+        assert hop_distances(detour_graph, 0) == {0: 0, 1: 1, 2: 1}
+
+    def test_nodes_within_distance(self, detour_graph):
+        assert nodes_within_distance(detour_graph, 0, 1) == {0, 1}
+        assert nodes_within_distance(detour_graph, 0, 2) == {0, 1, 2}
+
+    def test_all_pairs(self):
+        graph = path_graph(4)
+        table = all_pairs_weighted_distances(graph)
+        assert table[0][3] == 3
+        assert table[3][0] == 3
+        assert len(table) == 4

@@ -1,0 +1,120 @@
+"""Unit tests for Pattern Broadcast and the T(k) schedule (repro.gossip.pattern_broadcast)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import extract_parameters, upper_bound_pattern_broadcast
+from repro.gossip import PatternBroadcast, Task, execute_pattern, pattern_schedule
+from repro.graphs import (
+    GraphError,
+    all_pairs_weighted_distances,
+    clique,
+    path_graph,
+    two_cluster_slow_bridge,
+    weighted_diameter,
+    weighted_erdos_renyi,
+)
+from repro.simulation import Rumor
+
+
+class TestPatternSchedule:
+    def test_base_case(self):
+        assert pattern_schedule(1) == [1]
+
+    def test_small_patterns(self):
+        assert pattern_schedule(2) == [1, 2, 1]
+        assert pattern_schedule(4) == [1, 2, 1, 4, 1, 2, 1]
+        assert pattern_schedule(8) == [1, 2, 1, 4, 1, 2, 1, 8, 1, 2, 1, 4, 1, 2, 1]
+
+    def test_length_formula(self):
+        # |T(k)| = 2k - 1 invocations for k a power of two.
+        for exponent in range(6):
+            k = 2 ** exponent
+            assert len(pattern_schedule(k)) == 2 * k - 1
+
+    def test_largest_value_appears_once(self):
+        schedule = pattern_schedule(16)
+        assert schedule.count(16) == 1
+        assert schedule[len(schedule) // 2] == 16
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(GraphError):
+            pattern_schedule(6)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(GraphError):
+            pattern_schedule(0)
+
+
+class TestExecutePattern:
+    def test_lemma26_exchange_within_distance_k(self):
+        # After T(k), every pair of nodes at weighted distance <= k must have
+        # exchanged rumors (Lemma 26).
+        graph = weighted_erdos_renyi(12, 0.3, seed=5)
+        k = 4
+        knowledge = {node: {Rumor(origin=node)} for node in graph.nodes()}
+        updated, _time, _count = execute_pattern(graph, k, knowledge)
+        distances = all_pairs_weighted_distances(graph)
+        for u in graph.nodes():
+            origins = {r.origin for r in updated[u]}
+            for v, distance in distances[u].items():
+                if distance <= k:
+                    assert v in origins, f"{u} missed {v} at distance {distance} <= {k}"
+
+    def test_pattern_covers_full_diameter(self):
+        graph = path_graph(6)
+        k = 8  # >= diameter 5, rounded to a power of two
+        knowledge = {node: {Rumor(origin=node)} for node in graph.nodes()}
+        updated, _time, count = execute_pattern(graph, k, knowledge)
+        everyone = set(graph.nodes())
+        assert all({r.origin for r in updated[node]} >= everyone for node in graph.nodes())
+        assert count == 2 * k - 1
+
+    def test_charged_time_positive_and_additive(self):
+        graph = clique(8)
+        knowledge = {node: {Rumor(origin=node)} for node in graph.nodes()}
+        _updated, time_small, _ = execute_pattern(graph, 1, knowledge)
+        _updated, time_large, _ = execute_pattern(graph, 4, knowledge)
+        assert 0 < time_small < time_large
+
+
+class TestPatternBroadcast:
+    def test_known_diameter_completes(self):
+        graph = weighted_erdos_renyi(14, 0.3, seed=6)
+        diameter = int(weighted_diameter(graph))
+        result = PatternBroadcast(diameter=diameter).run(graph, seed=6)
+        assert result.complete
+        assert result.task is Task.ALL_TO_ALL
+        assert result.details["pattern_k"] >= diameter
+
+    def test_unknown_diameter_completes(self):
+        graph = two_cluster_slow_bridge(3, fast_latency=1, slow_latency=8, bridges=1)
+        result = PatternBroadcast().run(graph, seed=0)
+        assert result.complete
+        assert result.details["final_estimate"] >= 8
+
+    def test_time_within_theoretical_shape(self):
+        graph = weighted_erdos_renyi(16, 0.3, seed=7)
+        diameter = int(weighted_diameter(graph))
+        result = PatternBroadcast(diameter=diameter).run(graph, seed=7)
+        params = extract_parameters(graph, seed=7)
+        assert result.time <= 40 * upper_bound_pattern_broadcast(params)
+
+    def test_deterministic(self):
+        graph = weighted_erdos_renyi(12, 0.3, seed=8)
+        diameter = int(weighted_diameter(graph))
+        a = PatternBroadcast(diameter=diameter).run(graph, seed=1)
+        b = PatternBroadcast(diameter=diameter).run(graph, seed=2)
+        # The pattern algorithm is deterministic: the seed must not matter.
+        assert a.time == b.time
+
+    def test_disconnected_rejected(self):
+        from repro.graphs import WeightedGraph
+
+        graph = WeightedGraph(range(3))
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(GraphError):
+            PatternBroadcast().run(graph)

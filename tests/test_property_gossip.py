@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the gossip algorithms and the game."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.gossip import (
+    PatternBroadcast,
+    PushPullGossip,
+    Task,
+    dtg_local_broadcast,
+    pattern_schedule,
+    run_push_pull,
+)
+from repro.graphs import WeightedGraph, assign_latencies, erdos_renyi, uniform_latency, weighted_diameter
+from repro.guessing_game import (
+    AdaptiveFreshStrategy,
+    GuessingGame,
+    RandomGuessingStrategy,
+    play_game,
+    random_p_predicate,
+    singleton_predicate,
+)
+
+graph_params = st.tuples(
+    st.integers(min_value=4, max_value=12),      # n
+    st.floats(min_value=0.25, max_value=0.8),    # edge probability
+    st.integers(min_value=1, max_value=16),      # max latency
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def build_graph(params) -> WeightedGraph:
+    n, p, max_latency, seed = params
+    base = erdos_renyi(n, p, seed=seed)
+    return assign_latencies(base, uniform_latency(1, max_latency), seed=seed)
+
+
+class TestGossipProperties:
+    @given(graph_params)
+    @settings(max_examples=25, deadline=None)
+    def test_push_pull_always_completes_and_respects_diameter(self, params):
+        graph = build_graph(params)
+        result = run_push_pull(graph, source=graph.nodes()[0], seed=params[3])
+        assert result.complete
+        # Completion can never beat the eccentricity of the source (a lower bound).
+        from repro.graphs import dijkstra
+
+        eccentricity = max(dijkstra(graph, graph.nodes()[0]).values())
+        assert result.time >= eccentricity
+
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_dtg_always_solves_local_broadcast(self, params):
+        graph = build_graph(params)
+        result = dtg_local_broadcast(graph)
+        for node in graph.nodes():
+            origins = {rumor.origin for rumor in result.knowledge[node]}
+            assert set(graph.neighbors(node)) <= origins
+
+    @given(graph_params)
+    @settings(max_examples=12, deadline=None)
+    def test_pattern_broadcast_completes_with_known_diameter(self, params):
+        graph = build_graph(params)
+        diameter = int(weighted_diameter(graph))
+        result = PatternBroadcast(diameter=max(1, diameter)).run(graph)
+        assert result.complete
+
+    @given(st.integers(min_value=0, max_value=8))
+    @settings(max_examples=9, deadline=None)
+    def test_pattern_schedule_is_palindrome_with_single_peak(self, exponent):
+        k = 2 ** exponent
+        schedule = pattern_schedule(k)
+        assert schedule == list(reversed(schedule))
+        assert max(schedule) == k
+        assert schedule.count(k) == 1
+
+
+class TestGuessingGameProperties:
+    @given(
+        st.integers(min_value=2, max_value=20),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_adaptive_strategy_always_wins_singleton(self, m, seed):
+        playout = play_game(m, singleton_predicate(), AdaptiveFreshStrategy(), seed=seed)
+        assert 1 <= playout.rounds <= m * m  # can never need more guesses than pairs
+
+    @given(
+        st.integers(min_value=3, max_value=16),
+        st.floats(min_value=0.05, max_value=0.6),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_strategy_always_wins_random_p(self, m, p, seed):
+        playout = play_game(m, random_p_predicate(p), RandomGuessingStrategy(), seed=seed, max_rounds=100_000)
+        assert playout.rounds >= 1
+
+    @given(
+        st.integers(min_value=2, max_value=10),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_target_set_shrinks_monotonically(self, m, seed):
+        import random as _random
+
+        rng = _random.Random(seed)
+        target = random_p_predicate(0.3)(m, rng)
+        game = GuessingGame(m, target)
+        sizes = [len(game.target)]
+        while not game.finished and game.round < 200:
+            guesses = {(rng.randrange(m), rng.randrange(m)) for _ in range(m)}
+            game.submit_guesses(guesses)
+            sizes.append(len(game.target))
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))

@@ -1,0 +1,115 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import (
+    Cut,
+    WeightedGraph,
+    assign_latencies,
+    baswana_sen_spanner,
+    clique,
+    cut_edges,
+    dijkstra,
+    erdos_renyi,
+    spanner_stretch,
+    uniform_latency,
+    weighted_diameter,
+)
+
+# Strategy: a connected random graph with random latencies, sized for speed.
+graph_params = st.tuples(
+    st.integers(min_value=4, max_value=14),      # n
+    st.floats(min_value=0.15, max_value=0.7),    # edge probability
+    st.integers(min_value=1, max_value=64),      # max latency
+    st.integers(min_value=0, max_value=10_000),  # seed
+)
+
+
+def build_graph(params) -> WeightedGraph:
+    n, p, max_latency, seed = params
+    base = erdos_renyi(n, p, seed=seed)
+    return assign_latencies(base, uniform_latency(1, max_latency), seed=seed)
+
+
+class TestGraphInvariants:
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_handshake_lemma(self, params):
+        graph = build_graph(params)
+        assert sum(graph.degree(v) for v in graph.nodes()) == 2 * graph.num_edges
+
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_latency_subgraph_monotone(self, params):
+        graph = build_graph(params)
+        lmax = graph.max_latency()
+        smaller = graph.latency_subgraph(max(1, lmax // 2))
+        larger = graph.latency_subgraph(lmax)
+        assert smaller.num_edges <= larger.num_edges
+        assert larger.num_edges == graph.num_edges
+
+    @given(graph_params)
+    @settings(max_examples=40, deadline=None)
+    def test_copy_equality(self, params):
+        graph = build_graph(params)
+        assert graph.copy() == graph
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_dijkstra_triangle_inequality(self, params):
+        graph = build_graph(params)
+        nodes = graph.nodes()
+        source = nodes[0]
+        dist = dijkstra(graph, source)
+        # Distances never exceed any single-edge relaxation.
+        for edge in graph.edges():
+            if edge.u in dist and edge.v in dist:
+                assert dist[edge.v] <= dist[edge.u] + edge.latency + 1e-9
+                assert dist[edge.u] <= dist[edge.v] + edge.latency + 1e-9
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_diameter_bounds_distances(self, params):
+        graph = build_graph(params)
+        diameter = weighted_diameter(graph)
+        dist = dijkstra(graph, graph.nodes()[0])
+        assert max(dist.values()) <= diameter + 1e-9
+
+    @given(graph_params)
+    @settings(max_examples=30, deadline=None)
+    def test_cut_edges_complementarity(self, params):
+        graph = build_graph(params)
+        nodes = graph.nodes()
+        side = nodes[: max(1, len(nodes) // 3)]
+        cut = Cut.of(side)
+        complement = Cut.of(set(nodes) - set(side))
+        assert {frozenset((e.u, e.v)) for e in cut_edges(graph, cut)} == {
+            frozenset((e.u, e.v)) for e in cut_edges(graph, complement)
+        }
+
+
+class TestSpannerProperties:
+    @given(graph_params)
+    @settings(max_examples=20, deadline=None)
+    def test_spanner_stretch_and_sparsity(self, params):
+        graph = build_graph(params)
+        spanner = baswana_sen_spanner(graph, seed=params[3])
+        # Stretch within the guarantee.
+        assert spanner_stretch(graph, spanner.graph) <= spanner.guaranteed_stretch() + 1e-9
+        # Never more edges than the original graph.
+        assert spanner.num_edges <= graph.num_edges
+        # All nodes retained and connectivity preserved.
+        assert set(spanner.graph.nodes()) == set(graph.nodes())
+        assert spanner.graph.is_connected()
+
+    @given(st.integers(min_value=6, max_value=20), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20, deadline=None)
+    def test_clique_spanner_sparser_than_clique(self, n, seed):
+        graph = clique(n)
+        spanner = baswana_sen_spanner(graph, seed=seed)
+        assert spanner.num_edges <= graph.num_edges
+        assert spanner.graph.is_connected()

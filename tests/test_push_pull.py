@@ -1,0 +1,103 @@
+"""Unit tests for push / pull / push-pull gossip (repro.gossip.push_pull)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.gossip import PullGossip, PushGossip, PushPullGossip, Task, run_push_pull
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    clique,
+    path_graph,
+    star,
+    two_cluster_slow_bridge,
+    weighted_erdos_renyi,
+)
+
+
+class TestPushPull:
+    def test_completes_on_clique(self):
+        result = run_push_pull(clique(16), source=0, seed=1)
+        assert result.complete
+        assert result.task is Task.ONE_TO_ALL
+        # O(log n) rounds on a clique; allow a generous constant.
+        assert result.time <= 10 * math.log2(16)
+
+    def test_completes_on_path(self):
+        result = run_push_pull(path_graph(12), source=0, seed=2)
+        assert result.complete
+        assert result.time >= 11  # at least the diameter
+
+    def test_all_to_all_task(self):
+        result = PushPullGossip(task=Task.ALL_TO_ALL).run(clique(10), seed=3)
+        assert result.complete
+        assert result.task is Task.ALL_TO_ALL
+
+    def test_local_broadcast_task(self):
+        result = PushPullGossip(task=Task.LOCAL_BROADCAST).run(path_graph(8), seed=4)
+        assert result.complete
+        assert result.task is Task.LOCAL_BROADCAST
+
+    def test_default_source_is_first_node(self):
+        result = PushPullGossip().run(path_graph(5), seed=0)
+        assert result.complete
+
+    def test_invalid_source_rejected(self):
+        with pytest.raises(GraphError):
+            PushPullGossip().run(clique(4), source=99, seed=0)
+
+    def test_disconnected_graph_rejected(self):
+        graph = WeightedGraph(range(4))
+        graph.add_edge(0, 1, 1)
+        graph.add_edge(2, 3, 1)
+        with pytest.raises(GraphError):
+            run_push_pull(graph, source=0)
+
+    def test_latency_delays_completion(self):
+        fast = two_cluster_slow_bridge(4, fast_latency=1, slow_latency=1, bridges=1)
+        slow = two_cluster_slow_bridge(4, fast_latency=1, slow_latency=40, bridges=1)
+        fast_time = run_push_pull(fast, source=0, seed=5).time
+        slow_time = run_push_pull(slow, source=0, seed=5).time
+        assert slow_time > fast_time
+        assert slow_time >= 40  # the rumor must cross the latency-40 bridge
+
+    def test_deterministic_given_seed(self):
+        graph = weighted_erdos_renyi(20, 0.3, seed=1)
+        a = run_push_pull(graph, source=0, seed=9)
+        b = run_push_pull(graph, source=0, seed=9)
+        assert a.time == b.time
+        assert a.metrics.messages == b.metrics.messages
+
+    def test_metrics_populated(self):
+        result = run_push_pull(clique(8), source=0, seed=1)
+        assert result.metrics.activations >= result.rounds_simulated
+        assert result.metrics.messages > 0
+        assert result.as_dict()["algorithm"] == "push-pull"
+
+
+class TestPushAndPull:
+    def test_push_completes_on_clique(self):
+        result = PushGossip().run(clique(12), source=0, seed=1)
+        assert result.complete
+
+    def test_pull_completes_on_clique(self):
+        result = PullGossip().run(clique(12), source=0, seed=1)
+        assert result.complete
+
+    def test_push_slow_on_star_from_leaf(self):
+        # Push-only from a leaf: the hub must be contacted by the informed
+        # leaf, then the hub pushes to each remaining leaf one at a time, so
+        # the completion time is Ω(n).
+        graph = star(16)
+        push_time = PushGossip().run(graph, source=1, seed=2).time
+        push_pull_time = run_push_pull(graph, source=1, seed=2).time
+        assert push_time >= graph.num_nodes - 3
+        assert push_time >= push_pull_time
+
+    def test_push_pull_names(self):
+        assert PushGossip().name == "push"
+        assert PullGossip().name == "pull"
+        assert PushPullGossip().name == "push-pull"

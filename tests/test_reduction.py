@@ -1,0 +1,72 @@
+"""Unit tests for the Lemma 6 gossip-to-guessing-game reduction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    guessing_gadget,
+    symmetric_guessing_gadget,
+    theorem9_network,
+    theorem10_network,
+)
+from repro.guessing_game import run_gossip_reduction
+
+
+class TestReduction:
+    def test_reduction_holds_on_theorem9_gadget(self):
+        graph, info = theorem9_network(n=48, delta=8, seed=1)
+        result = run_gossip_reduction(graph, info, algorithm="push-pull", seed=1)
+        assert result.reduction_holds
+        assert result.target_size == 1
+        assert result.cross_activations > 0
+
+    def test_reduction_holds_on_theorem10_gadget(self):
+        graph, info = theorem10_network(n=12, phi=0.2, ell=1, seed=2)
+        result = run_gossip_reduction(graph, info, algorithm="push-pull", seed=2)
+        assert result.reduction_holds
+        assert result.game_rounds <= result.gossip_rounds
+
+    def test_round_robin_algorithm_also_reduces(self):
+        graph, info = symmetric_guessing_gadget(m=6, lo=1, hi=50, fast_edges={(2, 3)})
+        result = run_gossip_reduction(graph, info, algorithm="round-robin", seed=0)
+        assert result.reduction_holds
+
+    def test_fast_edge_discovery_precedes_completion(self):
+        graph, info = theorem9_network(n=32, delta=6, seed=3)
+        result = run_gossip_reduction(graph, info, seed=3)
+        assert result.fast_edge_discovery_round is not None
+        assert result.fast_edge_discovery_round <= result.gossip_rounds
+
+    def test_slow_latency_forces_many_rounds(self):
+        # With a singleton hidden fast edge and very slow other cross edges,
+        # local broadcast across the cut needs either the fast edge (hard to
+        # find: ~m rounds of guessing) or a slow edge (hi latency).  Either
+        # way the time is much larger than on an all-fast gadget.
+        m = 10
+        slow_graph, slow_info = symmetric_guessing_gadget(m, lo=1, hi=4 * m, fast_edges={(0, 0)})
+        fast_graph, fast_info = symmetric_guessing_gadget(
+            m, lo=1, hi=1, fast_edges={(i, j) for i in range(m) for j in range(m)}
+        )
+        slow = run_gossip_reduction(slow_graph, slow_info, seed=5)
+        fast = run_gossip_reduction(fast_graph, fast_info, seed=5)
+        assert slow.gossip_rounds > fast.gossip_rounds
+
+    def test_empty_target_means_zero_game_rounds(self):
+        graph, info = guessing_gadget(m=4, lo=1, hi=3, fast_edges=set())
+        result = run_gossip_reduction(graph, info, seed=1)
+        assert result.game_rounds == 0
+        assert result.target_size == 0
+
+    def test_unknown_algorithm_rejected(self):
+        graph, info = guessing_gadget(m=3, lo=1, hi=4, fast_edges={(0, 0)})
+        with pytest.raises(GraphError):
+            run_gossip_reduction(graph, info, algorithm="teleport")
+
+    def test_deterministic_given_seed(self):
+        graph, info = theorem9_network(n=32, delta=6, seed=4)
+        a = run_gossip_reduction(graph, info, seed=7)
+        b = run_gossip_reduction(graph, info, seed=7)
+        assert a.gossip_rounds == b.gossip_rounds
+        assert a.game_rounds == b.game_rounds

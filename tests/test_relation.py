@@ -1,0 +1,98 @@
+"""Unit tests for the Theorem 5 relation checker (repro.core.relation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import check_theorem5, num_latency_classes
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    assign_latencies,
+    bimodal_latency,
+    clique,
+    cycle_graph,
+    path_graph,
+    two_cluster_slow_bridge,
+    uniform_latency,
+    weighted_erdos_renyi,
+)
+
+
+class TestTheorem5SmallGraphs:
+    @pytest.mark.parametrize(
+        "graph_builder",
+        [
+            lambda: clique(6),
+            lambda: cycle_graph(7),
+            lambda: path_graph(8),
+            lambda: two_cluster_slow_bridge(4, slow_latency=16),
+            lambda: assign_latencies(clique(7), uniform_latency(1, 64), seed=1),
+            lambda: assign_latencies(cycle_graph(9), bimodal_latency(1, 128, 0.4), seed=2),
+        ],
+    )
+    def test_sandwich_holds_exactly(self, graph_builder):
+        report = check_theorem5(graph_builder())
+        assert report.exact
+        assert report.holds(), (
+            f"Theorem 5 violated: lower={report.lower}, phi_avg={report.phi_avg}, upper={report.upper}"
+        )
+
+    def test_unit_latency_graph_values(self):
+        report = check_theorem5(clique(6))
+        # With unit latencies phi* equals the classical conductance and
+        # phi_avg equals exactly half of it, so phi_avg sits at the lower end.
+        assert report.ell_star == 1
+        assert report.phi_avg == pytest.approx(report.phi_star / 2)
+        assert report.lower == pytest.approx(report.phi_avg)
+
+    def test_upper_bound_chain(self, slow_bridge):
+        report = check_theorem5(slow_bridge)
+        assert report.upper <= report.loose_upper + 1e-12
+        assert report.nonempty_classes <= num_latency_classes(report.max_latency)
+
+    def test_position_in_interval(self, slow_bridge):
+        report = check_theorem5(slow_bridge)
+        position = report.position()
+        assert 0.0 <= position <= 1.0
+
+    def test_as_dict_round_trip(self, slow_bridge):
+        data = check_theorem5(slow_bridge).as_dict()
+        assert data["holds"] == 1.0
+        assert data["lower_holds"] == 1.0
+        assert data["phi_star"] > 0
+
+    def test_known_counterexample_to_claimed_upper_bound(self):
+        # Reproduction finding: on this 12-node bimodal instance the paper's
+        # claimed upper bound L*phi*/ell* fails while the sound lower bound
+        # and the witness-cut upper bound both hold (see repro.core.relation).
+        from repro.graphs import bimodal_latency, weighted_erdos_renyi
+
+        graph = weighted_erdos_renyi(n=12, p=0.4, model=bimodal_latency(1, 16, 0.5), seed=7)
+        report = check_theorem5(graph)
+        assert report.exact
+        assert report.lower_holds()
+        assert report.witness_upper_holds()
+        assert not report.upper_holds()
+        assert not report.holds()
+
+
+class TestTheorem5LargeGraphs:
+    def test_estimated_report_is_reasonable(self):
+        graph = weighted_erdos_renyi(40, 0.25, seed=3)
+        report = check_theorem5(graph, seed=3)
+        assert not report.exact
+        assert report.phi_star > 0
+        assert report.phi_avg > 0
+        # The sandwich may be slightly violated by estimation error, but the
+        # two quantities must stay within the structural factor 2·L·ℓ*.
+        assert report.phi_avg <= 2 * report.upper + 1e-9
+        assert report.phi_avg >= report.lower / 2 - 1e-9
+
+
+class TestValidation:
+    def test_degenerate_graphs_rejected(self):
+        with pytest.raises(GraphError):
+            check_theorem5(WeightedGraph(range(3)))
+        with pytest.raises(GraphError):
+            check_theorem5(WeightedGraph([0]))

@@ -1,0 +1,85 @@
+"""Unit tests for RR Broadcast on a directed spanner (repro.gossip.rr_broadcast)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.gossip import rr_broadcast
+from repro.graphs import (
+    GraphError,
+    baswana_sen_spanner,
+    clique,
+    path_graph,
+    weighted_diameter,
+    weighted_erdos_renyi,
+)
+from repro.simulation import Rumor
+
+
+class TestRRBroadcast:
+    def test_all_to_all_on_clique_spanner(self):
+        graph = clique(12)
+        spanner = baswana_sen_spanner(graph, seed=1)
+        k = int(weighted_diameter(spanner.graph)) + 1
+        result = rr_broadcast(spanner, k=k)
+        assert result.complete
+        everyone = set(graph.nodes())
+        for rumors in result.knowledge.values():
+            assert {r.origin for r in rumors} >= everyone
+
+    def test_all_to_all_on_weighted_er(self):
+        graph = weighted_erdos_renyi(24, 0.25, seed=2)
+        spanner = baswana_sen_spanner(graph, seed=2)
+        k = int(weighted_diameter(spanner.graph)) + 1
+        result = rr_broadcast(spanner, k=k)
+        assert result.complete
+
+    def test_round_budget_formula(self):
+        graph = path_graph(6)
+        spanner = baswana_sen_spanner(graph, seed=0)
+        result = rr_broadcast(spanner, k=5, stop_early=False, require_all_to_all=False)
+        max_out = max(len(v) for v in spanner.out_edges.values())
+        assert result.round_budget == 5 * max_out + 5
+        assert result.rounds == result.round_budget
+
+    def test_completion_within_budget(self):
+        graph = weighted_erdos_renyi(20, 0.3, seed=3)
+        spanner = baswana_sen_spanner(graph, seed=3)
+        k = int(weighted_diameter(spanner.graph)) + 1
+        result = rr_broadcast(spanner, k=k)
+        assert result.complete
+        assert result.rounds <= result.round_budget + graph.max_latency() + 1
+
+    def test_small_k_excludes_slow_edges(self):
+        # A two-node spanner whose only edge is slower than k cannot finish.
+        from repro.graphs import WeightedGraph
+        from repro.graphs.spanner import DirectedSpanner
+
+        graph = WeightedGraph(range(2))
+        graph.add_edge(0, 1, 10)
+        spanner = DirectedSpanner(graph=graph, out_edges={0: [(1, 10)], 1: []}, stretch_parameter=1)
+        result = rr_broadcast(spanner, k=2)
+        assert not result.complete
+
+    def test_custom_initial_knowledge(self):
+        graph = clique(8)
+        spanner = baswana_sen_spanner(graph, seed=4)
+        knowledge = {0: {Rumor(origin=0, payload="only-source")}}
+        result = rr_broadcast(spanner, k=4, knowledge=knowledge)
+        assert result.complete
+        for rumors in result.knowledge.values():
+            assert any(r.origin == 0 for r in rumors)
+
+    def test_invalid_k(self):
+        spanner = baswana_sen_spanner(clique(4), seed=0)
+        with pytest.raises(GraphError):
+            rr_broadcast(spanner, k=0)
+
+    def test_stop_early_reduces_rounds(self):
+        graph = clique(10)
+        spanner = baswana_sen_spanner(graph, seed=5)
+        k = 20
+        eager = rr_broadcast(spanner, k=k, stop_early=True)
+        lazy = rr_broadcast(spanner, k=k, stop_early=False, require_all_to_all=True)
+        assert eager.complete and lazy.complete
+        assert eager.rounds <= lazy.rounds

@@ -1,0 +1,197 @@
+"""Unit tests for the gossip simulation engine (repro.simulation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import GraphError, WeightedGraph, clique, path_graph
+from repro.simulation import EventTrace, GossipEngine, KnowledgeState, Rumor
+
+
+@pytest.fixture
+def two_node_slow() -> WeightedGraph:
+    graph = WeightedGraph(range(2))
+    graph.add_edge(0, 1, 5)
+    return graph
+
+
+class TestSeeding:
+    def test_seed_rumor(self, small_clique):
+        engine = GossipEngine(small_clique)
+        rumor = engine.seed_rumor(0, payload="hello")
+        assert engine.knowledge[0].knows(rumor)
+        assert not engine.knowledge[1].knows(rumor)
+
+    def test_seed_rumor_unknown_node(self, small_clique):
+        engine = GossipEngine(small_clique)
+        with pytest.raises(GraphError):
+            engine.seed_rumor(99)
+
+    def test_seed_all(self, small_clique):
+        engine = GossipEngine(small_clique)
+        rumors = engine.seed_all_rumors()
+        assert len(rumors) == 6
+        assert all(engine.knowledge[node].knows(rumor) for node, rumor in rumors.items())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            GossipEngine(WeightedGraph())
+
+
+class TestLatencySemantics:
+    def test_exchange_takes_latency_rounds(self, two_node_slow):
+        engine = GossipEngine(two_node_slow)
+        rumor = engine.seed_rumor(0)
+        engine.round = 0
+        engine.initiate_exchange(0, 1)
+        # Deliveries happen at the start of round latency (5) or later.
+        for _ in range(4):
+            engine.step(lambda view: None)
+            assert not engine.knowledge[1].knows(rumor)
+        engine.step(lambda view: None)
+        assert engine.knowledge[1].knows(rumor)
+
+    def test_exchange_is_bidirectional(self, two_node_slow):
+        engine = GossipEngine(two_node_slow)
+        rumor_a = engine.seed_rumor(0)
+        rumor_b = engine.seed_rumor(1)
+        engine.initiate_exchange(0, 1)
+        for _ in range(6):
+            engine.step(lambda view: None)
+        assert engine.knowledge[1].knows(rumor_a)
+        assert engine.knowledge[0].knows(rumor_b)
+
+    def test_unit_latency_delivers_next_round(self):
+        graph = path_graph(2)
+        engine = GossipEngine(graph)
+        rumor = engine.seed_rumor(0)
+        engine.initiate_exchange(0, 1)
+        engine.step(lambda view: None)
+        assert engine.knowledge[1].knows(rumor)
+
+    def test_non_edge_exchange_rejected(self):
+        graph = path_graph(3)
+        engine = GossipEngine(graph)
+        with pytest.raises(GraphError):
+            engine.initiate_exchange(0, 2)
+
+    def test_policy_choosing_non_neighbor_rejected(self):
+        graph = path_graph(3)
+        engine = GossipEngine(graph)
+        with pytest.raises(GraphError):
+            engine.step(lambda view: 2 if view.node == 0 else None)
+
+
+class TestBlockingMode:
+    def test_blocking_node_skips_turn(self, two_node_slow):
+        engine = GossipEngine(two_node_slow, blocking=True)
+        engine.seed_rumor(0)
+        choices: list[int] = []
+
+        def policy(view):
+            if view.node == 0:
+                choices.append(view.round)
+                return 1
+            return None
+
+        for _ in range(6):
+            engine.step(policy)
+        # Node 0's exchange takes 5 rounds; in blocking mode it is consulted
+        # again only after it completes, so at most 2 initiations in 6 rounds.
+        assert len(choices) <= 2
+
+    def test_non_blocking_node_initiates_every_round(self, two_node_slow):
+        engine = GossipEngine(two_node_slow, blocking=False)
+        engine.seed_rumor(0)
+        count = 0
+
+        def policy(view):
+            nonlocal count
+            if view.node == 0:
+                count += 1
+                return 1
+            return None
+
+        for _ in range(6):
+            engine.step(policy)
+        assert count == 6
+
+
+class TestCompletionConditions:
+    def test_dissemination_complete(self, small_clique):
+        engine = GossipEngine(small_clique)
+        rumor = engine.seed_rumor(0)
+        assert not engine.dissemination_complete(rumor)
+        metrics = engine.run(
+            lambda view: view.neighbors[view.round % len(view.neighbors)],
+            stop_condition=lambda eng: eng.dissemination_complete(rumor),
+            max_rounds=100,
+        )
+        assert engine.dissemination_complete(rumor)
+        assert metrics.completion_time is not None
+
+    def test_all_to_all_complete(self, small_clique):
+        engine = GossipEngine(small_clique)
+        engine.seed_all_rumors()
+        engine.run(
+            lambda view: view.neighbors[view.round % len(view.neighbors)],
+            stop_condition=lambda eng: eng.all_to_all_complete(),
+            max_rounds=200,
+        )
+        assert engine.all_to_all_complete()
+
+    def test_local_broadcast_complete(self):
+        graph = path_graph(4)
+        engine = GossipEngine(graph)
+        engine.seed_all_rumors()
+        assert not engine.local_broadcast_complete()
+        engine.run(
+            lambda view: view.neighbors[view.round % len(view.neighbors)],
+            stop_condition=lambda eng: eng.local_broadcast_complete(),
+            max_rounds=50,
+        )
+        assert engine.local_broadcast_complete()
+
+    def test_run_raises_when_cap_hit(self, small_clique):
+        engine = GossipEngine(small_clique)
+        rumor = engine.seed_rumor(0)
+        with pytest.raises(RuntimeError):
+            engine.run(lambda view: None, stop_condition=lambda eng: eng.dissemination_complete(rumor), max_rounds=5)
+
+    def test_immediate_stop_condition(self, small_clique):
+        engine = GossipEngine(small_clique)
+        metrics = engine.run(lambda view: None, stop_condition=lambda eng: True, max_rounds=5)
+        assert metrics.completion_time == 0
+
+
+class TestMetricsAndTrace:
+    def test_metrics_counters(self, small_clique):
+        engine = GossipEngine(small_clique)
+        engine.seed_all_rumors()
+        engine.run(
+            lambda view: view.neighbors[0],
+            stop_condition=lambda eng: eng.all_to_all_complete(),
+            max_rounds=100,
+        )
+        metrics = engine.metrics
+        assert metrics.activations > 0
+        assert metrics.messages <= 2 * metrics.activations
+        assert metrics.messages % 2 == 0
+        assert metrics.rumor_deliveries > 0
+        assert metrics.as_dict()["time"] == metrics.total_time
+
+    def test_trace_records_events(self, small_clique):
+        trace = EventTrace()
+        engine = GossipEngine(small_clique, trace=trace)
+        engine.seed_rumor(0)
+        engine.step(lambda view: view.neighbors[0])
+        engine.step(lambda view: None)
+        assert len(trace.initiations()) == 6
+        assert len(trace.completions()) == 6
+        assert trace.initiations()[0].round == 1
+
+    def test_node_view_reports_busy(self, two_node_slow):
+        engine = GossipEngine(two_node_slow)
+        engine.initiate_exchange(0, 1)
+        assert engine.node_view(0).busy
+        assert not engine.node_view(1).busy

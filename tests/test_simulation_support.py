@@ -1,0 +1,142 @@
+"""Unit tests for simulation support modules: rng, messages, metrics, tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import clique
+from repro.simulation import (
+    EventTrace,
+    KnowledgeState,
+    Rumor,
+    SimulationMetrics,
+    derive_seed,
+    make_rng,
+    spawn_rngs,
+)
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(42, "phase", 3) == derive_seed(42, "phase", 3)
+
+    def test_derive_seed_sensitive_to_labels(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+        assert derive_seed(42, 1) != derive_seed(42, 2)
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_handles_tuples_and_objects(self):
+        assert derive_seed(0, (1, "x")) == derive_seed(0, (1, "x"))
+        assert derive_seed(0, frozenset({1})) == derive_seed(0, frozenset({1}))
+
+    def test_make_rng_reproducible_streams(self):
+        a = make_rng(7, "alice")
+        b = make_rng(7, "alice")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_make_rng_independent_streams(self):
+        a = make_rng(7, "alice")
+        b = make_rng(7, "bob")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_spawn_rngs(self):
+        rngs = spawn_rngs(3, ["x", "y"])
+        assert set(rngs) == {"x", "y"}
+        assert rngs["x"].random() != rngs["y"].random()
+
+
+class TestRumorsAndKnowledge:
+    def test_rumor_equality_and_hash(self):
+        assert Rumor(origin=1) == Rumor(origin=1)
+        assert Rumor(origin=1) != Rumor(origin=2)
+        assert len({Rumor(origin=1), Rumor(origin=1)}) == 1
+
+    def test_knowledge_add_and_knows(self):
+        state = KnowledgeState(node=0)
+        rumor = Rumor(origin=5)
+        assert state.add(rumor)
+        assert not state.add(rumor)
+        assert state.knows(rumor)
+        assert state.knows_origin(5)
+        assert not state.knows_origin(6)
+
+    def test_knowledge_merge_counts_new(self):
+        state = KnowledgeState(node=0)
+        state.add(Rumor(origin=1))
+        new = state.merge({Rumor(origin=1), Rumor(origin=2), Rumor(origin=3)})
+        assert new == 2
+        assert state.origins() == {1, 2, 3}
+
+
+class TestMetrics:
+    def test_record_and_flatten(self):
+        metrics = SimulationMetrics()
+        metrics.record_activation(0, 1)
+        metrics.record_activation(1, 0)
+        metrics.record_exchange_completed()
+        metrics.record_deliveries(3)
+        metrics.rounds = 4
+        assert metrics.activations == 2
+        assert metrics.edge_activations[tuple(sorted(("0", "1")))] == 2
+        assert metrics.messages == 2
+        assert metrics.rumor_deliveries == 3
+        assert metrics.total_time == 4
+        assert metrics.as_dict()["activations"] == 2
+
+    def test_charge_and_total_time(self):
+        metrics = SimulationMetrics()
+        metrics.rounds = 10
+        metrics.charge(5.5)
+        assert metrics.total_time == 15.5
+        metrics.completion_time = 12.0
+        assert metrics.total_time == 12.0
+
+    def test_charge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            SimulationMetrics().charge(-1)
+
+    def test_merge(self):
+        a = SimulationMetrics()
+        a.rounds = 3
+        a.record_activation(0, 1)
+        b = SimulationMetrics()
+        b.rounds = 4
+        b.record_activation(1, 2)
+        b.charge(2.0)
+        a.merge(b)
+        assert a.rounds == 7
+        assert a.activations == 2
+        assert a.charged_time == 2.0
+
+    def test_most_activated_edges(self):
+        metrics = SimulationMetrics()
+        for _ in range(3):
+            metrics.record_activation(0, 1)
+        metrics.record_activation(2, 3)
+        top = metrics.most_activated_edges(1)
+        assert top[0][1] == 3
+
+
+class TestTrace:
+    def test_record_and_filter(self):
+        trace = EventTrace()
+        trace.record(1, "initiate", 0, 1, latency=3)
+        trace.record(4, "complete", 0, 1)
+        assert len(trace) == 2
+        assert len(trace.initiations()) == 1
+        assert len(trace.completions()) == 1
+        assert trace.initiations()[0].detail("latency") == 3
+        assert trace.initiations()[0].detail("missing", "default") == "default"
+        assert trace.activations_of(0)[0].v == 1
+
+    def test_max_events_drops_overflow(self):
+        trace = EventTrace(max_events=2)
+        for index in range(5):
+            trace.record(index, "initiate", 0, 1)
+        assert len(trace) == 2
+        assert trace.dropped == 3
+
+    def test_iteration(self):
+        trace = EventTrace()
+        trace.record(1, "initiate", 0, 1)
+        assert [event.kind for event in trace] == ["initiate"]

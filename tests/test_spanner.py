@@ -1,0 +1,116 @@
+"""Unit tests for the Baswana–Sen directed spanner (repro.graphs.spanner)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    baswana_sen_spanner,
+    clique,
+    grid_graph,
+    path_graph,
+    spanner_stretch,
+    star,
+    uniform_latency,
+    assign_latencies,
+    weighted_erdos_renyi,
+)
+
+
+class TestSpannerBasics:
+    def test_spanner_subset_of_graph(self, small_weighted_er):
+        spanner = baswana_sen_spanner(small_weighted_er, seed=1)
+        for edge in spanner.graph.edges():
+            assert small_weighted_er.has_edge(edge.u, edge.v)
+            assert small_weighted_er.latency(edge.u, edge.v) == edge.latency
+
+    def test_spanner_preserves_connectivity(self, small_weighted_er):
+        spanner = baswana_sen_spanner(small_weighted_er, seed=1)
+        assert spanner.graph.is_connected()
+
+    def test_spanner_keeps_all_nodes(self, small_weighted_er):
+        spanner = baswana_sen_spanner(small_weighted_er, seed=2)
+        assert set(spanner.graph.nodes()) == set(small_weighted_er.nodes())
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            baswana_sen_spanner(WeightedGraph())
+
+    def test_invalid_k_rejected(self, small_weighted_er):
+        with pytest.raises(GraphError):
+            baswana_sen_spanner(small_weighted_er, k=0)
+
+    def test_bad_n_estimate_rejected(self, small_weighted_er):
+        with pytest.raises(GraphError):
+            baswana_sen_spanner(small_weighted_er, n_estimate=2)
+
+    def test_tree_is_its_own_spanner(self):
+        graph = path_graph(10)
+        spanner = baswana_sen_spanner(graph, seed=0)
+        assert spanner.num_edges == graph.num_edges
+
+    def test_guaranteed_stretch_value(self, small_weighted_er):
+        spanner = baswana_sen_spanner(small_weighted_er, k=3, seed=0)
+        assert spanner.guaranteed_stretch() == 5
+
+
+class TestSpannerQuality:
+    def test_clique_spanner_is_sparse(self):
+        graph = clique(40)
+        spanner = baswana_sen_spanner(graph, seed=1)
+        # n log n edges is far less than the clique's ~n^2/2.
+        assert spanner.num_edges < graph.num_edges / 2
+        assert spanner.num_edges <= 6 * 40 * math.log2(40)
+
+    def test_out_degree_bound(self):
+        graph = assign_latencies(clique(50), uniform_latency(1, 20), seed=3)
+        spanner = baswana_sen_spanner(graph, seed=3)
+        # Theorem 20: out-degree O(log n); allow a generous constant.
+        assert spanner.max_out_degree() <= 10 * math.log2(50)
+
+    def test_stretch_within_guarantee(self):
+        graph = weighted_erdos_renyi(30, 0.3, seed=4)
+        spanner = baswana_sen_spanner(graph, k=3, seed=4)
+        measured = spanner_stretch(graph, spanner.graph)
+        assert measured <= spanner.guaranteed_stretch() + 1e-9
+
+    def test_stretch_log_k_default(self):
+        graph = weighted_erdos_renyi(40, 0.25, seed=5)
+        spanner = baswana_sen_spanner(graph, seed=5)
+        measured = spanner_stretch(graph, spanner.graph)
+        assert measured <= spanner.guaranteed_stretch() + 1e-9
+
+    def test_grid_spanner_stretch(self):
+        graph = grid_graph(6, 6)
+        spanner = baswana_sen_spanner(graph, k=2, seed=0)
+        assert spanner_stretch(graph, spanner.graph) <= 3 + 1e-9
+
+    def test_star_spanner_keeps_all_edges(self):
+        graph = star(20)
+        spanner = baswana_sen_spanner(graph, seed=0)
+        # Every leaf's only edge must survive.
+        assert spanner.num_edges == 19
+
+    def test_out_edges_cover_spanner_edges(self, small_weighted_er):
+        spanner = baswana_sen_spanner(small_weighted_er, seed=6)
+        oriented = set()
+        for node, targets in spanner.out_edges.items():
+            for target, _latency in targets:
+                oriented.add(frozenset((node, target)))
+        undirected = {frozenset((e.u, e.v)) for e in spanner.graph.edges()}
+        assert oriented == undirected
+
+    def test_out_degree_accessor(self, small_weighted_er):
+        spanner = baswana_sen_spanner(small_weighted_er, seed=7)
+        total = sum(spanner.out_degree(node) for node in small_weighted_er.nodes())
+        assert total == sum(len(v) for v in spanner.out_edges.values())
+
+    def test_deterministic_given_seed(self, small_weighted_er):
+        a = baswana_sen_spanner(small_weighted_er, seed=11)
+        b = baswana_sen_spanner(small_weighted_er, seed=11)
+        assert a.graph == b.graph
+        assert a.out_edges == b.out_edges

@@ -1,0 +1,96 @@
+"""Unit tests for Spanner Broadcast (repro.gossip.spanner_broadcast)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import extract_parameters, upper_bound_spanner_broadcast
+from repro.gossip import SpannerBroadcast, Task, spanner_broadcast_attempt
+from repro.graphs import (
+    GraphError,
+    clique,
+    path_graph,
+    two_cluster_slow_bridge,
+    weighted_diameter,
+    weighted_erdos_renyi,
+)
+from repro.simulation import Rumor
+
+
+class TestSpannerBroadcastAttempt:
+    def test_attempt_with_full_estimate_completes(self):
+        graph = weighted_erdos_renyi(16, 0.3, seed=1)
+        estimate = int(weighted_diameter(graph))
+        knowledge = {node: {Rumor(origin=node)} for node in graph.nodes()}
+        updated, time, phases = spanner_broadcast_attempt(graph, knowledge, estimate, seed=1)
+        everyone = set(graph.nodes())
+        assert all({r.origin for r in updated[node]} >= everyone for node in graph.nodes())
+        assert time > 0
+        assert phases["discovery"] > 0
+
+    def test_attempt_with_small_estimate_is_partial(self):
+        graph = two_cluster_slow_bridge(4, fast_latency=1, slow_latency=16, bridges=1)
+        knowledge = {node: {Rumor(origin=node)} for node in graph.nodes()}
+        updated, _time, _phases = spanner_broadcast_attempt(graph, knowledge, estimate=1, seed=0)
+        # The slow bridge is excluded with estimate 1, so the two cliques
+        # cannot have exchanged rumors.
+        left_origins = {r.origin for r in updated[0]}
+        assert 4 not in left_origins
+
+    def test_invalid_estimate(self):
+        graph = clique(4)
+        knowledge = {node: {Rumor(origin=node)} for node in graph.nodes()}
+        with pytest.raises(GraphError):
+            spanner_broadcast_attempt(graph, knowledge, estimate=0)
+
+
+class TestSpannerBroadcastKnownDiameter:
+    def test_completes_all_to_all(self):
+        graph = weighted_erdos_renyi(18, 0.3, seed=2)
+        diameter = int(weighted_diameter(graph))
+        result = SpannerBroadcast(diameter=diameter).run(graph, seed=2)
+        assert result.complete
+        assert result.task is Task.ALL_TO_ALL
+        assert result.time > 0
+
+    def test_time_within_theoretical_shape(self):
+        graph = weighted_erdos_renyi(20, 0.3, seed=3)
+        diameter = int(weighted_diameter(graph))
+        result = SpannerBroadcast(diameter=diameter).run(graph, seed=3)
+        params = extract_parameters(graph, seed=3)
+        # The measured time should stay within a constant factor of D log^3 n.
+        assert result.time <= 30 * upper_bound_spanner_broadcast(params)
+
+    def test_details_contain_phase_breakdown(self):
+        graph = clique(10)
+        result = SpannerBroadcast(diameter=1).run(graph, seed=0)
+        assert "discovery" in result.details
+        assert "rr_rounds" in result.details
+        assert result.details["estimates"] == [1]
+
+
+class TestSpannerBroadcastUnknownDiameter:
+    def test_guess_and_double_completes(self):
+        graph = two_cluster_slow_bridge(3, fast_latency=1, slow_latency=8, bridges=1)
+        result = SpannerBroadcast().run(graph, seed=1)
+        assert result.complete
+        assert result.details["epochs"] >= 3  # estimates 1, 2, 4, 8
+        assert result.details["final_estimate"] >= 8
+
+    def test_unknown_slower_than_known(self):
+        graph = weighted_erdos_renyi(14, 0.35, seed=4)
+        diameter = int(weighted_diameter(graph))
+        known = SpannerBroadcast(diameter=diameter).run(graph, seed=4)
+        unknown = SpannerBroadcast().run(graph, seed=4)
+        assert unknown.complete and known.complete
+        assert unknown.time >= known.time
+
+    def test_disconnected_rejected(self):
+        from repro.graphs import WeightedGraph
+
+        graph = WeightedGraph(range(4))
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(GraphError):
+            SpannerBroadcast().run(graph)

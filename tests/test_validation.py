@@ -1,0 +1,62 @@
+"""Unit tests for repro.graphs.validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    GraphError,
+    WeightedGraph,
+    clique,
+    describe_graph,
+    path_graph,
+    validate_graph,
+)
+
+
+class TestDescribeGraph:
+    def test_report_fields(self, triangle):
+        report = describe_graph(triangle)
+        assert report.num_nodes == 3
+        assert report.num_edges == 3
+        assert report.max_degree == 2
+        assert report.min_degree == 2
+        assert report.is_connected
+        assert report.max_latency == 4
+        assert report.min_latency == 1
+        assert report.weighted_diameter == 3  # 0-1-2 path of cost 3 beats the cost-4 edge
+        assert report.hop_diameter == 1
+
+    def test_as_dict_keys(self, small_clique):
+        report = describe_graph(small_clique)
+        data = report.as_dict()
+        assert data["n"] == 6
+        assert data["connected"] == 1
+
+    def test_inexact_diameter(self):
+        graph = path_graph(20)
+        report = describe_graph(graph, exact_diameter=False, diameter_sample=4)
+        assert report.weighted_diameter <= 19
+
+
+class TestValidateGraph:
+    def test_valid_graph_passes(self, small_clique):
+        validate_graph(small_clique, expected_regular_degree=5)
+
+    def test_disconnected_graph_rejected(self):
+        graph = WeightedGraph(range(4))
+        graph.add_edge(0, 1, 1)
+        with pytest.raises(GraphError):
+            validate_graph(graph)
+
+    def test_min_nodes_enforced(self):
+        with pytest.raises(GraphError):
+            validate_graph(clique(3), min_nodes=5)
+
+    def test_max_latency_enforced(self, triangle):
+        with pytest.raises(GraphError):
+            validate_graph(triangle, max_latency=2)
+
+    def test_regularity_enforced(self, small_star):
+        with pytest.raises(GraphError):
+            validate_graph(small_star, expected_regular_degree=3)
