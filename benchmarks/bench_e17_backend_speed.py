@@ -1,0 +1,24 @@
+"""E17 — engine backends: bitset fast engine vs the reference engine.
+
+The fast backend must reproduce the reference engine's seeded push-pull
+trajectory exactly (same completion round, same message count) while
+simulating substantially more rounds per second; at the full 5,000-node
+size the acceptance bar is a ≥5× wall-clock speedup.
+"""
+
+from __future__ import annotations
+
+
+def test_e17_backend_speed(run_experiment_benchmark, quick_mode):
+    table = run_experiment_benchmark("E17")
+    rows = {row["backend"]: row for row in table}
+    assert set(rows) == {"reference", "fast"}
+    reference, fast = rows["reference"], rows["fast"]
+    # Parity: identical seeded trajectory on both backends.
+    assert fast["rounds"] == reference["rounds"]
+    assert fast["messages"] == reference["messages"]
+    # Speed: ≥5× at the full 5,000-node size; the quick smoke run only
+    # checks the fast backend wins at all (small n amortizes less engine
+    # overhead and shared CI runners are noisy).
+    floor = 1.0 if quick_mode else 5.0
+    assert fast["speedup"] >= floor, f"fast backend speedup {fast['speedup']}x below {floor}x"

@@ -1,7 +1,13 @@
 """Shared helpers for the benchmark suite.
 
 Set the environment variable ``REPRO_BENCH_QUICK=1`` to run every experiment
-with a reduced sweep (useful for smoke-testing the harness).
+with a reduced sweep (useful for smoke-testing the harness), and
+``REPRO_BENCH_ENGINE={auto,fast,reference}`` to steer which simulation
+backend ``engine="auto"`` resolves to inside the experiments (default
+``auto``; applied via :func:`repro.simulation.set_default_backend` for the
+duration of each measured run).  Both settings are recorded in
+pytest-benchmark's ``extra_info``, so saved ``BENCH_*.json`` runs carry the
+backend they measured.
 """
 
 from __future__ import annotations
@@ -17,26 +23,54 @@ def quick_mode() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "0") not in {"0", "", "false", "False"}
 
 
+@pytest.fixture(scope="session")
+def engine_backend() -> str:
+    """The simulation backend benchmarks should request (REPRO_BENCH_ENGINE)."""
+    backend = os.environ.get("REPRO_BENCH_ENGINE", "auto")
+    allowed = {"auto", "fast", "reference"}
+    if backend not in allowed:
+        raise pytest.UsageError(f"REPRO_BENCH_ENGINE must be one of {sorted(allowed)}, got {backend!r}")
+    return backend
+
+
 @pytest.fixture
-def run_experiment_benchmark(benchmark, quick_mode):
+def run_experiment_benchmark(benchmark, quick_mode, engine_backend):
     """Run one registry experiment exactly once under pytest-benchmark.
 
     The experiment's table is printed (visible with ``-s`` or in the captured
     output of a failing run) and saved as CSV under ``benchmarks/results``.
+    The configured engine backend and quick-mode flag are stamped into the
+    benchmark's ``extra_info``; experiments that compare backends (E17) also
+    stamp the measured rounds/sec per backend so the perf trajectory is
+    visible in saved benchmark JSON.
     """
 
     def runner(experiment_id: str):
         from benchmarks.registry import run_and_report
 
-        table = benchmark.pedantic(
-            run_and_report,
-            args=(experiment_id,),
-            kwargs={"quick": quick_mode},
-            rounds=1,
-            iterations=1,
-            warmup_rounds=0,
-        )
+        from repro.simulation import set_default_backend
+
+        benchmark.extra_info["engine"] = engine_backend
+        benchmark.extra_info["quick"] = quick_mode
+        previous = set_default_backend(engine_backend)
+        try:
+            table = benchmark.pedantic(
+                run_and_report,
+                args=(experiment_id,),
+                kwargs={"quick": quick_mode},
+                rounds=1,
+                iterations=1,
+                warmup_rounds=0,
+            )
+        finally:
+            set_default_backend(previous)
         assert len(table) > 0
+        for row in table:
+            backend = row.get("backend")
+            if backend and row.get("rounds_per_sec") is not None:
+                benchmark.extra_info[f"rounds_per_sec_{backend}"] = row["rounds_per_sec"]
+                if row.get("speedup") is not None:
+                    benchmark.extra_info[f"speedup_{backend}"] = row["speedup"]
         return table
 
     return runner

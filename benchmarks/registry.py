@@ -12,7 +12,11 @@ from collections.abc import Callable
 
 from repro.analysis import ResultTable, render_table
 
-from .experiments_ablations import experiment_e15_robustness, experiment_e16_message_size
+from .experiments_ablations import (
+    experiment_e15_robustness,
+    experiment_e16_message_size,
+    experiment_e17_engine_backends,
+)
 from .experiments_conductance import (
     experiment_e1_theorem5,
     experiment_e14_structures,
@@ -55,6 +59,7 @@ EXPERIMENTS: dict[str, tuple[str, ExperimentFunction]] = {
     "E14": ("Structural checks: T(k), DTG trees", experiment_e14_structures),
     "E15": ("Ablation: crash-fault robustness (Section 6 remark)", experiment_e15_robustness),
     "E16": ("Ablation: message sizes (Section 6 remark)", experiment_e16_message_size),
+    "E17": ("Engine backends: bitset fast engine vs reference", experiment_e17_engine_backends),
 }
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

@@ -19,6 +19,7 @@ from typing import Optional
 
 from .analysis.tables import render_table
 from .core import check_theorem5, extract_parameters
+from .simulation.protocol import EngineSelectionError
 from .gossip import (
     FloodingGossip,
     PatternBroadcast,
@@ -83,9 +84,13 @@ def build_algorithm(name: str):
 def _command_run(args: argparse.Namespace) -> int:
     graph = build_graph(args.graph, args.nodes, args.latency, args.seed)
     algorithm = build_algorithm(args.algorithm)
-    result = algorithm.run(graph, seed=args.seed)
+    try:
+        result = algorithm.run(graph, seed=args.seed, engine=args.engine)
+    except EngineSelectionError as exc:
+        raise SystemExit(f"--engine {args.engine}: {exc}")
     print(f"graph      : {args.graph} (n={graph.num_nodes}, m={graph.num_edges}, lmax={graph.max_latency()})")
     print(f"algorithm  : {result.algorithm}")
+    print(f"engine     : {result.details.get('engine', 'reference')}")
     print(f"task       : {result.task.value}")
     print(f"time       : {result.time:.1f}")
     print(f"messages   : {result.metrics.messages}")
@@ -134,6 +139,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--latency", default="uniform", choices=sorted(_LATENCY_MODELS))
     run_parser.add_argument("--nodes", type=int, default=64)
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument(
+        "--engine",
+        default="auto",
+        choices=["auto", "fast", "reference"],
+        help="simulation backend: 'fast' (bitset engine, declarative policies only), "
+        "'reference' (callback engine), or 'auto' (fast when the algorithm allows it)",
+    )
     run_parser.set_defaults(handler=_command_run)
 
     cond_parser = subparsers.add_parser("conductance", help="print the weighted-conductance profile")

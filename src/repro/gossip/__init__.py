@@ -12,7 +12,14 @@
 """
 
 from .aggregation import BUILTIN_AGGREGATES, AggregationResult, gossip_aggregate
-from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
+from .base import (
+    DisseminationResult,
+    GossipAlgorithm,
+    Task,
+    require_connected,
+    seed_engine,
+    task_stop_condition,
+)
 from .dtg import DTGResult, dtg_local_broadcast, ell_dtg
 from .flooding import FloodingGossip, run_flooding
 from .latency_discovery import DiscoveryResult, discover_latencies
@@ -60,6 +67,8 @@ __all__ = [
     "rr_broadcast",
     "run_flooding",
     "run_push_pull",
+    "seed_engine",
+    "task_stop_condition",
     "spanner_broadcast_attempt",
     "termination_check",
 ]

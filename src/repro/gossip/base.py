@@ -24,8 +24,16 @@ from typing import Any, Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
 from ..simulation.metrics import SimulationMetrics
+from ..simulation.protocol import EngineProtocol, PolicyCapability
 
-__all__ = ["Task", "DisseminationResult", "GossipAlgorithm", "require_connected"]
+__all__ = [
+    "Task",
+    "DisseminationResult",
+    "GossipAlgorithm",
+    "require_connected",
+    "seed_engine",
+    "task_stop_condition",
+]
 
 
 class Task(enum.Enum):
@@ -95,6 +103,32 @@ def require_connected(graph: WeightedGraph) -> None:
         raise GraphError("information dissemination requires a connected graph")
 
 
+def seed_engine(engine: EngineProtocol, task: Task, graph: WeightedGraph, source: Optional[NodeId]):
+    """Seed ``engine`` for ``task``; return the tracked rumor (or ``None``).
+
+    One-to-all tasks seed a single rumor at ``source`` (defaulting to the
+    first node); the other tasks seed every node with its own rumor and
+    track no specific one.
+    """
+    if task is Task.ONE_TO_ALL:
+        if source is None:
+            source = graph.nodes()[0]
+        if not graph.has_node(source):
+            raise GraphError(f"source {source!r} is not in the graph")
+        return engine.seed_rumor(source)
+    engine.seed_all_rumors()
+    return None
+
+
+def task_stop_condition(task: Task, rumor):
+    """Return ``task``'s completion predicate as an engine callback."""
+    if task is Task.ONE_TO_ALL:
+        return lambda eng: eng.dissemination_complete(rumor)
+    if task is Task.ALL_TO_ALL:
+        return lambda eng: eng.all_to_all_complete()
+    return lambda eng: eng.local_broadcast_complete()
+
+
 class GossipAlgorithm(abc.ABC):
     """Base class for all gossip algorithms.
 
@@ -102,10 +136,21 @@ class GossipAlgorithm(abc.ABC):
     tables.  Algorithms must be stateless across runs (all per-run state
     lives in the engine or in locals) so one instance can be reused across a
     parameter sweep.
+
+    ``capability`` declares which simulation backends can run the
+    algorithm's policy (see :mod:`repro.simulation.protocol`): algorithms
+    whose per-round choice is declarative — uniform-random neighbour
+    selection or a round-robin schedule, optionally gated on being
+    (un)informed — declare :attr:`PolicyCapability.UNIFORM_RANDOM` and may
+    run vectorized on the fast bitset backend; algorithms that drive the
+    engine through arbitrary per-node callbacks keep the default
+    :attr:`PolicyCapability.ARBITRARY_CALLBACK` and always use the
+    reference backend.
     """
 
     name: str = "gossip"
     task: Task = Task.ONE_TO_ALL
+    capability: PolicyCapability = PolicyCapability.ARBITRARY_CALLBACK
 
     @abc.abstractmethod
     def run(
@@ -114,6 +159,7 @@ class GossipAlgorithm(abc.ABC):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
         """Run the algorithm on ``graph`` and return the result.
 
@@ -121,6 +167,12 @@ class GossipAlgorithm(abc.ABC):
         all-to-all / local-broadcast algorithms.  ``seed`` makes randomized
         algorithms reproducible.  ``max_rounds`` is a safety cap; hitting it
         raises ``RuntimeError`` rather than returning a bogus result.
+        ``engine`` selects the simulation backend (``"reference"``,
+        ``"fast"``, or ``"auto"``); ``"auto"`` resolves to the fast backend
+        exactly when the algorithm's :attr:`capability` allows it.  The
+        backend that actually ran is recorded in
+        ``DisseminationResult.details["engine"]`` by engine-driven
+        algorithms.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -12,15 +12,26 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
-from ..simulation.engine import GossipEngine, NodeView
-from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
+from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.protocol import PolicyCapability, RoundPolicySpec, create_engine
+from .base import (
+    DisseminationResult,
+    GossipAlgorithm,
+    Task,
+    require_connected,
+    seed_engine,
+    task_stop_condition,
+)
 
 __all__ = ["FloodingGossip", "run_flooding"]
 
 
 class FloodingGossip(GossipAlgorithm):
     """Round-robin flooding over all incident edges.
+
+    The per-round choice is a declarative round-robin schedule, so flooding
+    declares :attr:`PolicyCapability.UNIFORM_RANDOM` and runs vectorized on
+    the fast backend under ``engine="auto"``.
 
     Parameters
     ----------
@@ -31,6 +42,8 @@ class FloodingGossip(GossipAlgorithm):
         (the classic "flood on first receipt" behaviour).  Defaults to false
         so that the pull direction is exercised as in the paper's model.
     """
+
+    capability = PolicyCapability.UNIFORM_RANDOM
 
     def __init__(self, task: Task = Task.ONE_TO_ALL, informed_only: bool = False) -> None:
         self.name = "flooding"
@@ -43,37 +56,16 @@ class FloodingGossip(GossipAlgorithm):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
         require_connected(graph)
-        engine = GossipEngine(graph)
-        if self.task is Task.ONE_TO_ALL:
-            if source is None:
-                source = graph.nodes()[0]
-            if not graph.has_node(source):
-                raise GraphError(f"source {source!r} is not in the graph")
-            rumor = engine.seed_rumor(source)
-        else:
-            engine.seed_all_rumors()
-            rumor = None
-
-        def policy(view: NodeView) -> Optional[NodeId]:
-            if self.informed_only and not view.knowledge.rumors:
-                return None
-            if not view.neighbors:
-                return None
-            cursor = view.scratch.get("cursor", 0)
-            choice = view.neighbors[cursor % len(view.neighbors)]
-            view.scratch["cursor"] = cursor + 1
-            return choice
-
-        def stop(eng: GossipEngine) -> bool:
-            if self.task is Task.ONE_TO_ALL:
-                return eng.dissemination_complete(rumor)
-            if self.task is Task.ALL_TO_ALL:
-                return eng.all_to_all_complete()
-            return eng.local_broadcast_complete()
-
-        metrics = engine.run(policy, stop_condition=stop, max_rounds=max_rounds)
+        eng, backend = create_engine(graph, engine, capability=self.capability)
+        rumor = seed_engine(eng, self.task, graph, source)
+        spec = RoundPolicySpec(
+            select="round-robin",
+            gate="informed-only" if self.informed_only else "all",
+        )
+        metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,
             task=self.task,
@@ -81,6 +73,7 @@ class FloodingGossip(GossipAlgorithm):
             rounds_simulated=metrics.rounds,
             complete=True,
             metrics=metrics,
+            details={"engine": backend},
         )
 
 
@@ -90,6 +83,7 @@ def run_flooding(
     seed: int = 0,
     task: Task = Task.ONE_TO_ALL,
     max_rounds: int = 1_000_000,
+    engine: str = "auto",
 ) -> DisseminationResult:
     """Convenience wrapper: run flooding once and return the result."""
-    return FloodingGossip(task=task).run(graph, source=source, seed=seed, max_rounds=max_rounds)
+    return FloodingGossip(task=task).run(graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine)

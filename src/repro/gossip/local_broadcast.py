@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
 from ..simulation.metrics import SimulationMetrics
+from ..simulation.protocol import PolicyCapability, resolve_backend
 from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
 from .dtg import ell_dtg
 from .push_pull import PushPullGossip
@@ -41,8 +42,10 @@ class DTGLocalBroadcast(GossipAlgorithm):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
         require_connected(graph)
+        resolve_backend(engine, capability=self.capability)
         result = ell_dtg(graph, graph.max_latency(), phase_label="local-broadcast")
         complete = all(
             {rumor.origin for rumor in result.knowledge[node]} >= set(graph.neighbors(node))
@@ -67,6 +70,8 @@ class DTGLocalBroadcast(GossipAlgorithm):
 class RandomizedLocalBroadcast(GossipAlgorithm):
     """Solve local broadcast by running push-pull until the predicate holds."""
 
+    capability = PolicyCapability.UNIFORM_RANDOM
+
     def __init__(self) -> None:
         self.name = "push-pull-local-broadcast"
         self.task = Task.LOCAL_BROADCAST
@@ -78,7 +83,8 @@ class RandomizedLocalBroadcast(GossipAlgorithm):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
-        result = self._inner.run(graph, source=source, seed=seed, max_rounds=max_rounds)
+        result = self._inner.run(graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine)
         result.algorithm = self.name
         return result

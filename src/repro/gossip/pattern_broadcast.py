@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
 from ..simulation.messages import Rumor
+from ..simulation.protocol import resolve_backend
 from ..simulation.metrics import SimulationMetrics
 from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
 from .dtg import ell_dtg
@@ -91,8 +92,10 @@ class PatternBroadcast(GossipAlgorithm):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
         require_connected(graph)
+        resolve_backend(engine, capability=self.capability)
         initial_knowledge: dict[NodeId, set[Rumor]] = {
             node: {Rumor(origin=node)} for node in graph.nodes()
         }

@@ -9,16 +9,28 @@ letting benchmarks show the (large) gap on stars and similar topologies.
 
 Theorem 29 shows push-pull completes one-to-all dissemination in
 ``O((ℓ*/φ*)·log n)`` rounds; Corollary 30 gives the φ_avg version.
+
+All three protocols are *declarative* — each round is "gate, then pick a
+uniformly random neighbour" — so they declare
+:attr:`PolicyCapability.UNIFORM_RANDOM` and run on either simulation
+backend; ``engine="auto"`` picks the fast bitset engine.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
-from ..simulation.engine import GossipEngine, NodeView
+from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.protocol import PolicyCapability, RoundPolicySpec, create_engine
 from ..simulation.rng import make_rng
-from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
+from .base import (
+    DisseminationResult,
+    GossipAlgorithm,
+    Task,
+    require_connected,
+    seed_engine,
+    task_stop_condition,
+)
 
 __all__ = ["PushPullGossip", "PushGossip", "PullGossip", "run_push_pull"]
 
@@ -38,17 +50,12 @@ class PushPullGossip(GossipAlgorithm):
         which is what the pull side of the protocol needs.
     """
 
+    capability = PolicyCapability.UNIFORM_RANDOM
+
     def __init__(self, task: Task = Task.ONE_TO_ALL, informed_only: bool = False) -> None:
         self.name = "push-pull"
         self.task = task
         self.informed_only = informed_only
-
-    def _stop_condition(self, engine: GossipEngine, rumor) -> bool:
-        if self.task is Task.ONE_TO_ALL:
-            return engine.dissemination_complete(rumor)
-        if self.task is Task.ALL_TO_ALL:
-            return engine.all_to_all_complete()
-        return engine.local_broadcast_complete()
 
     def run(
         self,
@@ -56,32 +63,17 @@ class PushPullGossip(GossipAlgorithm):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
         require_connected(graph)
-        engine = GossipEngine(graph)
-        if self.task is Task.ONE_TO_ALL:
-            if source is None:
-                source = graph.nodes()[0]
-            if not graph.has_node(source):
-                raise GraphError(f"source {source!r} is not in the graph")
-            rumor = engine.seed_rumor(source)
-        else:
-            engine.seed_all_rumors()
-            rumor = None
-        rng = make_rng(seed, "push-pull")
-
-        def policy(view: NodeView) -> Optional[NodeId]:
-            if self.informed_only and not view.knowledge.rumors:
-                return None
-            if not view.neighbors:
-                return None
-            return rng.choice(view.neighbors)
-
-        metrics = engine.run(
-            policy,
-            stop_condition=lambda eng: self._stop_condition(eng, rumor),
-            max_rounds=max_rounds,
+        eng, backend = create_engine(graph, engine, capability=self.capability)
+        rumor = seed_engine(eng, self.task, graph, source)
+        spec = RoundPolicySpec(
+            select="uniform-random",
+            gate="informed-only" if self.informed_only else "all",
+            rng=make_rng(seed, "push-pull"),
         )
+        metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,
             task=self.task,
@@ -89,6 +81,7 @@ class PushPullGossip(GossipAlgorithm):
             rounds_simulated=metrics.rounds,
             complete=True,
             metrics=metrics,
+            details={"engine": backend},
         )
 
 
@@ -107,10 +100,22 @@ class _DirectionalGossip(GossipAlgorithm):
     """
 
     direction: str = "push"
+    capability = PolicyCapability.UNIFORM_RANDOM
 
     def __init__(self, task: Task = Task.ONE_TO_ALL) -> None:
         self.task = task
         self.name = self.direction
+
+    def _gate(self) -> str:
+        if self.direction == "push":
+            # Only informed nodes have anything to push.
+            return "informed-only"
+        if self.task is Task.ONE_TO_ALL:
+            # A fully informed node has nothing to pull in one-to-all mode,
+            # but it keeps gossiping so others can still pull from it via
+            # their own initiations.
+            return "uninformed-only"
+        return "all"
 
     def run(
         self,
@@ -118,39 +123,17 @@ class _DirectionalGossip(GossipAlgorithm):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
         require_connected(graph)
-        engine = GossipEngine(graph)
-        if self.task is Task.ONE_TO_ALL:
-            if source is None:
-                source = graph.nodes()[0]
-            rumor = engine.seed_rumor(source)
-        else:
-            engine.seed_all_rumors()
-            rumor = None
-        rng = make_rng(seed, self.direction)
-
-        def policy(view: NodeView) -> Optional[NodeId]:
-            if not view.neighbors:
-                return None
-            informed = bool(view.knowledge.rumors)
-            if self.direction == "push" and not informed:
-                return None
-            if self.direction == "pull" and informed and self.task is Task.ONE_TO_ALL:
-                # A fully informed node has nothing to pull in one-to-all mode,
-                # but it keeps gossiping so others can still pull from it via
-                # their own initiations.
-                return None
-            return rng.choice(view.neighbors)
-
-        def stop(eng: GossipEngine) -> bool:
-            if self.task is Task.ONE_TO_ALL:
-                return eng.dissemination_complete(rumor)
-            if self.task is Task.ALL_TO_ALL:
-                return eng.all_to_all_complete()
-            return eng.local_broadcast_complete()
-
-        metrics = engine.run(policy, stop_condition=stop, max_rounds=max_rounds)
+        eng, backend = create_engine(graph, engine, capability=self.capability)
+        rumor = seed_engine(eng, self.task, graph, source)
+        spec = RoundPolicySpec(
+            select="uniform-random",
+            gate=self._gate(),
+            rng=make_rng(seed, self.direction),
+        )
+        metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,
             task=self.task,
@@ -158,6 +141,7 @@ class _DirectionalGossip(GossipAlgorithm):
             rounds_simulated=metrics.rounds,
             complete=True,
             metrics=metrics,
+            details={"engine": backend},
         )
 
 
@@ -179,6 +163,7 @@ def run_push_pull(
     seed: int = 0,
     task: Task = Task.ONE_TO_ALL,
     max_rounds: int = 1_000_000,
+    engine: str = "auto",
 ) -> DisseminationResult:
     """Convenience wrapper: run classical push-pull once and return the result."""
-    return PushPullGossip(task=task).run(graph, source=source, seed=seed, max_rounds=max_rounds)
+    return PushPullGossip(task=task).run(graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine)

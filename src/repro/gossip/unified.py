@@ -21,6 +21,7 @@ from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
 from ..simulation.metrics import SimulationMetrics
+from ..simulation.protocol import resolve_backend
 from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
 from .latency_discovery import discover_latencies
 from .push_pull import PushPullGossip
@@ -54,11 +55,16 @@ class UnifiedGossip(GossipAlgorithm):
         source: Optional[NodeId] = None,
         seed: int = 0,
         max_rounds: int = 1_000_000,
+        engine: str = "auto",
     ) -> DisseminationResult:
         require_connected(graph)
+        # The spanner branch is callback-driven, so the combined strategy
+        # cannot honour an explicit engine="fast"; the push-pull branch
+        # still picks the fast backend under "auto".
+        resolve_backend(engine, capability=self.capability)
 
         push_pull = PushPullGossip(task=Task.ALL_TO_ALL)
-        push_pull_result = push_pull.run(graph, seed=seed, max_rounds=max_rounds)
+        push_pull_result = push_pull.run(graph, seed=seed, max_rounds=max_rounds, engine=engine)
 
         spanner_time = 0.0
         if not self.latencies_known:

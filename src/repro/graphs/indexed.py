@@ -1,0 +1,148 @@
+"""Indexed CSR graph core: the compact, array-backed view of a graph.
+
+:class:`WeightedGraph` stores adjacency as nested dicts keyed by arbitrary
+hashable node labels — convenient to build and mutate, but slow to traverse
+millions of times from a simulation hot loop.  :class:`IndexedGraph` is the
+complementary read-only core: nodes are renumbered to contiguous integers
+``0..n-1`` and adjacency is laid out CSR-style in three flat arrays
+
+* ``indptr`` — ``indptr[i]:indptr[i+1]`` is node ``i``'s slice of slots,
+* ``indices`` — the neighbour index stored in each slot,
+* ``latencies`` — the latency of the edge stored in each slot,
+
+so that ``degree``, ``neighbors`` and ``latency`` are array reads with no
+hashing.  Neighbour order within a node's slice matches
+``WeightedGraph.neighbors`` (insertion order), which is what lets the fast
+simulation backend reproduce the reference engine's seeded decisions
+bit-for-bit.
+
+Instances are built once per graph *version* and cached on the graph via
+:meth:`WeightedGraph.indexed`; any mutation of the source graph bumps its
+version and invalidates the cache.  An :class:`IndexedGraph` must therefore
+never be mutated — every attribute is build-once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .weighted_graph import NodeId, WeightedGraph
+
+__all__ = ["IndexedGraph"]
+
+
+class IndexedGraph:
+    """Immutable CSR snapshot of a :class:`WeightedGraph`.
+
+    Build via :meth:`WeightedGraph.indexed` (cached) rather than directly so
+    repeated lookups share one snapshot per graph version.
+    """
+
+    __slots__ = (
+        "labels",
+        "index",
+        "indptr",
+        "indices",
+        "latencies",
+        "slot_edge_id",
+        "num_edges",
+        "_neighbor_labels",
+        "_slot_lookup",
+    )
+
+    def __init__(self, graph: "WeightedGraph") -> None:
+        labels: list["NodeId"] = graph.nodes()
+        index: dict["NodeId", int] = {label: i for i, label in enumerate(labels)}
+        indptr: list[int] = [0]
+        indices: list[int] = []
+        latencies: list[int] = []
+        slot_edge_id: list[int] = []
+        edge_ids: dict[tuple[int, int], int] = {}
+        neighbor_labels: list[tuple["NodeId", ...]] = []
+        for i, label in enumerate(labels):
+            nbr_latencies = graph.neighbor_latencies(label)
+            neighbor_labels.append(tuple(nbr_latencies))
+            for nbr, latency in nbr_latencies.items():
+                j = index[nbr]
+                key = (i, j) if i < j else (j, i)
+                edge_id = edge_ids.setdefault(key, len(edge_ids))
+                indices.append(j)
+                latencies.append(latency)
+                slot_edge_id.append(edge_id)
+            indptr.append(len(indices))
+        self.labels = labels
+        self.index = index
+        self.indptr = indptr
+        self.indices = indices
+        self.latencies = latencies
+        self.slot_edge_id = slot_edge_id
+        self.num_edges = len(edge_ids)
+        self._neighbor_labels = neighbor_labels
+        self._slot_lookup: Optional[list[dict[int, int]]] = None
+
+    # ------------------------------------------------------------------
+    # Size
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return len(self.labels)
+
+    # ------------------------------------------------------------------
+    # Index <-> label translation
+    # ------------------------------------------------------------------
+    def index_of(self, label: "NodeId") -> int:
+        """Return the contiguous integer index of a node label."""
+        return self.index[label]
+
+    def label_of(self, i: int) -> "NodeId":
+        """Return the original label of node index ``i``."""
+        return self.labels[i]
+
+    # ------------------------------------------------------------------
+    # Hot-path queries (by node index)
+    # ------------------------------------------------------------------
+    def degree(self, i: int) -> int:
+        """Degree of node index ``i``."""
+        return self.indptr[i + 1] - self.indptr[i]
+
+    def neighbor_slice(self, i: int) -> tuple[int, int]:
+        """The ``[start, end)`` slot range of node index ``i``."""
+        return self.indptr[i], self.indptr[i + 1]
+
+    def neighbors(self, i: int) -> list[int]:
+        """Neighbour indices of node index ``i`` (a fresh list)."""
+        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+
+    def neighbor_labels(self, label: "NodeId") -> tuple["NodeId", ...]:
+        """The cached neighbour labels of ``label``.
+
+        Returned as a (shared, immutable) tuple so hot paths can reuse the
+        snapshot without a caller accidentally corrupting it.  Order matches
+        ``WeightedGraph.neighbors``.
+        """
+        return self._neighbor_labels[self.index[label]]
+
+    def slot_of(self, i: int, j: int) -> int:
+        """Return the CSR slot of the directed pair ``(i, j)``.
+
+        Raises ``KeyError`` if ``j`` is not a neighbour of ``i``.  The
+        per-node lookup maps are built lazily on first use because only the
+        label-based entry points need them; the vectorized round loop
+        addresses slots directly.
+        """
+        if self._slot_lookup is None:
+            lookup: list[dict[int, int]] = []
+            for u in range(self.num_nodes):
+                start, end = self.indptr[u], self.indptr[u + 1]
+                lookup.append({self.indices[s]: s for s in range(start, end)})
+            self._slot_lookup = lookup
+        return self._slot_lookup[i][j]
+
+    def latency_between(self, i: int, j: int) -> int:
+        """Latency of the edge between node indices ``i`` and ``j``."""
+        return self.latencies[self.slot_of(i, j)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"

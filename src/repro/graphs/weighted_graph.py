@@ -21,9 +21,12 @@ from __future__ import annotations
 
 from collections.abc import Hashable, Iterable, Iterator, Mapping
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import networkx as nx
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .indexed import IndexedGraph
 
 NodeId = Hashable
 
@@ -91,6 +94,8 @@ class WeightedGraph:
 
     def __init__(self, nodes: Optional[Iterable[NodeId]] = None) -> None:
         self._adj: dict[NodeId, dict[NodeId, int]] = {}
+        self._version = 0
+        self._indexed_cache: Optional[tuple[int, "IndexedGraph"]] = None
         if nodes is not None:
             for node in nodes:
                 self.add_node(node)
@@ -98,9 +103,16 @@ class WeightedGraph:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _mutated(self) -> None:
+        """Bump the structural version, invalidating cached indexed views."""
+        self._version += 1
+        self._indexed_cache = None
+
     def add_node(self, node: NodeId) -> None:
         """Add a node (no-op if it already exists)."""
-        self._adj.setdefault(node, {})
+        if node not in self._adj:
+            self._adj[node] = {}
+            self._mutated()
 
     def add_edge(self, u: NodeId, v: NodeId, latency: int = 1) -> None:
         """Add the undirected edge ``{u, v}`` with the given latency.
@@ -127,6 +139,7 @@ class WeightedGraph:
             return
         self._adj[u][v] = latency
         self._adj[v][u] = latency
+        self._mutated()
 
     def set_latency(self, u: NodeId, v: NodeId, latency: int) -> None:
         """Change the latency of an existing edge."""
@@ -136,6 +149,7 @@ class WeightedGraph:
             raise GraphError(f"latency must be a positive int, got {latency!r}")
         self._adj[u][v] = latency
         self._adj[v][u] = latency
+        self._mutated()
 
     def remove_edge(self, u: NodeId, v: NodeId) -> None:
         """Remove the edge ``{u, v}``."""
@@ -143,6 +157,7 @@ class WeightedGraph:
             raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
         del self._adj[u][v]
         del self._adj[v][u]
+        self._mutated()
 
     def remove_node(self, node: NodeId) -> None:
         """Remove ``node`` and all incident edges."""
@@ -151,10 +166,31 @@ class WeightedGraph:
         for neighbor in list(self._adj[node]):
             del self._adj[neighbor][node]
         del self._adj[node]
+        self._mutated()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def version(self) -> int:
+        """Monotonic structural version; bumped by every mutation."""
+        return self._version
+
+    def indexed(self) -> "IndexedGraph":
+        """Return the cached :class:`~repro.graphs.indexed.IndexedGraph` core.
+
+        The CSR snapshot is built on first use and reused until the graph is
+        mutated, so hot paths (the simulation engines) can call this freely.
+        """
+        cache = self._indexed_cache
+        if cache is not None and cache[0] == self._version:
+            return cache[1]
+        from .indexed import IndexedGraph
+
+        built = IndexedGraph(self)
+        self._indexed_cache = (self._version, built)
+        return built
+
     @property
     def num_nodes(self) -> int:
         """Number of nodes."""

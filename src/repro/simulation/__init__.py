@@ -1,34 +1,103 @@
-"""Latency-aware synchronous gossip simulator.
+"""Latency-aware synchronous gossip simulator with pluggable backends.
 
-* :mod:`~repro.simulation.engine` — the round/exchange engine,
+Architecture
+------------
+Simulation runs behind one abstract surface,
+:class:`~repro.simulation.protocol.EngineProtocol` (seeding, stepping,
+running, completion queries), with two registered backends:
+
+* ``"reference"`` — :class:`~repro.simulation.engine.GossipEngine`: the
+  original per-node-callback engine over :class:`KnowledgeState` rumor
+  sets.  It runs *any* exchange policy (arbitrary Python callbacks) and is
+  the correctness oracle; its behaviour is frozen bit-for-bit.
+* ``"fast"`` — :class:`~repro.simulation.fast_engine.FastEngine`: per-node
+  knowledge as integer bitsets over the cached
+  :class:`~repro.graphs.indexed.IndexedGraph` CSR core, payload snapshots
+  as ints, batched per-round neighbour draws, and incrementally maintained
+  informed counts so completion predicates are O(1).  It runs only
+  *declarative* :class:`~repro.simulation.protocol.RoundPolicySpec`
+  policies.
+
+The capability contract
+-----------------------
+Algorithms declare which policy shape they need via
+:class:`~repro.simulation.protocol.PolicyCapability`:
+
+* ``UNIFORM_RANDOM`` — the per-round choice is declarative (uniform-random
+  neighbour or round-robin cursor, with an optional informed/uninformed
+  gate).  Both backends run it, with **identical** seeded trajectories:
+  ``rng.choice(neighbors)`` (reference) and ``rng.randrange(degree)``
+  (fast) consume the same random stream, and both engines sweep nodes in
+  the same order.
+* ``ARBITRARY_CALLBACK`` — the policy inspects per-node state in Python.
+  Only the reference backend runs it.
+
+When ``engine="auto"`` (the default on ``GossipAlgorithm.run``),
+:func:`~repro.simulation.protocol.resolve_backend` picks ``"fast"`` exactly
+when the algorithm declares ``UNIFORM_RANDOM`` and no event trace is
+requested, and ``"reference"`` otherwise.  Requesting ``engine="fast"`` for
+a callback-only algorithm raises
+:class:`~repro.simulation.protocol.EngineSelectionError`.
+
+Modules
+-------
+* :mod:`~repro.simulation.protocol` — backend protocol, capabilities,
+  policy specs, and the backend registry,
+* :mod:`~repro.simulation.engine` — the reference round/exchange engine,
+* :mod:`~repro.simulation.fast_engine` — the bitset fast backend,
 * :mod:`~repro.simulation.messages` — rumors and per-node knowledge,
 * :mod:`~repro.simulation.metrics` — time / message / activation counters,
-* :mod:`~repro.simulation.tracing` — optional event traces,
-* :mod:`~repro.simulation.rng` — deterministic seed derivation.
+* :mod:`~repro.simulation.tracing` — optional event traces (reference only),
+* :mod:`~repro.simulation.rng` — deterministic seed derivation,
+* :mod:`~repro.simulation.faults` — crash/edge-drop fault injection.
 """
 
 from .engine import ExchangePolicy, GossipEngine, NodeView, PendingExchange
+from .fast_engine import FastEngine
 from .faults import FaultPlan, FaultyEngine, random_crash_plan, random_edge_drop_plan
 from .messages import KnowledgeState, Rumor
 from .metrics import SimulationMetrics
+from .protocol import (
+    ENGINE_BACKENDS,
+    EngineProtocol,
+    EngineSelectionError,
+    PolicyCapability,
+    RoundPolicySpec,
+    available_backends,
+    create_engine,
+    register_engine,
+    resolve_backend,
+    set_default_backend,
+)
 from .rng import derive_seed, make_rng, spawn_rngs
 from .tracing import EventTrace, TraceEvent
 
 __all__ = [
+    "ENGINE_BACKENDS",
+    "EngineProtocol",
+    "EngineSelectionError",
     "EventTrace",
     "ExchangePolicy",
+    "FastEngine",
     "FaultPlan",
     "FaultyEngine",
     "GossipEngine",
     "KnowledgeState",
     "NodeView",
     "PendingExchange",
+    "PolicyCapability",
+    "RoundPolicySpec",
     "Rumor",
     "SimulationMetrics",
     "TraceEvent",
+    "available_backends",
+    "create_engine",
     "derive_seed",
     "make_rng",
     "random_crash_plan",
     "random_edge_drop_plan",
+    "register_engine",
+    "resolve_backend",
+    "set_default_backend",
     "spawn_rngs",
 ]

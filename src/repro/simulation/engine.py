@@ -24,13 +24,14 @@ state the algorithm keeps.
 from __future__ import annotations
 
 import heapq
-from collections.abc import Callable, Iterable
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
 from .messages import KnowledgeState, Rumor
 from .metrics import SimulationMetrics
+from .protocol import RoundPolicySpec, register_engine
 from .tracing import EventTrace
 
 __all__ = ["PendingExchange", "NodeView", "GossipEngine", "ExchangePolicy"]
@@ -67,9 +68,11 @@ class NodeView:
         is allowed — it models local computation — but reading other nodes'
         states is not possible through this view).
     neighbors:
-        The node's incident neighbours.  Latency values are *not* exposed
-        here because the default model has unknown latencies; algorithms for
-        known latencies receive them explicitly.
+        The node's incident neighbours, as an immutable sequence shared
+        with the graph's cached index (do not mutate; copy if you need a
+        list).  Latency values are *not* exposed here because the default
+        model has unknown latencies; algorithms for known latencies receive
+        them explicitly.
     scratch:
         Algorithm-private mutable state for this node.
     round:
@@ -80,7 +83,7 @@ class NodeView:
 
     node: NodeId
     knowledge: KnowledgeState
-    neighbors: list[NodeId]
+    neighbors: Sequence[NodeId]
     scratch: dict[str, Any]
     round: int
     busy: bool
@@ -89,8 +92,23 @@ class NodeView:
 ExchangePolicy = Callable[[NodeView], Optional[NodeId]]
 
 
+def _as_callback(policy) -> ExchangePolicy:
+    """Accept either a callback or a declarative spec; return a callback."""
+    if isinstance(policy, RoundPolicySpec):
+        return policy.compile()
+    return policy
+
+
+@register_engine("reference")
 class GossipEngine:
     """Round-by-round simulator of latency-aware gossip.
+
+    This is the *reference backend* of the pluggable-engine architecture
+    (see :mod:`repro.simulation.protocol`): it accepts arbitrary per-node
+    exchange-policy callbacks — and, for convenience, declarative
+    :class:`RoundPolicySpec` policies, which it compiles to the equivalent
+    callback — and is kept bit-for-bit as the correctness oracle that the
+    fast backend is verified against.
 
     Parameters
     ----------
@@ -164,11 +182,18 @@ class GossipEngine:
         return True
 
     def node_view(self, node: NodeId) -> NodeView:
-        """Return the policy-facing view of ``node``'s local state."""
+        """Return the policy-facing view of ``node``'s local state.
+
+        The neighbour sequence comes from the graph's cached
+        :class:`~repro.graphs.indexed.IndexedGraph` core (same contents and
+        order as ``graph.neighbors``, without re-materializing a list per
+        call); it is an immutable tuple, so policies cannot corrupt the
+        shared cache.
+        """
         return NodeView(
             node=node,
             knowledge=self.knowledge[node],
-            neighbors=self.graph.neighbors(node),
+            neighbors=self.graph.indexed().neighbor_labels(node),
             scratch=self.scratch[node],
             round=self.round,
             busy=self._outstanding[node] > 0,
@@ -214,7 +239,12 @@ class GossipEngine:
             u, v = exchange.initiator, exchange.responder
             new_for_v = self.knowledge[v].merge(set(exchange.initiator_payload))
             new_for_u = self.knowledge[u].merge(set(exchange.responder_payload))
-            self._outstanding[u] = max(0, self._outstanding[u] - 1)
+            self._outstanding[u] -= 1
+            if self._outstanding[u] < 0:
+                raise RuntimeError(
+                    f"outstanding-exchange underflow for node {u!r}: an exchange "
+                    "completed that was never accounted as initiated"
+                )
             self.metrics.record_exchange_completed(
                 payload_size=len(exchange.initiator_payload) + len(exchange.responder_payload)
             )
@@ -233,6 +263,7 @@ class GossipEngine:
         the paper's convention that an exchange over a latency-ℓ edge
         initiated in round r is usable from round r + ℓ on.
         """
+        policy = _as_callback(policy)
         self.round += 1
         self.metrics.rounds = self.round
         self._deliver_due_exchanges()
@@ -263,6 +294,7 @@ class GossipEngine:
         still-pending exchanges are discarded (they cannot change the
         outcome); otherwise they remain pending.
         """
+        policy = _as_callback(policy)
         if stop_condition(self):
             self.metrics.completion_time = self.round + self.metrics.charged_time
             return self.metrics

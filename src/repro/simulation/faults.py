@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
-from .engine import ExchangePolicy, GossipEngine, NodeView
+from .engine import ExchangePolicy, GossipEngine, NodeView, _as_callback
 from .rng import make_rng
 
 __all__ = ["FaultPlan", "random_crash_plan", "random_edge_drop_plan", "FaultyEngine"]
@@ -137,7 +137,12 @@ class FaultyEngine(GossipEngine):
         while self._pending and self._pending[0].completes_at <= self.round:
             exchange = heapq.heappop(self._pending)
             u, v = exchange.initiator, exchange.responder
-            self._outstanding[u] = max(0, self._outstanding[u] - 1)
+            self._outstanding[u] -= 1
+            if self._outstanding[u] < 0:
+                raise RuntimeError(
+                    f"outstanding-exchange underflow for node {u!r}: an exchange "
+                    "completed that was never accounted as initiated"
+                )
             if (
                 self.fault_plan.is_node_crashed(u, self.round)
                 or self.fault_plan.is_node_crashed(v, self.round)
@@ -156,6 +161,7 @@ class FaultyEngine(GossipEngine):
                 )
 
     def step(self, policy: ExchangePolicy) -> None:
+        policy = _as_callback(policy)
         self.round += 1
         self.metrics.rounds = self.round
         self._deliver_due_exchanges()

@@ -1,0 +1,312 @@
+"""Pluggable simulation backends: protocol, capabilities, and registry.
+
+The simulation layer exposes one abstract surface — :class:`EngineProtocol`
+— with interchangeable implementations ("backends"):
+
+* ``"reference"`` — :class:`~repro.simulation.engine.GossipEngine`, the
+  original per-node-callback engine.  It accepts *arbitrary* exchange
+  policies (any callable from :class:`NodeView` to a neighbour) and is kept
+  bit-for-bit as the correctness oracle.
+* ``"fast"`` — :class:`~repro.simulation.fast_engine.FastEngine`, which
+  represents per-node knowledge as integer bitsets over the cached
+  :class:`~repro.graphs.indexed.IndexedGraph` CSR core.  It only accepts
+  *declarative* policies (:class:`RoundPolicySpec`) so the whole round can
+  run as one tight loop with no per-node Python callback dispatch, and it
+  maintains informed counts incrementally so completion predicates are O(1).
+
+The capability contract
+-----------------------
+A gossip algorithm declares, via
+:attr:`repro.gossip.base.GossipAlgorithm.capability`, which policy shape it
+needs:
+
+* :attr:`PolicyCapability.UNIFORM_RANDOM` — every round, each (un-gated)
+  node picks a neighbour by a declarative rule: uniformly at random or by a
+  per-node round-robin cursor.  Anything expressible as a
+  :class:`RoundPolicySpec` qualifies; both backends can run it, and the two
+  produce *identical* seeded trajectories because ``random.Random.choice``
+  on a length-``d`` sequence and ``random.Random.randrange(d)`` consume the
+  same underlying random stream.
+* :attr:`PolicyCapability.ARBITRARY_CALLBACK` — the algorithm inspects
+  per-node state (scratch, knowledge contents, round number) inside a
+  Python callback.  Only the reference backend can run it.
+
+Backend selection
+-----------------
+:func:`resolve_backend` maps the user-facing ``engine=`` knob
+(``"reference"`` / ``"fast"`` / ``"auto"``) to a concrete backend name:
+``"auto"`` picks ``"fast"`` exactly when the capability is
+``UNIFORM_RANDOM`` and no event trace was requested, and falls back to
+``"reference"`` otherwise.  Requesting ``"fast"`` for a callback-only
+algorithm raises :class:`EngineSelectionError` rather than silently
+degrading.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol, runtime_checkable
+
+from ..graphs.weighted_graph import NodeId, WeightedGraph
+from .messages import Rumor
+from .metrics import SimulationMetrics
+
+__all__ = [
+    "ENGINE_BACKENDS",
+    "EngineProtocol",
+    "EngineSelectionError",
+    "PolicyCapability",
+    "RoundPolicySpec",
+    "available_backends",
+    "create_engine",
+    "register_engine",
+    "resolve_backend",
+    "set_default_backend",
+]
+
+
+class EngineSelectionError(ValueError):
+    """Raised when an ``engine=`` request cannot be satisfied."""
+
+
+class PolicyCapability(enum.Enum):
+    """The policy shape a gossip algorithm drives the engine with.
+
+    ``UNIFORM_RANDOM`` covers every per-round choice rule expressible as a
+    :class:`RoundPolicySpec` — uniform random neighbour selection (the
+    random phone-call family) and deterministic round-robin schedules
+    (flooding).  ``ARBITRARY_CALLBACK`` is everything else.
+    """
+
+    UNIFORM_RANDOM = "uniform-random"
+    ARBITRARY_CALLBACK = "arbitrary-callback"
+
+
+@dataclass(frozen=True, eq=False)
+class RoundPolicySpec:
+    """Declarative description of a per-round exchange policy.
+
+    Attributes
+    ----------
+    select:
+        ``"uniform-random"`` — pick a uniformly random neighbour using
+        ``rng`` — or ``"round-robin"`` — cycle through the neighbour list
+        with a per-node cursor.
+    gate:
+        Which nodes act each round: ``"all"``, ``"informed-only"`` (only
+        nodes knowing at least one rumor; the classical push trigger) or
+        ``"uninformed-only"`` (only nodes knowing nothing; the one-to-all
+        pull trigger).  Gated-out nodes consume no randomness, which keeps
+        the two backends' random streams aligned.
+    rng:
+        The random stream for ``"uniform-random"`` selection.  Must be
+        supplied for uniform specs; ignored for round-robin.
+    """
+
+    select: str
+    gate: str = "all"
+    rng: Optional[random.Random] = None
+
+    _SELECTS = ("uniform-random", "round-robin")
+    _GATES = ("all", "informed-only", "uninformed-only")
+
+    def __post_init__(self) -> None:
+        if self.select not in self._SELECTS:
+            raise ValueError(f"unknown selection rule {self.select!r}; choose from {self._SELECTS}")
+        if self.gate not in self._GATES:
+            raise ValueError(f"unknown gate {self.gate!r}; choose from {self._GATES}")
+        if self.select == "uniform-random" and self.rng is None:
+            raise ValueError("uniform-random selection requires an rng")
+
+    def compile(self) -> Callable[[Any], Optional[NodeId]]:
+        """Compile the spec to a reference-engine exchange policy.
+
+        The compiled callback consumes the random stream exactly like the
+        fast backend's vectorized loop (one ``choice``/``randrange`` draw
+        per un-gated node with a non-empty neighbour list), which is what
+        makes the two backends' seeded runs identical.
+        """
+        gate = self.gate
+        if self.select == "uniform-random":
+            choice = self.rng.choice
+
+            def policy(view: Any) -> Optional[NodeId]:
+                if gate == "informed-only" and not view.knowledge.rumors:
+                    return None
+                if gate == "uninformed-only" and view.knowledge.rumors:
+                    return None
+                if not view.neighbors:
+                    return None
+                return choice(view.neighbors)
+
+        else:
+
+            def policy(view: Any) -> Optional[NodeId]:
+                if gate == "informed-only" and not view.knowledge.rumors:
+                    return None
+                if gate == "uninformed-only" and view.knowledge.rumors:
+                    return None
+                if not view.neighbors:
+                    return None
+                cursor = view.scratch.get("cursor", 0)
+                choice = view.neighbors[cursor % len(view.neighbors)]
+                view.scratch["cursor"] = cursor + 1
+                return choice
+
+        return policy
+
+
+@runtime_checkable
+class EngineProtocol(Protocol):
+    """The surface every simulation backend implements.
+
+    ``run``/``step`` accept either an :data:`ExchangePolicy` callback (the
+    reference backend) or a :class:`RoundPolicySpec` (both backends); see
+    the capability contract in the module docstring.
+    """
+
+    graph: WeightedGraph
+    blocking: bool
+    metrics: SimulationMetrics
+    round: int
+
+    def seed_rumor(self, origin: NodeId, payload: Any = None) -> Rumor:
+        """Give ``origin`` a fresh rumor and return it."""
+        ...
+
+    def seed_all_rumors(self) -> dict[NodeId, Rumor]:
+        """Give every node its own rumor."""
+        ...
+
+    def informed_nodes(self, rumor: Rumor) -> set[NodeId]:
+        """The set of nodes currently knowing ``rumor``."""
+        ...
+
+    def dissemination_complete(self, rumor: Rumor) -> bool:
+        """Whether every node knows ``rumor``."""
+        ...
+
+    def all_to_all_complete(self) -> bool:
+        """Whether every node knows a rumor from every node."""
+        ...
+
+    def local_broadcast_complete(self) -> bool:
+        """Whether every node knows each neighbour's rumor."""
+        ...
+
+    def step(self, policy: Any) -> None:
+        """Advance the simulation by one round under ``policy``."""
+        ...
+
+    def run(
+        self,
+        policy: Any,
+        stop_condition: Callable[["EngineProtocol"], bool],
+        max_rounds: int = 1_000_000,
+        drain: bool = True,
+    ) -> SimulationMetrics:
+        """Run rounds under ``policy`` until ``stop_condition`` holds."""
+        ...
+
+
+# ----------------------------------------------------------------------
+# Backend registry
+# ----------------------------------------------------------------------
+ENGINE_BACKENDS: dict[str, type] = {}
+
+
+def register_engine(name: str) -> Callable[[type], type]:
+    """Class decorator registering a backend under ``name``."""
+
+    def decorator(cls: type) -> type:
+        ENGINE_BACKENDS[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_backends() -> list[str]:
+    """Sorted names of the registered backends."""
+    return sorted(ENGINE_BACKENDS)
+
+
+# What "auto" prefers; overridable process-wide via set_default_backend so
+# harnesses (e.g. the benchmark suite's REPRO_BENCH_ENGINE) can steer every
+# auto-resolved run without threading an argument through each call site.
+_DEFAULT_BACKEND = "auto"
+
+
+def set_default_backend(engine: str) -> str:
+    """Set what ``engine="auto"`` prefers; return the previous setting.
+
+    ``"reference"`` forces every auto-resolved run onto the reference
+    backend; ``"fast"`` prefers the fast backend where the capability
+    allows it (callback-only algorithms still fall back to reference —
+    the preference is a steering knob, not a hard request); ``"auto"``
+    restores the built-in rule.  Explicit ``engine=`` arguments on
+    individual runs are unaffected.
+    """
+    global _DEFAULT_BACKEND
+    if engine not in ("auto", "fast", "reference"):
+        raise EngineSelectionError(
+            f"default backend must be 'auto', 'fast', or 'reference', got {engine!r}"
+        )
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = engine
+    return previous
+
+
+def resolve_backend(
+    engine: str = "auto",
+    capability: PolicyCapability = PolicyCapability.ARBITRARY_CALLBACK,
+    trace: Any = None,
+) -> str:
+    """Map an ``engine=`` request to a concrete backend name.
+
+    ``"auto"`` picks ``"fast"`` when the algorithm's capability allows it
+    and no event trace is requested, and ``"reference"`` otherwise — unless
+    :func:`set_default_backend` pinned the preference.  Explicit requests
+    that cannot be satisfied raise :class:`EngineSelectionError`.
+    """
+    if engine == "auto":
+        if _DEFAULT_BACKEND == "reference":
+            return "reference"
+        if capability is PolicyCapability.UNIFORM_RANDOM and trace is None and "fast" in ENGINE_BACKENDS:
+            return "fast"
+        return "reference"
+    if engine not in ENGINE_BACKENDS:
+        raise EngineSelectionError(
+            f"unknown engine {engine!r}; choose from {available_backends() + ['auto']}"
+        )
+    if engine == "fast":
+        if capability is PolicyCapability.ARBITRARY_CALLBACK:
+            raise EngineSelectionError(
+                "the fast backend only runs declarative (uniform-random / round-robin) "
+                "policies; this algorithm needs an arbitrary callback — use "
+                "engine='reference' or 'auto'"
+            )
+        if trace is not None:
+            raise EngineSelectionError("the fast backend does not support event traces")
+    return engine
+
+
+def create_engine(
+    graph: WeightedGraph,
+    engine: str = "auto",
+    capability: PolicyCapability = PolicyCapability.ARBITRARY_CALLBACK,
+    blocking: bool = False,
+    trace: Any = None,
+) -> tuple[EngineProtocol, str]:
+    """Instantiate the backend selected by ``engine`` for ``graph``.
+
+    Returns ``(engine_instance, backend_name)`` so callers can record which
+    backend actually ran (the ``"auto"`` choice is data-dependent).
+    """
+    backend = resolve_backend(engine, capability=capability, trace=trace)
+    cls = ENGINE_BACKENDS[backend]
+    if backend == "fast":
+        return cls(graph, blocking=blocking), backend
+    return cls(graph, blocking=blocking, trace=trace), backend

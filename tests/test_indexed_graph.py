@@ -1,0 +1,100 @@
+"""Tests for the CSR IndexedGraph core and its cache on WeightedGraph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import IndexedGraph, WeightedGraph, weighted_erdos_renyi
+
+
+@pytest.fixture
+def labeled_graph() -> WeightedGraph:
+    graph = WeightedGraph()
+    graph.add_edge("a", "b", 2)
+    graph.add_edge("b", "c", 5)
+    graph.add_edge("a", "c", 1)
+    graph.add_node("d")
+    graph.add_edge("d", "a", 3)
+    return graph
+
+
+class TestCSRLayout:
+    def test_matches_weighted_graph(self, labeled_graph):
+        idx = labeled_graph.indexed()
+        assert idx.num_nodes == labeled_graph.num_nodes
+        assert idx.num_edges == labeled_graph.num_edges
+        for label in labeled_graph.nodes():
+            i = idx.index_of(label)
+            assert idx.label_of(i) == label
+            assert idx.degree(i) == labeled_graph.degree(label)
+            # Neighbour order matches the adjacency-map insertion order; the
+            # cached sequence is an immutable tuple.
+            assert list(idx.neighbor_labels(label)) == labeled_graph.neighbors(label)
+            assert isinstance(idx.neighbor_labels(label), tuple)
+            assert [idx.labels[j] for j in idx.neighbors(i)] == labeled_graph.neighbors(label)
+            for neighbor in labeled_graph.neighbors(label):
+                j = idx.index_of(neighbor)
+                assert idx.latency_between(i, j) == labeled_graph.latency(label, neighbor)
+
+    def test_indptr_is_consistent(self, labeled_graph):
+        idx = labeled_graph.indexed()
+        assert idx.indptr[0] == 0
+        assert idx.indptr[-1] == len(idx.indices) == len(idx.latencies)
+        assert len(idx.indptr) == idx.num_nodes + 1
+        # Every undirected edge occupies exactly two directed slots with one id.
+        assert len(idx.slot_edge_id) == 2 * idx.num_edges
+        assert sorted(set(idx.slot_edge_id)) == list(range(idx.num_edges))
+
+    def test_slot_of_rejects_non_neighbors(self, labeled_graph):
+        idx = labeled_graph.indexed()
+        with pytest.raises(KeyError):
+            idx.slot_of(idx.index_of("b"), idx.index_of("d"))
+
+    def test_random_graph_round_trip(self):
+        graph = weighted_erdos_renyi(40, 0.15, seed=2)
+        idx = graph.indexed()
+        for label in graph.nodes():
+            i = idx.index_of(label)
+            start, end = idx.neighbor_slice(i)
+            slots = list(range(start, end))
+            assert [idx.indices[s] for s in slots] == [idx.index_of(v) for v in graph.neighbors(label)]
+            assert [idx.latencies[s] for s in slots] == [
+                graph.latency(label, v) for v in graph.neighbors(label)
+            ]
+
+
+class TestCaching:
+    def test_cache_reuse(self, labeled_graph):
+        assert labeled_graph.indexed() is labeled_graph.indexed()
+
+    def test_mutation_invalidates(self, labeled_graph):
+        before = labeled_graph.indexed()
+        version = labeled_graph.version
+        labeled_graph.add_edge("c", "d", 7)
+        assert labeled_graph.version > version
+        after = labeled_graph.indexed()
+        assert after is not before
+        assert after.num_edges == before.num_edges + 1
+
+    def test_noop_add_node_keeps_cache(self, labeled_graph):
+        before = labeled_graph.indexed()
+        labeled_graph.add_node("a")  # already present
+        assert labeled_graph.indexed() is before
+
+    def test_set_latency_invalidates(self, labeled_graph):
+        before = labeled_graph.indexed()
+        labeled_graph.set_latency("a", "b", 9)
+        after = labeled_graph.indexed()
+        assert after is not before
+        assert after.latency_between(after.index_of("a"), after.index_of("b")) == 9
+
+    def test_remove_invalidates(self, labeled_graph):
+        labeled_graph.indexed()
+        labeled_graph.remove_edge("a", "b")
+        assert "b" not in labeled_graph.indexed().neighbor_labels("a")
+        labeled_graph.remove_node("d")
+        assert labeled_graph.indexed().num_nodes == 3
+
+    def test_direct_construction(self, labeled_graph):
+        direct = IndexedGraph(labeled_graph)
+        assert direct.num_nodes == labeled_graph.num_nodes
