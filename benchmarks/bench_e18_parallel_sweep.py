@@ -1,0 +1,40 @@
+"""E18 — parallel sweep orchestrator: scaling and determinism.
+
+Every parallel mode must produce result rows bit-identical to the serial
+run (``rows_match``).  Speedup expectations are workload-aware: the
+I/O-bound probe sweep must scale near-linearly on any hardware (it measures
+pure orchestrator overhead), while the CPU-bound push-pull sweep can only
+scale up to the number of available cores — the ≥3× bar applies whenever
+the host actually has ≥4 cores to scale onto.
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def test_e18_parallel_sweep(run_experiment_benchmark, quick_mode):
+    table = run_experiment_benchmark("E18")
+    rows = list(table)
+    serial = [row for row in rows if row["mode"] == "serial"]
+    parallel = [row for row in rows if row["mode"] != "serial"]
+    assert len(serial) == 2  # one baseline per workload
+    assert parallel, "no worker-pool modes were measured"
+
+    # Determinism: every parallel mode reproduced the serial rows exactly.
+    assert all(row["rows_match"] for row in parallel)
+
+    # Orchestrator overhead: the I/O-bound probe sweep overlaps waits
+    # regardless of core count, so its pool speedup must be near-linear.
+    probes = {row["mode"]: row for row in parallel if "probe" in row["workload"]}
+    for mode, row in probes.items():
+        workers = int(mode.split("=")[1])
+        floor = 1.5 if quick_mode else min(3.0, 0.7 * workers)
+        assert row["speedup"] >= floor, f"probe sweep {mode}: {row['speedup']}x below {floor}x"
+
+    # CPU-bound scaling: only demand ≥3x when the host can deliver it.
+    if not quick_mode and (os.cpu_count() or 1) >= 4:
+        cpu_rows = [row for row in parallel if row["workload"] == "push-pull" and row["mode"] == "workers=4"]
+        assert cpu_rows and cpu_rows[0]["speedup"] >= 3.0, (
+            f"push-pull sweep at workers=4: {cpu_rows[0]['speedup'] if cpu_rows else None}x below 3x"
+        )

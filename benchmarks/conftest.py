@@ -5,9 +5,11 @@ with a reduced sweep (useful for smoke-testing the harness), and
 ``REPRO_BENCH_ENGINE={auto,fast,reference}`` to steer which simulation
 backend ``engine="auto"`` resolves to inside the experiments (default
 ``auto``; applied via :func:`repro.simulation.set_default_backend` for the
-duration of each measured run).  Both settings are recorded in
+duration of each measured run).  ``REPRO_BENCH_WORKERS={serial,auto,N}``
+steers the sweep orchestrator's worker pool the same way (via
+:func:`repro.analysis.configure_sweeps`).  All settings are recorded in
 pytest-benchmark's ``extra_info``, so saved ``BENCH_*.json`` runs carry the
-backend they measured.
+configuration they measured.
 """
 
 from __future__ import annotations
@@ -33,8 +35,30 @@ def engine_backend() -> str:
     return backend
 
 
+@pytest.fixture(scope="session")
+def sweep_workers() -> str | None:
+    """The sweep worker knob benchmarks should request (REPRO_BENCH_WORKERS).
+
+    Accepts ``serial``, ``auto``, or an integer; ``None`` (unset) leaves each
+    experiment's own default in place.  Applied via
+    :func:`repro.analysis.configure_sweeps` for the duration of each measured
+    run, so every ``Experiment.run`` inside an experiment — and the E18
+    scaling comparison — picks it up.
+    """
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if workers is None:
+        return None
+    from repro.analysis import resolve_workers
+
+    try:
+        resolve_workers(workers)
+    except ValueError as exc:
+        raise pytest.UsageError(f"REPRO_BENCH_WORKERS: {exc}")
+    return workers
+
+
 @pytest.fixture
-def run_experiment_benchmark(benchmark, quick_mode, engine_backend):
+def run_experiment_benchmark(benchmark, quick_mode, engine_backend, sweep_workers):
     """Run one registry experiment exactly once under pytest-benchmark.
 
     The experiment's table is printed (visible with ``-s`` or in the captured
@@ -52,12 +76,14 @@ def run_experiment_benchmark(benchmark, quick_mode, engine_backend):
 
         benchmark.extra_info["engine"] = engine_backend
         benchmark.extra_info["quick"] = quick_mode
+        if sweep_workers is not None:
+            benchmark.extra_info["workers"] = sweep_workers
         previous = set_default_backend(engine_backend)
         try:
             table = benchmark.pedantic(
                 run_and_report,
                 args=(experiment_id,),
-                kwargs={"quick": quick_mode},
+                kwargs={"quick": quick_mode, "workers": sweep_workers},
                 rounds=1,
                 iterations=1,
                 warmup_rounds=0,

@@ -9,8 +9,9 @@ from __future__ import annotations
 
 import os
 from collections.abc import Callable
+from typing import Optional, Union
 
-from repro.analysis import ResultTable, render_table
+from repro.analysis import ResultTable, render_table, sweep_config
 
 from .experiments_ablations import (
     experiment_e15_robustness,
@@ -29,6 +30,7 @@ from .experiments_lower_bounds import (
     experiment_e5_lb_conductance,
     experiment_e6_lb_tradeoff,
 )
+from .experiments_sweeps import experiment_e18_parallel_sweep
 from .experiments_upper_bounds import (
     experiment_e7_pushpull_upper,
     experiment_e8_dtg,
@@ -60,23 +62,46 @@ EXPERIMENTS: dict[str, tuple[str, ExperimentFunction]] = {
     "E15": ("Ablation: crash-fault robustness (Section 6 remark)", experiment_e15_robustness),
     "E16": ("Ablation: message sizes (Section 6 remark)", experiment_e16_message_size),
     "E17": ("Engine backends: bitset fast engine vs reference", experiment_e17_engine_backends),
+    "E18": ("Harness: parallel sweep orchestrator scaling", experiment_e18_parallel_sweep),
 }
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
-def run_experiment(experiment_id: str, quick: bool = False) -> ResultTable:
-    """Run one experiment by id (e.g. ``"E7"``) and return its table."""
+def run_experiment(
+    experiment_id: str,
+    quick: bool = False,
+    workers: Union[int, str, None] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+) -> ResultTable:
+    """Run one experiment by id (e.g. ``"E7"``) and return its table.
+
+    ``workers`` / ``checkpoint_dir`` / ``resume`` become the process-wide
+    sweep defaults (:func:`repro.analysis.configure_sweeps`) for the
+    duration of the experiment, so every ``Experiment.run`` inside it — and
+    the E18 scaling comparison — picks them up.
+    """
     key = experiment_id.upper()
     if key not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {experiment_id!r}; choose one of {sorted(EXPERIMENTS)}")
     _description, function = EXPERIMENTS[key]
-    return function(quick)
+    with sweep_config(workers=workers, checkpoint_dir=checkpoint_dir, resume=resume):
+        return function(quick)
 
 
-def run_and_report(experiment_id: str, quick: bool = False, save_csv: bool = True) -> ResultTable:
+def run_and_report(
+    experiment_id: str,
+    quick: bool = False,
+    save_csv: bool = True,
+    workers: Union[int, str, None] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+) -> ResultTable:
     """Run an experiment, print its table, and persist it as CSV under ``benchmarks/results``."""
-    table = run_experiment(experiment_id, quick=quick)
+    table = run_experiment(
+        experiment_id, quick=quick, workers=workers, checkpoint_dir=checkpoint_dir, resume=resume
+    )
     print()
     print(render_table(table))
     if save_csv:

@@ -1,28 +1,139 @@
-"""Experiment runner: parameter sweeps with repetitions and seed management.
+"""Experiment runner: sharded parameter sweeps with deterministic seeding.
 
 An :class:`Experiment` couples a *case generator* (the parameter grid) with a
 *trial function* (what to run and measure for one parameter setting and one
 seed) and aggregates repeated trials into a :class:`ResultTable`.  The
 benchmarks in ``benchmarks/`` are thin wrappers over this runner so that the
 same experiments can also be launched from the CLI or from notebooks.
+
+Sharding and seeding
+--------------------
+The (case × repetition) grid is flattened into a deterministic list of
+:class:`TrialShard` objects.  Shard ``(case_index, rep_index)`` runs with the
+seed ``derive_seed(base_seed, experiment_name, case_index, rep_index)``
+(:func:`repro.simulation.rng.derive_seed`), which is stable across Python
+processes and independent of execution order — so a trial's result depends
+only on its ``(case, seed)`` pair, never on which worker ran it or when.
+That is what makes parallel, serial, and resumed runs produce **identical**
+result rows (wall-clock diagnostics aside).
+
+Parallel execution
+------------------
+``Experiment.run(workers=...)`` accepts ``"serial"`` (default), ``"auto"``
+(one worker per CPU), or an integer.  With more than one worker the pending
+shards are executed by a ``multiprocessing`` pool using the ``fork`` start
+method (the trial callable — closures included — is inherited by the forked
+workers, so it does not need to be picklable).  Where ``fork`` is
+unavailable the runner falls back to serial execution and says so in the
+table notes.  Results are reassembled in shard order, so worker count and
+scheduling never affect the output.
+
+Checkpointing
+-------------
+``run(checkpoint="path.jsonl")`` appends one JSON line per finished shard::
+
+    {"experiment": "E18", "case_index": 0, "rep_index": 1, "seed": 123,
+     "status": "ok", "measurement": {"time": 9.0}, "error": null,
+     "wall_seconds": 0.41}
+
+``resume=True`` reads the file first and re-runs only the shards without an
+``"ok"`` record (failed shards are retried).  Records whose seed no longer
+matches the current schedule (e.g. the experiment was renamed or
+``base_seed`` changed) are ignored rather than trusted.
+
+Failure capture
+---------------
+A trial that raises is recorded as a failed shard — its error lands in the
+checkpoint and in the table notes, and the case row gains a ``failures``
+column — instead of aborting the sweep.  An optional per-trial ``timeout``
+(seconds, POSIX only) converts runaway trials into failures the same way.
 """
 
 from __future__ import annotations
 
-import statistics
+import contextlib
+import json
+import os
+import signal
+import threading
 import time
 from collections.abc import Callable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional, Union
 
+from ..simulation.rng import derive_seed
 from .records import ResultTable
 from .stats import summarize
 
-__all__ = ["TrialOutcome", "Experiment", "sweep"]
+__all__ = [
+    "TrialOutcome",
+    "TrialShard",
+    "TrialRecord",
+    "Experiment",
+    "sweep",
+    "SweepConfig",
+    "configure_sweeps",
+    "current_sweep_config",
+    "sweep_config",
+    "resolve_workers",
+    "deterministic_rows",
+]
 
 # A trial receives (case parameters, seed) and returns a mapping of measured
 # quantities, e.g. {"time": 123.0, "messages": 456}.
 TrialFunction = Callable[[Mapping[str, Any], int], Mapping[str, float]]
+
+# Injected diagnostics that vary run-to-run; excluded from spread statistics
+# and from determinism comparisons.
+WALL_CLOCK_KEYS = ("wall_seconds",)
+
+
+@dataclass(frozen=True)
+class TrialShard:
+    """One unit of sweep work: a single (case, repetition) trial."""
+
+    experiment: str
+    case_index: int
+    rep_index: int
+    case: Mapping[str, Any]
+    seed: int
+
+    @property
+    def key(self) -> tuple[int, int]:
+        """The shard's identity within its experiment."""
+        return (self.case_index, self.rep_index)
+
+
+@dataclass
+class TrialRecord:
+    """The outcome of executing one shard (success or captured failure)."""
+
+    case_index: int
+    rep_index: int
+    seed: int
+    measurement: Optional[dict[str, float]]
+    error: Optional[str]
+    wall_seconds: float
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.case_index, self.rep_index)
+
+    def to_checkpoint_line(self, experiment: str) -> str:
+        """Serialize as one JSONL checkpoint line."""
+        return json.dumps(
+            {
+                "experiment": experiment,
+                "case_index": self.case_index,
+                "rep_index": self.rep_index,
+                "seed": self.seed,
+                "status": "ok" if self.error is None else "error",
+                "measurement": self.measurement,
+                "error": self.error,
+                "wall_seconds": round(self.wall_seconds, 6),
+            },
+            sort_keys=True,
+        )
 
 
 @dataclass
@@ -31,20 +142,194 @@ class TrialOutcome:
 
     case: dict[str, Any]
     measurements: list[dict[str, float]] = field(default_factory=list)
+    errors: list[tuple[int, str]] = field(default_factory=list)
 
     def aggregate(self) -> dict[str, float]:
-        """Mean of every measured quantity across repetitions (plus min/max of 'time')."""
+        """Mean of every measured quantity, plus min/max/stdev spreads.
+
+        With more than one repetition every measured key also gets
+        ``{key}_min`` / ``{key}_max`` / ``{key}_stdev`` columns; wall-clock
+        diagnostics (:data:`WALL_CLOCK_KEYS`) only report their mean since
+        their spread is scheduling noise, not a property of the experiment.
+        """
         if not self.measurements:
             return {}
         keys = sorted({key for measurement in self.measurements for key in measurement})
         aggregated: dict[str, float] = {}
         for key in keys:
             values = [m[key] for m in self.measurements if key in m]
-            aggregated[key] = statistics.fmean(values)
-            if key == "time" and len(values) > 1:
-                aggregated["time_min"] = min(values)
-                aggregated["time_max"] = max(values)
+            summary = summarize(values)
+            aggregated[key] = summary.mean
+            if len(values) > 1 and key not in WALL_CLOCK_KEYS:
+                aggregated.update(summary.spread_fields(key))
         return aggregated
+
+
+# ----------------------------------------------------------------------
+# Process-wide sweep defaults (set by the CLI / benchmark harness)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepConfig:
+    """Default orchestration knobs picked up by every :meth:`Experiment.run`."""
+
+    workers: Union[int, str, None] = None
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+
+
+_SWEEP_CONFIG = SweepConfig()
+
+
+def configure_sweeps(
+    workers: Union[int, str, None] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+) -> SweepConfig:
+    """Set process-wide sweep defaults; return the previous configuration.
+
+    Harnesses (the ``experiment`` CLI subcommand, the benchmark suite's
+    ``REPRO_BENCH_WORKERS``) use this to steer every ``Experiment.run``
+    without threading arguments through each experiment function.  Explicit
+    ``run(...)`` arguments still win.
+    """
+    global _SWEEP_CONFIG
+    previous = _SWEEP_CONFIG
+    _SWEEP_CONFIG = SweepConfig(workers=workers, checkpoint_dir=checkpoint_dir, resume=resume)
+    return previous
+
+
+def current_sweep_config() -> SweepConfig:
+    """The process-wide sweep defaults currently in effect."""
+    return _SWEEP_CONFIG
+
+
+@contextlib.contextmanager
+def sweep_config(
+    workers: Union[int, str, None] = None,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
+):
+    """Context manager form of :func:`configure_sweeps` (restores on exit)."""
+    previous = configure_sweeps(workers=workers, checkpoint_dir=checkpoint_dir, resume=resume)
+    try:
+        yield current_sweep_config()
+    finally:
+        configure_sweeps(
+            workers=previous.workers,
+            checkpoint_dir=previous.checkpoint_dir,
+            resume=previous.resume,
+        )
+
+
+def resolve_workers(workers: Union[int, str, None]) -> int:
+    """Normalize a ``workers`` knob to a worker count (0/1 = serial).
+
+    Accepts ``None`` / ``"serial"`` (serial execution), ``"auto"`` (one
+    worker per available CPU), or a non-negative integer (as int or string).
+    """
+    if workers is None:
+        return 0
+    if isinstance(workers, str):
+        lowered = workers.strip().lower()
+        if lowered in ("", "serial"):
+            return 0
+        if lowered == "auto":
+            return os.cpu_count() or 1
+        if not lowered.lstrip("+").isdigit():
+            raise ValueError(f"workers must be 'serial', 'auto', or an integer, got {workers!r}")
+        workers = int(lowered)
+    count = int(workers)
+    if count < 0:
+        raise ValueError(f"workers must be >= 0, got {count}")
+    return count
+
+
+def deterministic_rows(
+    table: ResultTable, exclude: Sequence[str] = WALL_CLOCK_KEYS
+) -> list[dict[str, Any]]:
+    """Table rows with wall-clock diagnostic columns stripped.
+
+    Two runs of the same experiment (any worker count, resumed or not) must
+    agree on these rows bit-for-bit; only the excluded wall-clock columns are
+    allowed to differ.
+    """
+    stripped = []
+    for row in table.rows:
+        stripped.append(
+            {
+                key: value
+                for key, value in row.values.items()
+                if not any(key == name or key.startswith(name + "_") for name in exclude)
+            }
+        )
+    return stripped
+
+
+# ----------------------------------------------------------------------
+# Shard execution (shared by the serial path and the pool workers)
+# ----------------------------------------------------------------------
+class _TrialTimeout(Exception):
+    """Internal: raised by the SIGALRM handler when a trial runs too long."""
+
+
+def _execute_shard(trial: TrialFunction, shard: TrialShard, timeout: Optional[float]) -> TrialRecord:
+    """Run one shard, capturing exceptions (and timeouts, where supported)."""
+    use_alarm = (
+        timeout is not None
+        and timeout > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    previous_handler = None
+    started = time.perf_counter()
+    measurement: Optional[dict[str, float]] = None
+    error: Optional[str] = None
+    try:
+        if use_alarm:
+            def _on_alarm(signum, frame):  # pragma: no cover - timing dependent
+                raise _TrialTimeout
+
+            previous_handler = signal.signal(signal.SIGALRM, _on_alarm)
+            signal.setitimer(signal.ITIMER_REAL, timeout)
+        try:
+            measurement = dict(trial(shard.case, shard.seed))
+        finally:
+            # Cancel the timer *before* leaving the guarded region: an alarm
+            # firing this late still raises inside this try/finally and is
+            # caught below, instead of escaping after the outer handlers.
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0.0)
+    except _TrialTimeout:
+        measurement = None
+        error = f"timeout: trial exceeded {timeout:g}s"
+    except Exception as exc:  # noqa: BLE001 - failure capture is the point
+        error = f"{type(exc).__name__}: {exc}"
+    finally:
+        if previous_handler is not None:
+            signal.signal(signal.SIGALRM, previous_handler)
+    wall = time.perf_counter() - started
+    if measurement is not None:
+        measurement.setdefault("wall_seconds", wall)
+    return TrialRecord(
+        case_index=shard.case_index,
+        rep_index=shard.rep_index,
+        seed=shard.seed,
+        measurement=measurement,
+        error=error,
+        wall_seconds=wall,
+    )
+
+
+# Worker-side state inherited through the ``fork`` start method: the trial
+# callable (possibly a closure, hence not picklable) and the per-trial
+# timeout.  Set in the parent immediately before the pool forks.
+_WORKER_STATE: Optional[tuple[TrialFunction, Optional[float]]] = None
+
+
+def _pool_worker(shard: TrialShard) -> TrialRecord:
+    """Entry point executed inside pool workers (module-level: picklable)."""
+    trial, timeout = _WORKER_STATE
+    return _execute_shard(trial, shard, timeout)
 
 
 @dataclass
@@ -54,7 +339,8 @@ class Experiment:
     Parameters
     ----------
     name:
-        Experiment identifier (used as the table title).
+        Experiment identifier (used as the table title and mixed into every
+        shard seed).
     cases:
         Sequence of parameter dictionaries (one per table row).
     trial:
@@ -62,7 +348,13 @@ class Experiment:
     repetitions:
         How many seeds to run per case.
     base_seed:
-        First seed; repetition ``r`` of case ``i`` uses ``base_seed + 1000·i + r``.
+        Root of the seed schedule: repetition ``r`` of case ``i`` runs with
+        ``derive_seed(base_seed, name, i, r)``.
+    workers:
+        Default worker knob for :meth:`run` (``None``/``"serial"``,
+        ``"auto"``, or an integer).
+    timeout:
+        Default per-trial timeout in seconds (``None`` disables it).
     """
 
     name: str
@@ -70,25 +362,218 @@ class Experiment:
     trial: TrialFunction
     repetitions: int = 3
     base_seed: int = 0
+    workers: Union[int, str, None] = None
+    timeout: Optional[float] = None
 
-    def run(self, verbose: bool = False) -> ResultTable:
-        """Run every case and return the aggregated result table."""
+    # -- sharding ---------------------------------------------------------
+    def shard_seed(self, case_index: int, rep_index: int) -> int:
+        """The deterministic seed for shard ``(case_index, rep_index)``."""
+        return derive_seed(self.base_seed, self.name, case_index, rep_index)
+
+    def shards(self) -> list[TrialShard]:
+        """The flattened (case × repetition) grid, in deterministic order."""
+        if self.repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
+        return [
+            TrialShard(
+                experiment=self.name,
+                case_index=case_index,
+                rep_index=rep_index,
+                case=dict(case),
+                seed=self.shard_seed(case_index, rep_index),
+            )
+            for case_index, case in enumerate(self.cases)
+            for rep_index in range(self.repetitions)
+        ]
+
+    # -- checkpointing ----------------------------------------------------
+    def _load_checkpoint(self, path: str) -> dict[tuple[int, int], TrialRecord]:
+        """Read completed shard records from a JSONL checkpoint file.
+
+        Only ``"ok"`` records whose seed matches the current schedule are
+        trusted; malformed lines (e.g. from an interrupted write) and
+        records for other experiments are skipped.
+        """
+        completed: dict[tuple[int, int], TrialRecord] = {}
+        if not os.path.exists(path):
+            return completed
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(payload, dict) or payload.get("experiment") != self.name:
+                    continue
+                if payload.get("status") != "ok":
+                    continue
+                case_index = payload.get("case_index")
+                rep_index = payload.get("rep_index")
+                if not isinstance(case_index, int) or not isinstance(rep_index, int):
+                    continue
+                if case_index >= len(self.cases) or rep_index >= self.repetitions:
+                    continue
+                if payload.get("seed") != self.shard_seed(case_index, rep_index):
+                    continue
+                measurement = payload.get("measurement")
+                if not isinstance(measurement, dict):
+                    continue
+                completed[(case_index, rep_index)] = TrialRecord(
+                    case_index=case_index,
+                    rep_index=rep_index,
+                    seed=payload["seed"],
+                    measurement=measurement,
+                    error=None,
+                    wall_seconds=float(payload.get("wall_seconds", 0.0)),
+                )
+        return completed
+
+    # -- execution --------------------------------------------------------
+    def run(
+        self,
+        verbose: bool = False,
+        workers: Union[int, str, None] = None,
+        checkpoint: Optional[str] = None,
+        resume: Optional[bool] = None,
+        timeout: Optional[float] = None,
+        progress: Optional[Callable[[int, int, TrialRecord], None]] = None,
+    ) -> ResultTable:
+        """Run every shard and return the aggregated result table.
+
+        ``workers`` / ``checkpoint`` / ``resume`` / ``timeout`` default to
+        the instance fields and then to the process-wide
+        :func:`configure_sweeps` configuration.  ``progress`` is called as
+        ``progress(done, total, record)`` after each shard finishes.
+        """
+        config = _SWEEP_CONFIG
+        worker_count = resolve_workers(
+            workers if workers is not None else (self.workers if self.workers is not None else config.workers)
+        )
+        if resume is None:
+            resume = config.resume
+        if timeout is None:
+            timeout = self.timeout
+        if checkpoint is None and config.checkpoint_dir is not None:
+            checkpoint = os.path.join(config.checkpoint_dir, f"{_slug(self.name)}.jsonl")
+        if resume and not checkpoint:
+            raise ValueError(
+                "resume=True requires a checkpoint path (pass checkpoint= or set "
+                "configure_sweeps(checkpoint_dir=...)) — without one there is nothing to resume from"
+            )
+
+        shards = self.shards()
+        completed: dict[tuple[int, int], TrialRecord] = {}
+        if checkpoint and resume:
+            completed = self._load_checkpoint(checkpoint)
+        pending = [shard for shard in shards if shard.key not in completed]
+
+        total = len(shards)
+        done = len(completed)
+        notes: list[str] = []
+        checkpoint_handle = None
+        if checkpoint:
+            os.makedirs(os.path.dirname(os.path.abspath(checkpoint)), exist_ok=True)
+            checkpoint_handle = open(checkpoint, "a" if resume else "w", encoding="utf-8")
+
+        def on_record(record: TrialRecord) -> None:
+            nonlocal done
+            completed[record.key] = record
+            done += 1
+            if checkpoint_handle is not None:
+                checkpoint_handle.write(record.to_checkpoint_line(self.name) + "\n")
+                checkpoint_handle.flush()
+            if progress is not None:
+                progress(done, total, record)
+            if verbose:  # pragma: no cover - console convenience
+                status = "ok" if record.error is None else record.error
+                print(
+                    f"[{self.name}] shard {done}/{total} "
+                    f"case {record.case_index} rep {record.rep_index}: {status} "
+                    f"({record.wall_seconds:.2f}s)"
+                )
+
+        try:
+            if worker_count > 1 and len(pending) > 1:
+                fallback = self._run_pool(pending, worker_count, timeout, on_record)
+                if fallback:
+                    notes.append(fallback)
+            else:
+                for shard in pending:
+                    on_record(_execute_shard(self.trial, shard, timeout))
+        finally:
+            if checkpoint_handle is not None:
+                checkpoint_handle.close()
+
+        table = self._assemble_table(completed)
+        for note in notes:
+            table.add_note(note)
+        return table
+
+    def _run_pool(
+        self,
+        pending: Sequence[TrialShard],
+        worker_count: int,
+        timeout: Optional[float],
+        on_record: Callable[[TrialRecord], None],
+    ) -> Optional[str]:
+        """Execute ``pending`` on a fork-based pool; return a fallback note.
+
+        Returns ``None`` on success, or a human-readable note when the
+        platform lacks the ``fork`` start method and the shards were run
+        serially instead.
+        """
+        import multiprocessing
+
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = None
+        if context is None:  # pragma: no cover - non-POSIX platforms
+            for shard in pending:
+                on_record(_execute_shard(self.trial, shard, timeout))
+            return "multiprocessing 'fork' start method unavailable; sweep ran serially"
+
+        global _WORKER_STATE
+        _WORKER_STATE = (self.trial, timeout)
+        try:
+            with context.Pool(processes=min(worker_count, len(pending))) as pool:
+                for record in pool.imap_unordered(_pool_worker, pending, chunksize=1):
+                    on_record(record)
+        finally:
+            _WORKER_STATE = None
+        return None
+
+    # -- assembly ---------------------------------------------------------
+    def _assemble_table(self, completed: Mapping[tuple[int, int], TrialRecord]) -> ResultTable:
+        """Build the result table from shard records, in deterministic order."""
         table = ResultTable(title=self.name)
         for case_index, case in enumerate(self.cases):
             outcome = TrialOutcome(case=dict(case))
-            for repetition in range(self.repetitions):
-                seed = self.base_seed + 1000 * case_index + repetition
-                started = time.perf_counter()
-                measurement = dict(self.trial(case, seed))
-                measurement.setdefault("wall_seconds", time.perf_counter() - started)
-                outcome.measurements.append(measurement)
+            for rep_index in range(self.repetitions):
+                record = completed.get((case_index, rep_index))
+                if record is None:
+                    outcome.errors.append((rep_index, "shard did not run"))
+                elif record.error is None:
+                    outcome.measurements.append(dict(record.measurement))
+                else:
+                    outcome.errors.append((rep_index, record.error))
             row_values: dict[str, Any] = dict(case)
             row_values.update(outcome.aggregate())
+            if outcome.errors:
+                row_values["failures"] = len(outcome.errors)
+                for rep_index, error in outcome.errors:
+                    table.add_note(f"case {case_index} rep {rep_index} failed: {error}")
             table.add_row(**row_values)
-            if verbose:  # pragma: no cover - console convenience
-                print(f"[{self.name}] case {case_index + 1}/{len(self.cases)}: {row_values}")
         table.add_note(f"{self.repetitions} repetitions per case, base seed {self.base_seed}")
         return table
+
+
+def _slug(name: str) -> str:
+    """File-system-safe slug of an experiment name (for checkpoint files)."""
+    return "".join(char if char.isalnum() or char in "-_" else "-" for char in name.lower()).strip("-") or "experiment"
 
 
 def sweep(**parameters: Iterable[Any]) -> list[dict[str, Any]]:

@@ -56,6 +56,19 @@ class Summary:
             "ci95": self.ci95_half_width,
         }
 
+    def spread_fields(self, key: str) -> dict[str, float]:
+        """The spread columns the experiment runner emits for a measured key.
+
+        Returns ``{key}_min`` / ``{key}_max`` / ``{key}_stdev`` — the shape
+        :meth:`repro.analysis.experiment.TrialOutcome.aggregate` appends
+        next to each mean column.
+        """
+        return {
+            f"{key}_min": self.minimum,
+            f"{key}_max": self.maximum,
+            f"{key}_stdev": self.stdev,
+        }
+
 
 def summarize(values: Sequence[float]) -> Summary:
     """Compute summary statistics of a non-empty sample."""

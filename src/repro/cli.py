@@ -6,8 +6,10 @@ The CLI exposes three things:
   result (useful for quick experimentation),
 * ``conductance`` — print the weighted-conductance profile of a generated
   graph,
-* ``experiment`` — regenerate one of the paper experiments (E1 .. E14) and
-  print its table; the same code paths the benchmark suite uses.
+* ``experiment`` — regenerate one of the experiments (E1 .. E18) and print
+  its table; the same code paths the benchmark suite uses.  Sweeps built on
+  :class:`repro.analysis.Experiment` honour ``--workers``,
+  ``--checkpoint-dir``, and ``--resume``.
 """
 
 from __future__ import annotations
@@ -121,8 +123,29 @@ def _command_experiment(args: argparse.Namespace) -> int:
     # Imported lazily so the CLI stays usable without the benchmarks on path.
     from benchmarks import registry  # type: ignore[import-not-found]
 
-    table = registry.run_experiment(args.experiment, quick=args.quick)
+    from .analysis import resolve_workers
+
+    try:
+        resolve_workers(args.workers)
+    except ValueError as exc:
+        raise SystemExit(f"--workers: {exc}")
+    if args.resume and not args.checkpoint_dir:
+        raise SystemExit("--resume requires --checkpoint-dir (the directory holding sweep checkpoints)")
+    table = registry.run_experiment(
+        args.experiment,
+        quick=args.quick,
+        workers=args.workers,
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
+    )
     print(render_table(table))
+    # Sweeps capture trial errors as a 'failures' column instead of raising;
+    # surface them in the exit code so CI does not stay green on a sweep
+    # that measured nothing.
+    failed_trials = sum(row.get("failures") or 0 for row in table)
+    if failed_trials:
+        print(f"error: {failed_trials} trial(s) failed (see table notes)", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -155,9 +178,24 @@ def _build_parser() -> argparse.ArgumentParser:
     cond_parser.add_argument("--seed", type=int, default=0)
     cond_parser.set_defaults(handler=_command_conductance)
 
-    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E14)")
+    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E18)")
     exp_parser.add_argument("experiment", help="experiment id, e.g. E1")
     exp_parser.add_argument("--quick", action="store_true", help="reduced sweep for a fast smoke run")
+    exp_parser.add_argument(
+        "--workers",
+        default=None,
+        help="sweep worker pool: 'serial' (default), 'auto' (one per CPU), or an integer",
+    )
+    exp_parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for JSONL sweep checkpoints (one file per experiment sweep)",
+    )
+    exp_parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip shards already recorded as completed in the checkpoint directory",
+    )
     exp_parser.set_defaults(handler=_command_experiment)
 
     return parser

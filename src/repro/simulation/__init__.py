@@ -49,7 +49,11 @@ Modules
 * :mod:`~repro.simulation.metrics` — time / message / activation counters,
 * :mod:`~repro.simulation.tracing` — optional event traces (reference only),
 * :mod:`~repro.simulation.rng` — deterministic seed derivation,
-* :mod:`~repro.simulation.faults` — crash/edge-drop fault injection.
+* :mod:`~repro.simulation.faults` — crash/edge-drop fault injection,
+* :mod:`~repro.simulation.golden` — golden-trace capture: seeded
+  trajectories committed as ``tests/golden/`` fixtures and replayed on
+  both backends by the parity tests (imported on demand, not re-exported
+  here, since it depends on :mod:`repro.gossip`).
 """
 
 from .engine import ExchangePolicy, GossipEngine, NodeView, PendingExchange

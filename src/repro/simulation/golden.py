@@ -1,0 +1,169 @@
+"""Golden-trace capture for the declarative gossip algorithms.
+
+A *golden trace* is the full seeded trajectory of one algorithm on one
+topology: the per-round informed counts of the tracked rumor plus the final
+cost metrics.  Traces for every ``GOLDEN_ALGORITHMS`` × ``GOLDEN_TOPOLOGIES``
+pair are committed as JSON fixtures under ``tests/golden/`` and act as the
+repository's regression anchor: the parity test replays each fixture on both
+simulation backends (reference and fast) and cross-checks the corresponding
+``GossipAlgorithm.run`` results, so any change to engine semantics, policy
+compilation, or seed derivation shows up as a diff against a committed file.
+
+Adding a golden trace
+---------------------
+1. Register the algorithm in :data:`GOLDEN_ALGORITHMS` (it must be
+   declarative — expressible as a :class:`RoundPolicySpec` — so both
+   backends can replay it; keep ``_policy_spec`` in sync with the
+   algorithm's own spec construction) and/or the topology in
+   :data:`GOLDEN_TOPOLOGIES` (builders must be fully determined by their
+   hard-coded seeds).
+2. Regenerate the fixtures: ``python tests/golden/regen.py``.
+3. Commit the new/changed JSON files; the parity test picks them up
+   automatically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections.abc import Callable
+from typing import Any
+
+from ..gossip import FloodingGossip, PullGossip, PushGossip, PushPullGossip, Task
+from ..gossip.base import GossipAlgorithm
+from ..graphs import path_graph, two_cluster_slow_bridge, weighted_erdos_renyi
+from ..graphs.weighted_graph import WeightedGraph
+from .protocol import PolicyCapability, RoundPolicySpec, create_engine
+from .rng import make_rng
+
+__all__ = [
+    "GOLDEN_ALGORITHMS",
+    "GOLDEN_TOPOLOGIES",
+    "GOLDEN_SEED",
+    "GOLDEN_SCHEMA",
+    "golden_cases",
+    "fixture_filename",
+    "build_golden_topology",
+    "build_golden_algorithm",
+    "capture_golden_trace",
+    "write_golden_fixtures",
+]
+
+GOLDEN_SEED = 2018  # the paper's publication year; any fixed value works
+GOLDEN_SCHEMA = 1
+_MAX_ROUNDS = 10_000
+
+# Deterministic graph builders: every latency and edge is fixed by the
+# hard-coded seeds, so fixtures are reproducible on any machine.
+GOLDEN_TOPOLOGIES: dict[str, Callable[[], WeightedGraph]] = {
+    "path16": lambda: path_graph(16),
+    "slow-bridge10": lambda: two_cluster_slow_bridge(5, fast_latency=1, slow_latency=8, bridges=1),
+    "er24": lambda: weighted_erdos_renyi(24, 0.25, seed=7),
+}
+
+# One-to-all variants of every declarative algorithm (fast-engine capable).
+GOLDEN_ALGORITHMS: dict[str, Callable[[], GossipAlgorithm]] = {
+    "push": lambda: PushGossip(task=Task.ONE_TO_ALL),
+    "pull": lambda: PullGossip(task=Task.ONE_TO_ALL),
+    "push-pull": lambda: PushPullGossip(task=Task.ONE_TO_ALL),
+    "flooding": lambda: FloodingGossip(task=Task.ONE_TO_ALL),
+}
+
+
+def golden_cases() -> list[tuple[str, str]]:
+    """Every (algorithm, topology) pair a fixture is committed for."""
+    return [(algorithm, topology) for algorithm in GOLDEN_ALGORITHMS for topology in GOLDEN_TOPOLOGIES]
+
+
+def fixture_filename(algorithm: str, topology: str) -> str:
+    """The fixture file name for one golden case."""
+    return f"{algorithm}__{topology}.json"
+
+
+def build_golden_topology(topology: str) -> WeightedGraph:
+    """Build one of the registered golden topologies."""
+    return GOLDEN_TOPOLOGIES[topology]()
+
+
+def build_golden_algorithm(algorithm: str) -> GossipAlgorithm:
+    """Instantiate one of the registered golden algorithms."""
+    return GOLDEN_ALGORITHMS[algorithm]()
+
+
+def _policy_spec(algorithm: str, seed: int) -> RoundPolicySpec:
+    """The :class:`RoundPolicySpec` each golden algorithm runs with.
+
+    Mirrors the spec (selection rule, gate, and rng label) each algorithm
+    constructs inside its ``run`` method; the parity test cross-checks the
+    stepped trace against ``run`` on both backends, so drift between this
+    table and the algorithms fails loudly.
+    """
+    if algorithm == "push":
+        return RoundPolicySpec(select="uniform-random", gate="informed-only", rng=make_rng(seed, "push"))
+    if algorithm == "pull":
+        return RoundPolicySpec(select="uniform-random", gate="uninformed-only", rng=make_rng(seed, "pull"))
+    if algorithm == "push-pull":
+        return RoundPolicySpec(select="uniform-random", gate="all", rng=make_rng(seed, "push-pull"))
+    if algorithm == "flooding":
+        return RoundPolicySpec(select="round-robin", gate="all")
+    raise KeyError(f"unknown golden algorithm {algorithm!r}; choose from {sorted(GOLDEN_ALGORITHMS)}")
+
+
+def capture_golden_trace(
+    algorithm: str,
+    topology: str,
+    backend: str = "reference",
+    seed: int = GOLDEN_SEED,
+) -> dict[str, Any]:
+    """Replay one golden case round-by-round and return its trace.
+
+    The engine is stepped manually (same round order as ``Engine.run``) so
+    the informed count of the tracked rumor can be snapshotted after every
+    round; the final metrics therefore match a plain ``GossipAlgorithm.run``
+    of the same case bit-for-bit.
+    """
+    graph = build_golden_topology(topology)
+    source = graph.nodes()[0]
+    engine, _backend_name = create_engine(graph, backend, capability=PolicyCapability.UNIFORM_RANDOM)
+    rumor = engine.seed_rumor(source)
+    spec = _policy_spec(algorithm, seed)
+    informed_counts = [len(engine.informed_nodes(rumor))]
+    while not engine.dissemination_complete(rumor):
+        if engine.round >= _MAX_ROUNDS:
+            raise RuntimeError(
+                f"golden case ({algorithm}, {topology}) did not complete within {_MAX_ROUNDS} rounds"
+            )
+        engine.step(spec)
+        informed_counts.append(len(engine.informed_nodes(rumor)))
+    metrics = engine.metrics
+    return {
+        "schema": GOLDEN_SCHEMA,
+        "algorithm": algorithm,
+        "topology": topology,
+        "seed": seed,
+        "source": source,
+        "n": graph.num_nodes,
+        "rounds": engine.round,
+        "messages": metrics.messages,
+        "activations": metrics.activations,
+        "rumor_deliveries": metrics.rumor_deliveries,
+        "informed_counts": informed_counts,
+    }
+
+
+def write_golden_fixtures(directory: str) -> list[str]:
+    """(Re)write every golden fixture under ``directory``; return the paths.
+
+    Fixtures are always captured on the reference backend — it is the
+    correctness oracle the fast backend is verified against.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written = []
+    for algorithm, topology in golden_cases():
+        trace = capture_golden_trace(algorithm, topology, backend="reference")
+        path = os.path.join(directory, fixture_filename(algorithm, topology))
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        written.append(path)
+    return written

@@ -1,0 +1,32 @@
+#!/usr/bin/env python
+"""Regenerate the committed golden-trace fixtures in this directory.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+Only run this deliberately — after a change that is *supposed* to alter the
+seeded trajectories (new seed derivation, changed engine semantics) — and
+review the fixture diffs before committing them.  See
+:mod:`repro.simulation.golden` for how to add new algorithms or topologies.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.simulation.golden import write_golden_fixtures  # noqa: E402
+
+
+def main() -> int:
+    directory = os.path.dirname(os.path.abspath(__file__))
+    for path in write_golden_fixtures(directory):
+        print(f"wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

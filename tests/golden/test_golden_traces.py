@@ -1,0 +1,80 @@
+"""Golden-trace regression tests.
+
+Each committed fixture under ``tests/golden/`` is the seeded trajectory of
+one declarative algorithm on one topology (see
+:mod:`repro.simulation.golden`).  These tests replay every fixture on the
+reference engine *and* the fast bitset engine — per-round informed counts
+included — and cross-check the end-to-end ``GossipAlgorithm.run`` results,
+so serial replay, fast-engine replay, and the committed snapshot must all
+agree bit-for-bit.  Regenerate deliberately with
+``python tests/golden/regen.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.simulation.golden import (
+    GOLDEN_SEED,
+    build_golden_algorithm,
+    build_golden_topology,
+    capture_golden_trace,
+    fixture_filename,
+    golden_cases,
+)
+
+FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
+CASES = golden_cases()
+
+
+def _load_fixture(algorithm: str, topology: str) -> dict:
+    path = os.path.join(FIXTURE_DIR, fixture_filename(algorithm, topology))
+    assert os.path.exists(path), (
+        f"missing golden fixture {os.path.basename(path)}; run `python tests/golden/regen.py`"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_every_golden_case_has_a_committed_fixture():
+    committed = {name for name in os.listdir(FIXTURE_DIR) if name.endswith(".json")}
+    expected = {fixture_filename(algorithm, topology) for algorithm, topology in CASES}
+    assert committed == expected, (
+        "fixture set is out of sync with repro.simulation.golden; "
+        "run `python tests/golden/regen.py` (and delete stale files)"
+    )
+
+
+@pytest.mark.parametrize(("algorithm", "topology"), CASES)
+def test_reference_engine_matches_fixture(algorithm, topology):
+    fixture = _load_fixture(algorithm, topology)
+    assert capture_golden_trace(algorithm, topology, backend="reference") == fixture
+
+
+@pytest.mark.parametrize(("algorithm", "topology"), CASES)
+def test_fast_engine_matches_fixture(algorithm, topology):
+    fixture = _load_fixture(algorithm, topology)
+    assert capture_golden_trace(algorithm, topology, backend="fast") == fixture
+
+
+@pytest.mark.parametrize(("algorithm", "topology"), CASES)
+def test_algorithm_run_matches_fixture_on_both_backends(algorithm, topology):
+    """Guards drift between golden._policy_spec and the algorithms' own specs.
+
+    ``GossipAlgorithm.run`` constructs its policy spec (selection rule, gate,
+    rng label) internally; if that ever diverges from the replay table used
+    to capture fixtures, the end-to-end run stops matching the snapshot.
+    """
+    fixture = _load_fixture(algorithm, topology)
+    for backend in ("reference", "fast"):
+        graph = build_golden_topology(topology)
+        instance = build_golden_algorithm(algorithm)
+        result = instance.run(graph, source=fixture["source"], seed=GOLDEN_SEED, engine=backend)
+        assert result.complete
+        assert result.rounds_simulated == fixture["rounds"], backend
+        assert result.metrics.messages == fixture["messages"], backend
+        assert result.metrics.activations == fixture["activations"], backend
+        assert result.metrics.rumor_deliveries == fixture["rumor_deliveries"], backend

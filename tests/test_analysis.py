@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import math
+import statistics
 
 import pytest
 
 from repro.analysis import (
     Experiment,
+    TrialOutcome,
     ResultTable,
     ascii_scatter,
     ascii_series,
@@ -182,3 +184,32 @@ class TestExperiment:
         table = Experiment(name="spread", cases=[{}], trial=trial, repetitions=3).run()
         row = table.rows[0]
         assert row["time_min"] <= row["time"] <= row["time_max"]
+
+    def test_trial_outcome_aggregate_emits_spread_for_all_keys(self):
+        outcome = TrialOutcome(
+            case={"n": 4},
+            measurements=[
+                {"time": 2.0, "messages": 10.0, "wall_seconds": 0.5},
+                {"time": 4.0, "messages": 30.0, "wall_seconds": 0.9},
+            ],
+        )
+        aggregated = outcome.aggregate()
+        assert aggregated["time"] == pytest.approx(3.0)
+        assert aggregated["time_min"] == 2.0
+        assert aggregated["time_max"] == 4.0
+        assert aggregated["time_stdev"] == pytest.approx(statistics.stdev([2.0, 4.0]))
+        assert aggregated["messages"] == pytest.approx(20.0)
+        assert aggregated["messages_min"] == 10.0
+        assert aggregated["messages_max"] == 30.0
+        assert aggregated["messages_stdev"] == pytest.approx(statistics.stdev([10.0, 30.0]))
+        # Wall-clock diagnostics report only their mean — spread is noise.
+        assert aggregated["wall_seconds"] == pytest.approx(0.7)
+        assert "wall_seconds_min" not in aggregated
+        assert "wall_seconds_stdev" not in aggregated
+
+    def test_trial_outcome_aggregate_single_measurement_has_no_spread(self):
+        outcome = TrialOutcome(case={}, measurements=[{"time": 5.0}])
+        assert outcome.aggregate() == {"time": 5.0}
+
+    def test_trial_outcome_aggregate_empty(self):
+        assert TrialOutcome(case={}).aggregate() == {}

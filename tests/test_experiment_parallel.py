@@ -1,0 +1,252 @@
+"""Tests for the parallel sweep orchestrator (repro.analysis.experiment).
+
+The headline regression: the same experiment run serially, on a worker
+pool, and resumed from a checkpoint must produce bit-identical
+``ResultTable`` rows (wall-clock diagnostics aside).  Also covers the
+deterministic seed schedule, JSONL checkpoint/resume semantics, failure
+capture, per-trial timeouts, and the process-wide sweep configuration.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+from repro.analysis import (
+    Experiment,
+    current_sweep_config,
+    deterministic_rows,
+    resolve_workers,
+    sweep,
+    sweep_config,
+)
+from repro.gossip import PushPullGossip, Task
+from repro.graphs import weighted_erdos_renyi
+from repro.simulation.rng import derive_seed
+
+
+def _has_fork() -> bool:
+    try:
+        multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return False
+    return True
+
+
+needs_fork = pytest.mark.skipif(not _has_fork(), reason="requires the 'fork' start method")
+
+
+# Module-level so the sweep is realistic: a true gossip simulation per shard.
+def _gossip_trial(case, seed):
+    graph = weighted_erdos_renyi(case["n"], 0.3, seed=seed)
+    result = PushPullGossip(task=Task.ONE_TO_ALL).run(graph, source=graph.nodes()[0], seed=seed)
+    return {
+        "time": result.time,
+        "rounds": float(result.rounds_simulated),
+        "messages": float(result.metrics.messages),
+    }
+
+
+def _make_experiment(**overrides):
+    parameters = dict(
+        name="parallel-sweep-test",
+        cases=sweep(n=[16, 24, 32]),
+        trial=_gossip_trial,
+        repetitions=3,
+        base_seed=7,
+    )
+    parameters.update(overrides)
+    return Experiment(**parameters)
+
+
+class TestShardSchedule:
+    def test_shards_are_deterministic_and_ordered(self):
+        experiment = _make_experiment()
+        shards = experiment.shards()
+        assert [shard.key for shard in shards] == [(i, r) for i in range(3) for r in range(3)]
+        assert shards == experiment.shards()
+
+    def test_seeds_follow_the_documented_derivation(self):
+        experiment = _make_experiment()
+        for shard in experiment.shards():
+            assert shard.seed == derive_seed(7, "parallel-sweep-test", shard.case_index, shard.rep_index)
+
+    def test_seeds_are_distinct_and_name_dependent(self):
+        seeds = {shard.seed for shard in _make_experiment().shards()}
+        assert len(seeds) == 9
+        renamed = {shard.seed for shard in _make_experiment(name="other-name").shards()}
+        assert seeds.isdisjoint(renamed)
+
+    def test_rejects_nonpositive_repetitions(self):
+        with pytest.raises(ValueError):
+            _make_experiment(repetitions=0).shards()
+
+
+class TestResolveWorkers:
+    def test_accepted_spellings(self):
+        assert resolve_workers(None) == 0
+        assert resolve_workers("serial") == 0
+        assert resolve_workers("4") == 4
+        assert resolve_workers(2) == 2
+        assert resolve_workers("auto") >= 1
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            resolve_workers("many")
+        with pytest.raises(ValueError):
+            resolve_workers(-1)
+
+
+class TestDeterminism:
+    """Serial == parallel == resumed-from-checkpoint, bit for bit."""
+
+    @needs_fork
+    def test_serial_parallel_and_resumed_rows_are_identical(self, tmp_path):
+        experiment = _make_experiment()
+        serial = experiment.run(workers=1)
+        parallel = experiment.run(workers=4)
+        assert deterministic_rows(parallel) == deterministic_rows(serial)
+
+        # Build a partial checkpoint (first 4 shards), then resume: only the
+        # missing shards re-run, and the assembled rows are still identical.
+        checkpoint = str(tmp_path / "sweep.jsonl")
+        full = experiment.run(workers=2, checkpoint=checkpoint)
+        assert deterministic_rows(full) == deterministic_rows(serial)
+        lines = [line for line in open(checkpoint, encoding="utf-8").read().splitlines() if line]
+        assert len(lines) == 9
+        with open(checkpoint, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines[:4]) + "\n")
+
+        ran = []
+
+        def counting_trial(case, seed):
+            ran.append(seed)
+            return _gossip_trial(case, seed)
+
+        resumed = _make_experiment(trial=counting_trial).run(
+            workers=1, checkpoint=checkpoint, resume=True
+        )
+        assert len(ran) == 5  # only the shards missing from the checkpoint
+        assert deterministic_rows(resumed) == deterministic_rows(serial)
+
+    def test_rows_contain_mean_and_spread_columns(self):
+        table = _make_experiment().run()
+        row = table.rows[0]
+        for key in ("time", "time_min", "time_max", "time_stdev", "messages_stdev", "wall_seconds"):
+            assert key in row.values
+        assert "wall_seconds_stdev" not in row.values  # wall-clock spread is noise
+        assert row["time_min"] <= row["time"] <= row["time_max"]
+
+
+class TestCheckpointing:
+    def test_checkpoint_lines_are_wellformed_jsonl(self, tmp_path):
+        checkpoint = str(tmp_path / "ckpt.jsonl")
+        experiment = _make_experiment(repetitions=1)
+        experiment.run(checkpoint=checkpoint)
+        records = [json.loads(line) for line in open(checkpoint, encoding="utf-8") if line.strip()]
+        assert len(records) == 3
+        for record in records:
+            assert record["experiment"] == "parallel-sweep-test"
+            assert record["status"] == "ok"
+            assert record["seed"] == derive_seed(7, "parallel-sweep-test", record["case_index"], 0)
+            assert "time" in record["measurement"]
+
+    def test_resume_ignores_stale_and_malformed_records(self, tmp_path):
+        checkpoint = tmp_path / "ckpt.jsonl"
+        good = {
+            "experiment": "parallel-sweep-test",
+            "case_index": 0,
+            "rep_index": 0,
+            "seed": derive_seed(7, "parallel-sweep-test", 0, 0),
+            "status": "ok",
+            "measurement": {"time": 1.0},
+            "error": None,
+            "wall_seconds": 0.1,
+        }
+        stale_seed = dict(good, rep_index=1, seed=12345)  # wrong schedule
+        other = dict(good, experiment="someone-else", rep_index=2)
+        failed = dict(good, rep_index=2, status="error", error="boom", measurement=None)
+        lines = [json.dumps(good), "{not json", json.dumps(stale_seed), json.dumps(other), json.dumps(failed)]
+        checkpoint.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+        ran = []
+
+        def counting_trial(case, seed):
+            ran.append(seed)
+            return {"time": 1.0}
+
+        experiment = _make_experiment(trial=counting_trial, cases=[{"n": 16}])
+        experiment.run(checkpoint=str(checkpoint), resume=True)
+        # Shards (0,1) and (0,2) re-ran (stale seed / failed); (0,0) was reused.
+        assert len(ran) == 2
+
+    def test_resume_without_checkpoint_is_rejected(self):
+        with pytest.raises(ValueError, match="resume"):
+            _make_experiment().run(resume=True)
+
+    def test_without_resume_checkpoint_is_overwritten(self, tmp_path):
+        checkpoint = str(tmp_path / "ckpt.jsonl")
+        experiment = _make_experiment(repetitions=1, cases=[{"n": 16}])
+        experiment.run(checkpoint=checkpoint)
+        experiment.run(checkpoint=checkpoint)
+        lines = [line for line in open(checkpoint, encoding="utf-8").read().splitlines() if line]
+        assert len(lines) == 1
+
+
+class TestFailureCapture:
+    def test_trial_exceptions_become_failures_not_crashes(self):
+        def flaky_trial(case, seed):
+            if case["n"] == 24:
+                raise RuntimeError("deliberate failure")
+            return {"time": float(case["n"])}
+
+        table = _make_experiment(trial=flaky_trial, repetitions=2).run()
+        rows = {row["n"]: row for row in table.rows}
+        assert rows[24]["failures"] == 2
+        assert "time" not in rows[24].values
+        assert rows[16].get("failures") is None
+        assert any("deliberate failure" in note for note in table.notes)
+
+    @needs_fork
+    def test_failures_are_deterministic_across_worker_counts(self):
+        def flaky_trial(case, seed):
+            if case["n"] == 24:
+                raise RuntimeError("deliberate failure")
+            return {"time": float(case["n"])}
+
+        experiment = _make_experiment(trial=flaky_trial, repetitions=2)
+        assert deterministic_rows(experiment.run(workers=1)) == deterministic_rows(experiment.run(workers=3))
+
+    @pytest.mark.skipif(not hasattr(signal, "SIGALRM"), reason="needs POSIX signals")
+    def test_per_trial_timeout_is_captured(self):
+        def slow_trial(case, seed):
+            if case["n"] == 24:
+                time.sleep(5.0)
+            return {"time": 1.0}
+
+        table = _make_experiment(trial=slow_trial, repetitions=1).run(timeout=0.2)
+        rows = {row["n"]: row for row in table.rows}
+        assert rows[24]["failures"] == 1
+        assert any("timeout" in note for note in table.notes)
+        assert "time" in rows[16].values
+
+
+class TestProgressAndConfig:
+    def test_progress_callback_sees_every_shard(self):
+        seen = []
+        _make_experiment(repetitions=2).run(progress=lambda done, total, record: seen.append((done, total)))
+        assert seen == [(i + 1, 6) for i in range(6)]
+
+    def test_sweep_config_sets_and_restores_defaults(self, tmp_path):
+        previous = current_sweep_config()
+        with sweep_config(workers=1, checkpoint_dir=str(tmp_path)):
+            experiment = _make_experiment(repetitions=1, cases=[{"n": 16}])
+            experiment.run()
+            assert (tmp_path / "parallel-sweep-test.jsonl").exists()
+            assert resolve_workers(current_sweep_config().workers) == 1
+        assert current_sweep_config() == previous

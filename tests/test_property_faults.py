@@ -1,0 +1,150 @@
+"""Property-based tests for fault injection (FaultPlan / FaultyEngine).
+
+Invariants checked over randomized graphs, fault schedules, and policies:
+
+* a crashed node never initiates an exchange from its crash round on;
+* no exchange delivers while an endpoint is crashed or its edge is dropped
+  (dropped edges may still be *activated* — the initiation is paid for —
+  but they never deliver anything);
+* a crashed node's knowledge is frozen from its crash round on;
+* fault plans compose monotonically under ``merge`` (earliest failure wins,
+  faults are never un-done, composition is commutative and idempotent).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import weighted_erdos_renyi
+from repro.simulation import EventTrace, FaultPlan, FaultyEngine
+from repro.simulation.rng import make_rng
+
+MAX_ROUNDS = 12
+
+
+@st.composite
+def graph_and_plan(draw):
+    """A small connected graph plus a random crash/drop schedule over it."""
+    n = draw(st.integers(min_value=4, max_value=10))
+    graph_seed = draw(st.integers(min_value=0, max_value=50))
+    graph = weighted_erdos_renyi(n, 0.5, seed=graph_seed)
+    nodes = graph.nodes()
+    crashes = draw(
+        st.dictionaries(
+            st.sampled_from(nodes),
+            st.integers(min_value=0, max_value=MAX_ROUNDS),
+            max_size=n - 1,
+        )
+    )
+    edges = [(edge.u, edge.v) for edge in graph.edge_list()]
+    drops = draw(
+        st.dictionaries(
+            st.sampled_from(edges),
+            st.integers(min_value=0, max_value=MAX_ROUNDS),
+            max_size=len(edges),
+        )
+    )
+    plan = FaultPlan(
+        node_crashes=dict(crashes),
+        edge_drops={frozenset(edge): round_number for edge, round_number in drops.items()},
+    )
+    policy_seed = draw(st.integers(min_value=0, max_value=50))
+    return graph, plan, policy_seed
+
+
+def _run_faulty(graph, plan, policy_seed):
+    """Step a FaultyEngine for MAX_ROUNDS under seeded push-pull; return
+    (trace, per-round origin snapshots of every node)."""
+    trace = EventTrace()
+    engine = FaultyEngine(graph, plan, trace=trace)
+    engine.seed_all_rumors()
+    rng = make_rng(policy_seed, "property-faults")
+
+    def policy(view):
+        return rng.choice(view.neighbors) if view.neighbors else None
+
+    snapshots = []  # snapshots[r][node] = frozenset of known origins after round r+1
+    for _ in range(MAX_ROUNDS):
+        engine.step(policy)
+        snapshots.append(
+            {node: frozenset(engine.knowledge[node].origins()) for node in graph.nodes()}
+        )
+    return trace, snapshots
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_and_plan())
+def test_crashed_nodes_never_initiate(case):
+    graph, plan, policy_seed = case
+    trace, _snapshots = _run_faulty(graph, plan, policy_seed)
+    for event in trace.initiations():
+        assert not plan.is_node_crashed(event.u, event.round), (
+            f"crashed node {event.u} initiated an exchange in round {event.round}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_and_plan())
+def test_faulted_exchanges_never_deliver(case):
+    graph, plan, policy_seed = case
+    trace, _snapshots = _run_faulty(graph, plan, policy_seed)
+    for event in trace.completions():
+        assert not plan.is_node_crashed(event.u, event.round)
+        assert not plan.is_node_crashed(event.v, event.round)
+        assert not plan.is_edge_dropped(event.u, event.v, event.round), (
+            f"dropped edge ({event.u}, {event.v}) delivered in round {event.round}"
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(graph_and_plan())
+def test_crashed_nodes_knowledge_is_frozen(case):
+    graph, plan, policy_seed = case
+    _trace, snapshots = _run_faulty(graph, plan, policy_seed)
+    for node, crash_round in plan.node_crashes.items():
+        # snapshots[r] is the state after round r+1; from the crash round on
+        # the node's origin set must never change again.
+        frozen = [snapshots[r][node] for r in range(MAX_ROUNDS) if (r + 1) >= crash_round]
+        assert all(state == frozen[0] for state in frozen), (
+            f"node {node} (crashed at round {crash_round}) kept learning"
+        )
+
+
+@st.composite
+def fault_plans(draw):
+    nodes = st.integers(min_value=0, max_value=8)
+    rounds = st.integers(min_value=0, max_value=20)
+    crashes = draw(st.dictionaries(nodes, rounds, max_size=6))
+    edges = st.tuples(nodes, nodes).map(frozenset)
+    drops = draw(st.dictionaries(edges, rounds, max_size=6))
+    return FaultPlan(node_crashes=crashes, edge_drops=drops)
+
+
+@settings(max_examples=50, deadline=None)
+@given(fault_plans(), fault_plans(), st.integers(min_value=0, max_value=25))
+def test_merge_composes_monotonically(plan_a, plan_b, round_number):
+    merged = plan_a.merge(plan_b)
+    all_nodes = set(plan_a.node_crashes) | set(plan_b.node_crashes)
+    for node in all_nodes:
+        # A node is crashed under the merge iff it is crashed under either
+        # component — merging never un-crashes and never delays a failure.
+        assert merged.is_node_crashed(node, round_number) == (
+            plan_a.is_node_crashed(node, round_number) or plan_b.is_node_crashed(node, round_number)
+        )
+    for edge in set(plan_a.edge_drops) | set(plan_b.edge_drops):
+        u, v = tuple(edge) if len(edge) == 2 else (next(iter(edge)), next(iter(edge)))
+        assert merged.is_edge_dropped(u, v, round_number) == (
+            plan_a.is_edge_dropped(u, v, round_number) or plan_b.is_edge_dropped(u, v, round_number)
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(fault_plans(), fault_plans())
+def test_merge_commutative_and_idempotent(plan_a, plan_b):
+    ab, ba = plan_a.merge(plan_b), plan_b.merge(plan_a)
+    assert ab.node_crashes == ba.node_crashes
+    assert ab.edge_drops == ba.edge_drops
+    self_merge = plan_a.merge(plan_a)
+    assert self_merge.node_crashes == plan_a.node_crashes
+    assert self_merge.edge_drops == plan_a.edge_drops
