@@ -1,0 +1,32 @@
+"""E19 — gossip under topology dynamics: parity and throughput.
+
+Every grid cell (topology × churn rate × drift amplitude) must report
+``parity`` 1.0: the fast and reference backends, fed identical seeded
+schedules, agreed bit-for-bit on completion round, activations, messages,
+and lost exchanges.  Dynamic cells must actually lose exchanges (the churn
+is real), and both backends' rounds/sec are recorded so the dynamics
+overhead stays visible in saved benchmark output.
+"""
+
+from __future__ import annotations
+
+
+def test_e19_dynamics(run_experiment_benchmark):
+    table = run_experiment_benchmark("E19")
+    rows = list(table)
+    assert rows, "E19 produced no rows"
+    assert all(not row.get("failures") for row in rows), "some E19 trials failed"
+
+    # Bit-identical cross-backend trajectories, static and dynamic alike.
+    assert all(row["parity"] == 1.0 for row in rows)
+
+    # Churned cells drop in-flight exchanges; static cells never do.
+    static = [row for row in rows if row["dynamics"] == "static"]
+    churned = [row for row in rows if row["churn"] > 0.0]
+    assert static and churned
+    assert all(row["lost_exchanges"] == 0.0 for row in static)
+    assert any(row["lost_exchanges"] > 0.0 for row in churned)
+
+    # Both backends' throughput is reported for every cell.
+    assert all(row["rounds_per_sec_fast"] > 0.0 for row in rows)
+    assert all(row["rounds_per_sec_reference"] > 0.0 for row in rows)

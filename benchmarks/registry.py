@@ -1,4 +1,4 @@
-"""Registry mapping experiment ids (E1..E14) to their implementations.
+"""Registry mapping experiment ids (E1..E19) to their implementations.
 
 Both the pytest-benchmark modules and the CLI (``repro-gossip experiment E7``)
 dispatch through :func:`run_experiment`.  Every experiment returns a
@@ -30,6 +30,7 @@ from .experiments_lower_bounds import (
     experiment_e5_lb_conductance,
     experiment_e6_lb_tradeoff,
 )
+from .experiments_dynamics import experiment_e19_dynamics
 from .experiments_sweeps import experiment_e18_parallel_sweep
 from .experiments_upper_bounds import (
     experiment_e7_pushpull_upper,
@@ -63,6 +64,7 @@ EXPERIMENTS: dict[str, tuple[str, ExperimentFunction]] = {
     "E16": ("Ablation: message sizes (Section 6 remark)", experiment_e16_message_size),
     "E17": ("Engine backends: bitset fast engine vs reference", experiment_e17_engine_backends),
     "E18": ("Harness: parallel sweep orchestrator scaling", experiment_e18_parallel_sweep),
+    "E19": ("Topology dynamics: churn x latency drift on both engines", experiment_e19_dynamics),
 }
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

@@ -3,13 +3,18 @@
 The CLI exposes three things:
 
 * ``run`` — run one gossip algorithm on one generated graph and print the
-  result (useful for quick experimentation),
+  result (useful for quick experimentation); ``--dynamics`` runs it under
+  a seeded topology-dynamics schedule (churn, latency drift, link
+  flapping),
 * ``conductance`` — print the weighted-conductance profile of a generated
   graph,
-* ``experiment`` — regenerate one of the experiments (E1 .. E18) and print
+* ``experiment`` — regenerate one of the experiments (E1 .. E19) and print
   its table; the same code paths the benchmark suite uses.  Sweeps built on
   :class:`repro.analysis.Experiment` honour ``--workers``,
   ``--checkpoint-dir``, and ``--resume``.
+
+``docs/CLI.md`` documents every subcommand and environment knob with
+copy-pasteable examples.
 """
 
 from __future__ import annotations
@@ -21,6 +26,8 @@ from typing import Optional
 
 from .analysis.tables import render_table
 from .core import check_theorem5, extract_parameters
+from .graphs.dynamics import compose_dynamics, markov_churn, periodic_latency_drift, slow_bridge_flapping
+from .graphs.weighted_graph import GraphError
 from .simulation.protocol import EngineSelectionError
 from .gossip import (
     FloodingGossip,
@@ -42,7 +49,9 @@ from .graphs import (
     weighted_grid,
 )
 
-__all__ = ["main", "build_graph", "build_algorithm"]
+__all__ = ["main", "build_graph", "build_algorithm", "build_dynamics"]
+
+_DYNAMICS = ("static", "markov-churn", "latency-drift", "bridge-flap", "churn-drift")
 
 _GRAPH_BUILDERS = {
     "clique": lambda n, model, seed: weighted_clique(n, model, seed=seed),
@@ -83,20 +92,67 @@ def build_algorithm(name: str):
     return _ALGORITHMS[name]()
 
 
+def build_dynamics(
+    name: str,
+    graph: WeightedGraph,
+    seed: int,
+    churn_rate: float = 0.02,
+    drift_amplitude: float = 0.5,
+    period: int = 32,
+    horizon: int = 2000,
+):
+    """Build a topology-dynamics schedule from CLI arguments (or ``None``).
+
+    The schedule is derived deterministically from the graph and the run's
+    seed, so repeating a command reproduces the same evolving topology.
+    """
+    if name not in _DYNAMICS:
+        raise SystemExit(f"unknown dynamics {name!r}; choose from {sorted(_DYNAMICS)}")
+    if name == "static":
+        return None
+    parts = []
+    if name in ("markov-churn", "churn-drift"):
+        parts.append(markov_churn(graph, horizon=horizon, leave_prob=churn_rate, seed=seed))
+    if name in ("latency-drift", "churn-drift"):
+        parts.append(
+            periodic_latency_drift(graph, horizon=horizon, amplitude=drift_amplitude, period=period, seed=seed)
+        )
+    if name == "bridge-flap":
+        parts.append(slow_bridge_flapping(graph, horizon=horizon, period=period))
+    return parts[0] if len(parts) == 1 else compose_dynamics(*parts)
+
+
 def _command_run(args: argparse.Namespace) -> int:
     graph = build_graph(args.graph, args.nodes, args.latency, args.seed)
+    description = f"{args.graph} (n={graph.num_nodes}, m={graph.num_edges}, lmax={graph.max_latency()})"
     algorithm = build_algorithm(args.algorithm)
     try:
-        result = algorithm.run(graph, seed=args.seed, engine=args.engine)
+        dynamics = build_dynamics(
+            args.dynamics,
+            graph,
+            args.seed,
+            churn_rate=args.churn_rate,
+            drift_amplitude=args.drift_amplitude,
+            period=args.dynamics_period,
+            horizon=args.dynamics_horizon,
+        )
+    except GraphError as exc:
+        raise SystemExit(f"--dynamics {args.dynamics}: {exc}")
+    try:
+        result = algorithm.run(graph, seed=args.seed, engine=args.engine, dynamics=dynamics)
     except EngineSelectionError as exc:
         raise SystemExit(f"--engine {args.engine}: {exc}")
-    print(f"graph      : {args.graph} (n={graph.num_nodes}, m={graph.num_edges}, lmax={graph.max_latency()})")
+    except GraphError as exc:
+        raise SystemExit(str(exc))
+    print(f"graph      : {description}")
     print(f"algorithm  : {result.algorithm}")
     print(f"engine     : {result.details.get('engine', 'reference')}")
+    print(f"dynamics   : {dynamics if dynamics is not None else 'static'}")
     print(f"task       : {result.task.value}")
     print(f"time       : {result.time:.1f}")
     print(f"messages   : {result.metrics.messages}")
     print(f"activations: {result.metrics.activations}")
+    print(f"lost       : {result.metrics.lost_exchanges}")
     print(f"complete   : {result.complete}")
     for key, value in sorted(result.details.items()):
         print(f"  {key}: {value}")
@@ -169,6 +225,39 @@ def _build_parser() -> argparse.ArgumentParser:
         help="simulation backend: 'fast' (bitset engine, declarative policies only), "
         "'reference' (callback engine), or 'auto' (fast when the algorithm allows it)",
     )
+    run_parser.add_argument(
+        "--dynamics",
+        default="static",
+        choices=list(_DYNAMICS),
+        help="topology dynamics applied during the run: node churn, periodic latency "
+        "drift, adversarial flapping of the slowest links, or churn+drift combined "
+        "(seeded from --seed; only engine-driven algorithms support dynamics)",
+    )
+    run_parser.add_argument(
+        "--churn-rate",
+        type=float,
+        default=0.02,
+        help="per-round leave probability for markov-churn / churn-drift (default 0.02)",
+    )
+    run_parser.add_argument(
+        "--drift-amplitude",
+        type=float,
+        default=0.5,
+        help="relative latency oscillation amplitude for latency-drift / churn-drift (default 0.5)",
+    )
+    run_parser.add_argument(
+        "--dynamics-period",
+        type=int,
+        default=32,
+        help="oscillation / flapping period in rounds (default 32)",
+    )
+    run_parser.add_argument(
+        "--dynamics-horizon",
+        type=int,
+        default=2000,
+        help="last round with scheduled dynamics events; the topology then freezes "
+        "in (for churn: is restored to) its final state (default 2000)",
+    )
     run_parser.set_defaults(handler=_command_run)
 
     cond_parser = subparsers.add_parser("conductance", help="print the weighted-conductance profile")
@@ -178,7 +267,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cond_parser.add_argument("--seed", type=int, default=0)
     cond_parser.set_defaults(handler=_command_conductance)
 
-    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E18)")
+    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E19)")
     exp_parser.add_argument("experiment", help="experiment id, e.g. E1")
     exp_parser.add_argument("--quick", action="store_true", help="reduced sweep for a fast smoke run")
     exp_parser.add_argument(

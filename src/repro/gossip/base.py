@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from ..simulation.dynamics import TopologyDynamics
 from ..simulation.metrics import SimulationMetrics
 from ..simulation.protocol import EngineProtocol, PolicyCapability
 
@@ -30,10 +31,29 @@ __all__ = [
     "Task",
     "DisseminationResult",
     "GossipAlgorithm",
+    "engine_run_details",
     "require_connected",
     "seed_engine",
     "task_stop_condition",
 ]
+
+
+def engine_run_details(
+    backend: str,
+    dynamics: Optional[TopologyDynamics],
+    metrics: SimulationMetrics,
+) -> dict[str, Any]:
+    """The standard ``details`` block of an engine-driven declarative run.
+
+    Always records which backend ran; under topology dynamics it also
+    records the schedule's label and the lost-exchange total, so sweep
+    tables can surface both without digging into the metrics object.
+    """
+    details: dict[str, Any] = {"engine": backend}
+    if dynamics is not None:
+        details["dynamics"] = str(dynamics)
+        details["lost_exchanges"] = metrics.lost_exchanges
+    return details
 
 
 class Task(enum.Enum):
@@ -146,11 +166,42 @@ class GossipAlgorithm(abc.ABC):
     engine through arbitrary per-node callbacks keep the default
     :attr:`PolicyCapability.ARBITRARY_CALLBACK` and always use the
     reference backend.
+
+    ``supports_dynamics`` declares whether ``run`` accepts a
+    ``dynamics=`` schedule (see :mod:`repro.simulation.dynamics`).
+    Algorithms that react to the topology only through the engine's
+    per-round views (the random phone-call family, flooding) support it;
+    algorithms that precompute structure from the static graph (spanners,
+    DTG trees, latency classes) do not — their precomputed artifacts would
+    silently go stale mid-run.  Dynamics are also rejected for the
+    local-broadcast task regardless of the algorithm: its completion
+    predicate is relative to each node's *current* neighbour set, so churn
+    would make completion vacuous rather than harder.
     """
 
     name: str = "gossip"
     task: Task = Task.ONE_TO_ALL
     capability: PolicyCapability = PolicyCapability.ARBITRARY_CALLBACK
+    supports_dynamics: bool = False
+
+    def _check_dynamics(self, dynamics: Optional[TopologyDynamics]) -> Optional[TopologyDynamics]:
+        """Reject a dynamics schedule the algorithm cannot honour."""
+        if dynamics is None:
+            return None
+        if self.task is Task.LOCAL_BROADCAST:
+            raise GraphError(
+                f"{self.name} solves local broadcast, whose completion predicate compares "
+                "each node's knowledge against its current neighbour set; under topology "
+                "dynamics a churned-out node would count as vacuously complete, so the "
+                "combination is rejected — run a dissemination task instead"
+            )
+        if not self.supports_dynamics:
+            raise GraphError(
+                f"{self.name} precomputes structure from the static topology and does "
+                "not support topology dynamics; use an engine-driven algorithm "
+                "(push/pull/push-pull/flooding) instead"
+            )
+        return dynamics
 
     @abc.abstractmethod
     def run(
@@ -160,6 +211,7 @@ class GossipAlgorithm(abc.ABC):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
         """Run the algorithm on ``graph`` and return the result.
 
@@ -172,7 +224,13 @@ class GossipAlgorithm(abc.ABC):
         exactly when the algorithm's :attr:`capability` allows it.  The
         backend that actually ran is recorded in
         ``DisseminationResult.details["engine"]`` by engine-driven
-        algorithms.
+        algorithms.  ``dynamics`` applies a topology-dynamics schedule for
+        the duration of the run (mutating ``graph``; see
+        :mod:`repro.simulation.dynamics`) — only algorithms with
+        :attr:`supports_dynamics` accept one, and they record
+        ``details["dynamics"]`` and ``details["lost_exchanges"]``.
+        Subclasses that do not support dynamics may omit the parameter from
+        their signature entirely.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

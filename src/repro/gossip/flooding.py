@@ -13,11 +13,13 @@ from __future__ import annotations
 from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.dynamics import TopologyDynamics
 from ..simulation.protocol import PolicyCapability, RoundPolicySpec, create_engine
 from .base import (
     DisseminationResult,
     GossipAlgorithm,
     Task,
+    engine_run_details,
     require_connected,
     seed_engine,
     task_stop_condition,
@@ -44,6 +46,7 @@ class FloodingGossip(GossipAlgorithm):
     """
 
     capability = PolicyCapability.UNIFORM_RANDOM
+    supports_dynamics = True
 
     def __init__(self, task: Task = Task.ONE_TO_ALL, informed_only: bool = False) -> None:
         self.name = "flooding"
@@ -57,9 +60,11 @@ class FloodingGossip(GossipAlgorithm):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
         require_connected(graph)
-        eng, backend = create_engine(graph, engine, capability=self.capability)
+        self._check_dynamics(dynamics)
+        eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
         spec = RoundPolicySpec(
             select="round-robin",
@@ -73,7 +78,7 @@ class FloodingGossip(GossipAlgorithm):
             rounds_simulated=metrics.rounds,
             complete=True,
             metrics=metrics,
-            details={"engine": backend},
+            details=engine_run_details(backend, dynamics, metrics),
         )
 
 
@@ -84,6 +89,9 @@ def run_flooding(
     task: Task = Task.ONE_TO_ALL,
     max_rounds: int = 1_000_000,
     engine: str = "auto",
+    dynamics: Optional[TopologyDynamics] = None,
 ) -> DisseminationResult:
     """Convenience wrapper: run flooding once and return the result."""
-    return FloodingGossip(task=task).run(graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine)
+    return FloodingGossip(task=task).run(
+        graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine, dynamics=dynamics
+    )

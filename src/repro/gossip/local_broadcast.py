@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.dynamics import TopologyDynamics
 from ..simulation.metrics import SimulationMetrics
 from ..simulation.protocol import PolicyCapability, resolve_backend
 from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
@@ -43,8 +44,10 @@ class DTGLocalBroadcast(GossipAlgorithm):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
         require_connected(graph)
+        self._check_dynamics(dynamics)
         resolve_backend(engine, capability=self.capability)
         result = ell_dtg(graph, graph.max_latency(), phase_label="local-broadcast")
         complete = all(
@@ -84,7 +87,11 @@ class RandomizedLocalBroadcast(GossipAlgorithm):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
-        result = self._inner.run(graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine)
+        self._check_dynamics(dynamics)
+        result = self._inner.run(
+            graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine, dynamics=dynamics
+        )
         result.algorithm = self.name
         return result

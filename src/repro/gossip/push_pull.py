@@ -21,12 +21,14 @@ from __future__ import annotations
 from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.dynamics import TopologyDynamics
 from ..simulation.protocol import PolicyCapability, RoundPolicySpec, create_engine
 from ..simulation.rng import make_rng
 from .base import (
     DisseminationResult,
     GossipAlgorithm,
     Task,
+    engine_run_details,
     require_connected,
     seed_engine,
     task_stop_condition,
@@ -51,6 +53,7 @@ class PushPullGossip(GossipAlgorithm):
     """
 
     capability = PolicyCapability.UNIFORM_RANDOM
+    supports_dynamics = True
 
     def __init__(self, task: Task = Task.ONE_TO_ALL, informed_only: bool = False) -> None:
         self.name = "push-pull"
@@ -64,9 +67,11 @@ class PushPullGossip(GossipAlgorithm):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
         require_connected(graph)
-        eng, backend = create_engine(graph, engine, capability=self.capability)
+        self._check_dynamics(dynamics)
+        eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
         spec = RoundPolicySpec(
             select="uniform-random",
@@ -81,7 +86,7 @@ class PushPullGossip(GossipAlgorithm):
             rounds_simulated=metrics.rounds,
             complete=True,
             metrics=metrics,
-            details={"engine": backend},
+            details=engine_run_details(backend, dynamics, metrics),
         )
 
 
@@ -101,6 +106,7 @@ class _DirectionalGossip(GossipAlgorithm):
 
     direction: str = "push"
     capability = PolicyCapability.UNIFORM_RANDOM
+    supports_dynamics = True
 
     def __init__(self, task: Task = Task.ONE_TO_ALL) -> None:
         self.task = task
@@ -124,9 +130,11 @@ class _DirectionalGossip(GossipAlgorithm):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
         require_connected(graph)
-        eng, backend = create_engine(graph, engine, capability=self.capability)
+        self._check_dynamics(dynamics)
+        eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
         spec = RoundPolicySpec(
             select="uniform-random",
@@ -141,7 +149,7 @@ class _DirectionalGossip(GossipAlgorithm):
             rounds_simulated=metrics.rounds,
             complete=True,
             metrics=metrics,
-            details={"engine": backend},
+            details=engine_run_details(backend, dynamics, metrics),
         )
 
 
@@ -164,6 +172,9 @@ def run_push_pull(
     task: Task = Task.ONE_TO_ALL,
     max_rounds: int = 1_000_000,
     engine: str = "auto",
+    dynamics: Optional[TopologyDynamics] = None,
 ) -> DisseminationResult:
     """Convenience wrapper: run classical push-pull once and return the result."""
-    return PushPullGossip(task=task).run(graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine)
+    return PushPullGossip(task=task).run(
+        graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine, dynamics=dynamics
+    )

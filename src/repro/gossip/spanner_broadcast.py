@@ -25,6 +25,7 @@ from typing import Optional
 
 from ..graphs.spanner import baswana_sen_spanner
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from ..simulation.dynamics import TopologyDynamics
 from ..simulation.messages import Rumor
 from ..simulation.protocol import resolve_backend
 from ..simulation.metrics import SimulationMetrics
@@ -113,8 +114,10 @@ class SpannerBroadcast(GossipAlgorithm):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
         require_connected(graph)
+        self._check_dynamics(dynamics)
         resolve_backend(engine, capability=self.capability)
         initial_knowledge: dict[NodeId, set[Rumor]] = {
             node: {Rumor(origin=node)} for node in graph.nodes()

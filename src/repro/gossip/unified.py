@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.dynamics import TopologyDynamics
 from ..simulation.metrics import SimulationMetrics
 from ..simulation.protocol import resolve_backend
 from .base import DisseminationResult, GossipAlgorithm, Task, require_connected
@@ -56,8 +57,10 @@ class UnifiedGossip(GossipAlgorithm):
         seed: int = 0,
         max_rounds: int = 1_000_000,
         engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
         require_connected(graph)
+        self._check_dynamics(dynamics)
         # The spanner branch is callback-driven, so the combined strategy
         # cannot honour an explicit engine="fast"; the push-pull branch
         # still picks the fast backend under "auto".

@@ -1,0 +1,266 @@
+"""Deterministic generators of topology-dynamics schedules.
+
+Each generator reads a :class:`~repro.graphs.weighted_graph.WeightedGraph`
+(never mutating it) and yields a
+:class:`~repro.simulation.dynamics.TopologyDynamics` — a round-indexed
+event schedule the simulation engines replay, either precomputed
+(:class:`~repro.simulation.dynamics.ScheduleDynamics`) or computed lazily
+per round (:class:`PeriodicLatencyDrift`).  All randomness goes through the
+library's :func:`~repro.simulation.rng.derive_seed` discipline (via
+:func:`~repro.simulation.rng.make_rng` with a generator-specific label), so
+the same ``(graph, seed)`` pair always yields the same schedule, on any
+machine, independent of which backend later runs it.
+
+Three scenario families are provided:
+
+* :func:`markov_churn` — every round, each active node leaves with
+  probability ``leave_prob`` (its incident edges disappear) and each
+  churned-out node rejoins with probability ``rejoin_prob`` (its original
+  edges to currently-active peers are restored);
+* :func:`periodic_latency_drift` — every edge's latency oscillates
+  sinusoidally around its base value with a per-edge random phase
+  (computed lazily per round, and self-healing under composition with
+  churn);
+* :func:`slow_bridge_flapping` — the adversarial schedule: the
+  highest-latency edges (the "slow bridges" that gate gossip in the paper's
+  model) are removed and restored on a fixed duty cycle.
+
+Schedules compose with
+:class:`~repro.simulation.dynamics.ComposedDynamics` (churn + drift is the
+E19 benchmark's grid); overlap is safe because event application is
+forgiving — drifting the latency of a currently-churned-out edge is a no-op.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from typing import Optional
+
+from ..simulation.dynamics import ComposedDynamics, ScheduleDynamics, TopologyEvent
+from ..simulation.rng import make_rng
+from .weighted_graph import GraphError, NodeId, WeightedGraph
+
+__all__ = [
+    "PeriodicLatencyDrift",
+    "markov_churn",
+    "periodic_latency_drift",
+    "slow_bridge_flapping",
+    "compose_dynamics",
+]
+
+
+def markov_churn(
+    graph: WeightedGraph,
+    horizon: int,
+    leave_prob: float = 0.02,
+    rejoin_prob: float = 0.25,
+    seed: int = 0,
+    protect: Iterable[NodeId] = (),
+    restore_at_horizon: bool = True,
+) -> ScheduleDynamics:
+    """Two-state Markov churn: nodes flip between active and churned-out.
+
+    Every round, each active node leaves with probability ``leave_prob``
+    (emitting a ``node-leave`` event, which removes its incident edges) and
+    each churned-out node rejoins with probability ``rejoin_prob``
+    (emitting a ``node-join`` restoring its original edges to peers that
+    are active at that moment; an edge whose other endpoint is still out
+    comes back when that endpoint rejoins).
+
+    ``protect`` lists nodes that never churn (e.g. a rumor source whose
+    loss would make one-to-all trivially unmeasurable).  With
+    ``restore_at_horizon`` (default), round ``horizon`` rejoins every
+    churned-out node, returning the graph to its original topology — this
+    guarantees dissemination can complete after the schedule ends instead
+    of stranding an isolated node forever.
+    """
+    if horizon < 1:
+        raise GraphError(f"horizon must be >= 1, got {horizon}")
+    if not 0.0 <= leave_prob <= 1.0 or not 0.0 <= rejoin_prob <= 1.0:
+        raise GraphError("leave_prob and rejoin_prob must be in [0, 1]")
+    adjacency = {node: dict(graph.neighbor_latencies(node)) for node in graph.nodes()}
+    protected = set(protect)
+    rng = make_rng(seed, "markov-churn")
+    active = set(adjacency)
+    events_by_round: dict[int, list[TopologyEvent]] = {}
+    for round_number in range(1, horizon + 1):
+        final = restore_at_horizon and round_number == horizon
+        round_events: list[TopologyEvent] = []
+        for node in adjacency:
+            if node in protected:
+                continue
+            draw = rng.random()
+            if node in active:
+                if draw < leave_prob and not final:
+                    active.discard(node)
+                    round_events.append(TopologyEvent("node-leave", node))
+            elif final or draw < rejoin_prob:
+                round_events.append(_join_event(node, adjacency, active))
+                active.add(node)
+        if round_events:
+            events_by_round[round_number] = round_events
+    return ScheduleDynamics(
+        events_by_round,
+        name=f"markov-churn(leave={leave_prob:g},rejoin={rejoin_prob:g})",
+    )
+
+
+def _join_event(node: NodeId, adjacency: dict, active: set) -> TopologyEvent:
+    """A ``node-join`` restoring ``node``'s original edges to active peers."""
+    edges = tuple(
+        (peer, latency) for peer, latency in adjacency[node].items() if peer in active
+    )
+    return TopologyEvent("node-join", node, edges=edges)
+
+
+class PeriodicLatencyDrift:
+    """Lazy sinusoidal latency drift: each edge oscillates around its base.
+
+    At round ``t`` the edge ``e`` with base latency ``b`` has latency
+    ``max(1, round(b * (1 + amplitude * sin(2π(t/period + φ_e)))))`` where
+    ``φ_e`` is a per-edge random phase, so edges drift out of sync (a
+    global in-phase oscillation would just rescale time).  At round
+    ``horizon`` every edge is restored to its base latency, settling the
+    topology.  An exchange already in flight completes at the latency it
+    was initiated with; drift affects initiations from the event's round
+    on.
+
+    Events are computed on demand — ``events_for_round`` is a pure
+    function of the round number, so nothing is precomputed over the
+    horizon — and an edge's target value is (re-)emitted on every round
+    where it sits away from base.  Re-emission makes the schedule
+    *self-healing* under composition: if Markov churn removed the edge and
+    a ``node-join`` just restored it at base latency, the next drift event
+    snaps it back onto the documented formula (event application is
+    forgiving, so re-emitting an already-correct value is a no-op and
+    bumps no graph version).
+    """
+
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        horizon: int,
+        amplitude: float = 0.5,
+        period: int = 32,
+        seed: int = 0,
+    ) -> None:
+        if horizon < 1:
+            raise GraphError(f"horizon must be >= 1, got {horizon}")
+        if amplitude < 0.0:
+            raise GraphError(f"amplitude must be >= 0, got {amplitude}")
+        if period < 2:
+            raise GraphError(f"period must be >= 2, got {period}")
+        rng = make_rng(seed, "latency-drift")
+        self._edges = graph.edge_list()
+        self._phases = [rng.random() for _ in self._edges]
+        self.horizon = horizon
+        self.amplitude = amplitude
+        self.period = period
+        self.name = f"latency-drift(amp={amplitude:g},period={period})"
+
+    def _latency_at(self, slot: int, round_number: int) -> int:
+        """The scheduled latency of edge ``slot`` at ``round_number``."""
+        edge = self._edges[slot]
+        value = edge.latency * (
+            1.0
+            + self.amplitude
+            * math.sin(2.0 * math.pi * (round_number / self.period + self._phases[slot]))
+        )
+        return max(1, round(value))
+
+    def events_for_round(self, round_number: int) -> tuple[TopologyEvent, ...]:
+        """Drift events for ``round_number`` (pure; computed on demand)."""
+        if round_number < 1 or round_number > self.horizon:
+            return ()
+        events: list[TopologyEvent] = []
+        for slot, edge in enumerate(self._edges):
+            if round_number == self.horizon:
+                target = edge.latency  # settle every edge back at base
+            else:
+                target = self._latency_at(slot, round_number)
+                if target == edge.latency and self._latency_at(slot, round_number - 1) == edge.latency:
+                    continue  # resting at base and was at base: nothing to say
+            events.append(TopologyEvent("set-latency", edge.u, edge.v, latency=target))
+        return tuple(events)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PeriodicLatencyDrift(edges={len(self._edges)}, horizon={self.horizon}, name={self.name!r})"
+
+
+def periodic_latency_drift(
+    graph: WeightedGraph,
+    horizon: int,
+    amplitude: float = 0.5,
+    period: int = 32,
+    seed: int = 0,
+) -> PeriodicLatencyDrift:
+    """Build a :class:`PeriodicLatencyDrift` schedule for ``graph``."""
+    return PeriodicLatencyDrift(graph, horizon, amplitude=amplitude, period=period, seed=seed)
+
+
+def slow_bridge_flapping(
+    graph: WeightedGraph,
+    horizon: int,
+    period: int = 16,
+    down_rounds: Optional[int] = None,
+    bridges: int = 1,
+) -> ScheduleDynamics:
+    """Adversarial link flapping on the highest-latency edges.
+
+    The ``bridges`` highest-latency edges (ties broken canonically, so the
+    choice is deterministic) are removed for ``down_rounds`` rounds out of
+    every ``period``, staggered so they are not all down simultaneously.
+    In-flight exchanges over a bridge are lost at each removal — this is
+    the worst case for algorithms that concentrate traffic on few slow
+    links (the paper's spanner-based strategies) and a mild perturbation
+    for push-pull, which spreads activations.  After ``horizon`` every
+    bridge is restored at its original latency.
+    """
+    if horizon < 1:
+        raise GraphError(f"horizon must be >= 1, got {horizon}")
+    if period < 2:
+        raise GraphError(f"period must be >= 2, got {period}")
+    if down_rounds is None:
+        down_rounds = period // 2
+    if not 0 < down_rounds < period:
+        raise GraphError(f"down_rounds must be in (0, {period}), got {down_rounds}")
+    if bridges < 1:
+        raise GraphError(f"bridges must be >= 1, got {bridges}")
+    ranked = sorted(graph.edge_list(), key=lambda edge: (-edge.latency, repr(edge)))
+    targets = ranked[:bridges]
+    if not targets:
+        return ScheduleDynamics({}, name="bridge-flap(none)")
+    events_by_round: dict[int, list[TopologyEvent]] = {}
+    for slot, edge in enumerate(targets):
+        offset = (slot * period) // max(1, len(targets))
+        down = False
+        for round_number in range(1, horizon + 1):
+            phase = (round_number - 1 - offset) % period
+            should_be_down = phase < down_rounds and round_number + down_rounds - phase <= horizon
+            if should_be_down and not down:
+                events_by_round.setdefault(round_number, []).append(
+                    TopologyEvent("remove-edge", edge.u, edge.v)
+                )
+                down = True
+            elif not should_be_down and down:
+                events_by_round.setdefault(round_number, []).append(
+                    TopologyEvent("add-edge", edge.u, edge.v, latency=edge.latency)
+                )
+                down = False
+        if down:
+            events_by_round.setdefault(horizon, []).append(
+                TopologyEvent("add-edge", edge.u, edge.v, latency=edge.latency)
+            )
+    return ScheduleDynamics(
+        events_by_round,
+        name=f"bridge-flap(period={period},down={down_rounds},bridges={len(targets)})",
+    )
+
+
+def compose_dynamics(*parts, name: Optional[str] = None) -> ComposedDynamics:
+    """Concatenate several schedules into one (left-to-right per round)."""
+    return ComposedDynamics(parts, name=name)

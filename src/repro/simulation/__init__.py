@@ -39,12 +39,28 @@ requested, and ``"reference"`` otherwise.  Requesting ``engine="fast"`` for
 a callback-only algorithm raises
 :class:`~repro.simulation.protocol.EngineSelectionError`.
 
+Topology dynamics
+-----------------
+Both backends optionally run under a
+:class:`~repro.simulation.dynamics.TopologyDynamics`: a round-indexed
+schedule of :class:`~repro.simulation.dynamics.TopologyEvent` mutations
+(edge add/remove, latency drift, node churn) applied to the live graph at
+the start of every round.  The two backends share one event applier and one
+semantics contract (see :mod:`repro.simulation.dynamics`), so a seeded
+declarative run under a given schedule is bit-identical across backends;
+in-flight exchanges over removed edges are dropped and counted in
+``SimulationMetrics.lost_exchanges``.  Deterministic schedule generators
+(Markov churn, periodic latency drift, slow-bridge flapping) live in
+:mod:`repro.graphs.dynamics`.
+
 Modules
 -------
 * :mod:`~repro.simulation.protocol` — backend protocol, capabilities,
   policy specs, and the backend registry,
 * :mod:`~repro.simulation.engine` — the reference round/exchange engine,
 * :mod:`~repro.simulation.fast_engine` — the bitset fast backend,
+* :mod:`~repro.simulation.dynamics` — topology-dynamics events, schedules,
+  and the shared applier,
 * :mod:`~repro.simulation.messages` — rumors and per-node knowledge,
 * :mod:`~repro.simulation.metrics` — time / message / activation counters,
 * :mod:`~repro.simulation.tracing` — optional event traces (reference only),
@@ -56,6 +72,14 @@ Modules
   here, since it depends on :mod:`repro.gossip`).
 """
 
+from .dynamics import (
+    ComposedDynamics,
+    ScheduleDynamics,
+    TopologyDynamics,
+    TopologyEvent,
+    apply_event,
+    apply_events,
+)
 from .engine import ExchangePolicy, GossipEngine, NodeView, PendingExchange
 from .fast_engine import FastEngine
 from .faults import FaultPlan, FaultyEngine, random_crash_plan, random_edge_drop_plan
@@ -78,6 +102,7 @@ from .tracing import EventTrace, TraceEvent
 
 __all__ = [
     "ENGINE_BACKENDS",
+    "ComposedDynamics",
     "EngineProtocol",
     "EngineSelectionError",
     "EventTrace",
@@ -92,8 +117,13 @@ __all__ = [
     "PolicyCapability",
     "RoundPolicySpec",
     "Rumor",
+    "ScheduleDynamics",
     "SimulationMetrics",
+    "TopologyDynamics",
+    "TopologyEvent",
     "TraceEvent",
+    "apply_event",
+    "apply_events",
     "available_backends",
     "create_engine",
     "derive_seed",

@@ -1,0 +1,253 @@
+"""Round-indexed topology dynamics: the event model both engines share.
+
+The paper fixes the weighted graph for the lifetime of a run.  This module
+lifts that restriction: a :class:`TopologyDynamics` supplies, for every
+round, a sequence of :class:`TopologyEvent` mutations — edge additions and
+removals, latency drift, and node churn — that the simulation engines apply
+to the live graph.  Deterministic *generators* of such schedules (Markov
+churn, periodic latency oscillation, adversarial slow-bridge flapping) live
+in :mod:`repro.graphs.dynamics`; this module owns only the event vocabulary,
+the schedule containers, and the single shared applier, so that the
+reference and fast backends interpret a schedule identically.
+
+Semantics contract (honoured bit-for-bit by both engines)
+---------------------------------------------------------
+* The events for round ``r`` are applied at the **start** of round ``r`` —
+  after the round counter advances, *before* due exchanges deliver — so a
+  removal can cancel an exchange that would otherwise have completed that
+  very round.
+* Removing an edge (directly, or implicitly through a ``node-leave``) drops
+  every in-flight exchange travelling over it.  Dropped exchanges were paid
+  for as activations but deliver nothing; they are counted in
+  :attr:`SimulationMetrics.lost_exchanges`.  Re-adding the edge — later or
+  even by a subsequent event of the same round — does not resurrect them.
+* A latency change applies to exchanges initiated from that round on;
+  exchanges already in flight complete at the latency they were initiated
+  with (content entered the channel under the old latency).
+* The node universe only grows: a ``node-leave`` removes the node's
+  incident edges (an edgeless node neither initiates nor receives, and
+  consumes no randomness, keeping the two backends' random streams
+  aligned) but keeps the node and its accumulated knowledge; a
+  ``node-join`` restores edges.  Removing a node from the graph object
+  itself mid-run is a :class:`~repro.graphs.weighted_graph.GraphError`.
+* Event application is *forgiving*: removing an absent edge, re-adding a
+  present one, or drifting the latency of a churned-out edge is a no-op.
+  This lets independently generated schedules (churn + drift) compose
+  without coordinating, and — because the graph is the only state touched —
+  guarantees the two backends see identical post-event topology.
+
+Engines receive a dynamics object via the ``dynamics=`` argument of
+:func:`repro.simulation.protocol.create_engine` (surfaced as the
+``dynamics=`` knob on ``GossipAlgorithm.run`` and ``--dynamics`` on the
+CLI).  Note that the engine applies events to the graph you passed in — the
+network itself evolves; pass ``graph.copy()`` if you need the original
+afterwards.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..graphs.weighted_graph import NodeId, WeightedGraph
+
+__all__ = [
+    "EVENT_KINDS",
+    "TopologyEvent",
+    "TopologyDynamics",
+    "ScheduleDynamics",
+    "ComposedDynamics",
+    "apply_event",
+    "apply_events",
+]
+
+EVENT_KINDS = ("add-edge", "remove-edge", "set-latency", "node-leave", "node-join")
+
+_NO_EVENTS: tuple["TopologyEvent", ...] = ()
+
+
+@dataclass(frozen=True)
+class TopologyEvent:
+    """One topology mutation, scheduled for the start of a round.
+
+    Attributes
+    ----------
+    kind:
+        One of :data:`EVENT_KINDS`.
+    u:
+        The node the event concerns (first endpoint for edge events).
+    v:
+        Second endpoint for edge events; unused for node events.
+    latency:
+        New latency for ``add-edge`` / ``set-latency``.
+    edges:
+        For ``node-join``: the ``(peer, latency)`` pairs to restore.
+    """
+
+    kind: str
+    u: NodeId
+    v: Optional[NodeId] = None
+    latency: Optional[int] = None
+    edges: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown event kind {self.kind!r}; choose from {EVENT_KINDS}")
+        if self.kind in ("add-edge", "remove-edge", "set-latency") and self.v is None:
+            raise ValueError(f"{self.kind} events need both endpoints")
+        if self.kind in ("add-edge", "set-latency") and (
+            not isinstance(self.latency, int) or self.latency < 1
+        ):
+            raise ValueError(f"{self.kind} events need a positive integer latency")
+
+
+def apply_event(
+    graph: WeightedGraph,
+    event: TopologyEvent,
+    severed: Optional[set] = None,
+) -> None:
+    """Apply one event to ``graph`` with the module's forgiving semantics.
+
+    When ``severed`` is given, every edge actually removed (directly or via
+    ``node-leave``) is recorded into it as a frozenset of its endpoints.
+    """
+    kind = event.kind
+    if kind == "add-edge":
+        _put_edge(graph, event.u, event.v, event.latency)
+    elif kind == "remove-edge":
+        if graph.has_edge(event.u, event.v):
+            graph.remove_edge(event.u, event.v)
+            if severed is not None:
+                severed.add(frozenset((event.u, event.v)))
+    elif kind == "set-latency":
+        if graph.has_edge(event.u, event.v):
+            if graph.latency(event.u, event.v) != event.latency:
+                graph.set_latency(event.u, event.v, event.latency)
+    elif kind == "node-leave":
+        if graph.has_node(event.u):
+            for neighbor in graph.neighbors(event.u):
+                graph.remove_edge(event.u, neighbor)
+                if severed is not None:
+                    severed.add(frozenset((event.u, neighbor)))
+    elif kind == "node-join":
+        graph.add_node(event.u)
+        for peer, latency in event.edges:
+            if graph.has_node(peer) and peer != event.u:
+                _put_edge(graph, event.u, peer, latency)
+
+
+def _put_edge(graph: WeightedGraph, u: NodeId, v: NodeId, latency: int) -> None:
+    """Add edge ``{u, v}``, updating the latency if it already exists."""
+    if graph.has_edge(u, v):
+        if graph.latency(u, v) != latency:
+            graph.set_latency(u, v, latency)
+    else:
+        graph.add_edge(u, v, latency)
+
+
+def apply_events(graph: WeightedGraph, events: Iterable[TopologyEvent]) -> set:
+    """Apply a round's events to ``graph`` in order.
+
+    Returns the edge keys (frozensets of endpoints) removed at any point
+    during application — even if a later event of the same round re-added
+    the edge — so engines can cancel in-flight exchanges per the module
+    contract rather than diffing only the round's net topology change.
+    """
+    severed: set = set()
+    for event in events:
+        apply_event(graph, event, severed)
+    return severed
+
+
+@runtime_checkable
+class TopologyDynamics(Protocol):
+    """The surface engines drive a dynamics object through.
+
+    Implementations must be *pure round functions*: ``events_for_round(r)``
+    returns the same sequence every time it is asked about round ``r``, and
+    asking about one round has no effect on another.  That is what lets the
+    same object be consulted by either backend (or by both, in a parity
+    check, via two engines over two equal graphs) with identical results.
+    """
+
+    def events_for_round(self, round_number: int) -> Sequence[TopologyEvent]:
+        """The events applied at the start of round ``round_number``."""
+        ...
+
+
+class ScheduleDynamics:
+    """A precomputed round → events schedule (the common concrete form).
+
+    Parameters
+    ----------
+    events_by_round:
+        Mapping from round number (>= 1) to the events applied at the start
+        of that round.  Rounds without an entry have no events; rounds past
+        the last entry leave the topology frozen in its final state.
+    name:
+        Human-readable label, used by result tables and ``--dynamics``
+        reporting (``str(schedule)`` returns it).
+    """
+
+    def __init__(
+        self,
+        events_by_round: Mapping[int, Sequence[TopologyEvent]],
+        name: str = "schedule",
+    ) -> None:
+        cleaned: dict[int, tuple[TopologyEvent, ...]] = {}
+        for round_number, events in events_by_round.items():
+            if not isinstance(round_number, int) or round_number < 1:
+                raise ValueError(f"schedule rounds must be positive ints, got {round_number!r}")
+            events = tuple(events)
+            if events:
+                cleaned[round_number] = events
+        self._events = cleaned
+        self.name = name
+
+    @property
+    def horizon(self) -> int:
+        """The last round with scheduled events (0 for an empty schedule)."""
+        return max(self._events, default=0)
+
+    @property
+    def num_events(self) -> int:
+        """Total number of scheduled events."""
+        return sum(len(events) for events in self._events.values())
+
+    def events_for_round(self, round_number: int) -> tuple[TopologyEvent, ...]:
+        """The events applied at the start of ``round_number``."""
+        return self._events.get(round_number, _NO_EVENTS)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ScheduleDynamics(name={self.name!r}, horizon={self.horizon}, events={self.num_events})"
+
+
+class ComposedDynamics:
+    """Concatenate several dynamics: per round, parts contribute in order.
+
+    Composition is left-to-right within every round, and the forgiving
+    event-application semantics make overlapping schedules (e.g. latency
+    drift on an edge that churn has currently removed) safe no-ops.
+    """
+
+    def __init__(self, parts: Sequence[TopologyDynamics], name: Optional[str] = None) -> None:
+        self.parts = tuple(parts)
+        self.name = name if name is not None else "+".join(str(part) for part in self.parts)
+
+    def events_for_round(self, round_number: int) -> tuple[TopologyEvent, ...]:
+        """All parts' events for ``round_number``, concatenated in order."""
+        events: list[TopologyEvent] = []
+        for part in self.parts:
+            events.extend(part.events_for_round(round_number))
+        return tuple(events)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComposedDynamics({list(self.parts)!r})"

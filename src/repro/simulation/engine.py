@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from .dynamics import TopologyDynamics, apply_events
 from .messages import KnowledgeState, Rumor
 from .metrics import SimulationMetrics
 from .protocol import RoundPolicySpec, register_engine
@@ -119,6 +120,11 @@ class GossipEngine:
         is not consulted) until the exchange completes.
     trace:
         Optional :class:`EventTrace` capturing every initiation and completion.
+    dynamics:
+        Optional :class:`~repro.simulation.dynamics.TopologyDynamics`; its
+        events are applied to ``graph`` at the start of every round (see
+        that module for the shared semantics contract).  The engine mutates
+        the graph you pass in.
     """
 
     def __init__(
@@ -126,12 +132,14 @@ class GossipEngine:
         graph: WeightedGraph,
         blocking: bool = False,
         trace: Optional[EventTrace] = None,
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> None:
         if graph.num_nodes == 0:
             raise GraphError("cannot simulate on an empty graph")
         self.graph = graph
         self.blocking = blocking
         self.trace = trace
+        self.dynamics = dynamics
         self.metrics = SimulationMetrics()
         self.round = 0
         self.knowledge: dict[NodeId, KnowledgeState] = {
@@ -141,6 +149,8 @@ class GossipEngine:
         self._pending: list[PendingExchange] = []
         self._sequence = 0
         self._outstanding: dict[NodeId, int] = {node: 0 for node in graph.nodes()}
+        self._graph_version = graph.version
+        self._edge_keys: set[frozenset] = {frozenset(edge.endpoints()) for edge in graph.edges()}
 
     # ------------------------------------------------------------------
     # Seeding knowledge
@@ -200,6 +210,79 @@ class GossipEngine:
         )
 
     # ------------------------------------------------------------------
+    # Topology changes (dynamics events and direct graph mutation)
+    # ------------------------------------------------------------------
+    def _begin_round(self) -> None:
+        """Advance the round counter and bring the topology up to date.
+
+        Dynamics events for the new round are applied first (they mutate the
+        graph); then, if the graph's structural version moved — whether from
+        those events or from direct mutation between steps — the engine
+        resynchronizes its own state via :meth:`_resync_topology`.
+        """
+        self.round += 1
+        self.metrics.rounds = self.round
+        severed: set = set()
+        if self.dynamics is not None:
+            events = self.dynamics.events_for_round(self.round)
+            if events:
+                severed = apply_events(self.graph, events)
+        if self.graph.version != self._graph_version:
+            self._resync_topology(severed)
+
+    def _resync_topology(self, severed: frozenset = frozenset()) -> None:
+        """Reconcile engine state with a mutated graph.
+
+        Appended nodes get fresh (empty) knowledge; in-flight exchanges over
+        edges that no longer exist — plus any in ``severed``, edges a
+        dynamics event removed even if a later event of the same round
+        re-added them — are dropped and counted as lost.  (Out-of-band
+        mutation between steps is reconciled by net diff only: a caller
+        that removes and restores an edge before the next step never
+        presents a changed topology to the engine.)  Node removal is
+        rejected with :class:`GraphError` — per-node knowledge cannot be
+        meaningfully discarded mid-run, and silently continuing would
+        desynchronize completion predicates (model churn as a
+        ``node-leave`` event instead, which removes the node's edges).
+        """
+        graph = self.graph
+        removed_nodes = [node for node in self.knowledge if not graph.has_node(node)]
+        if removed_nodes:
+            raise GraphError(
+                f"nodes {removed_nodes!r} were removed from the graph mid-run; engines only "
+                "support edge mutations and appended nodes (use a 'node-leave' dynamics "
+                "event to churn a node out without deleting it)"
+            )
+        for node in graph.nodes():
+            if node not in self.knowledge:
+                self.knowledge[node] = KnowledgeState(node=node)
+                self.scratch[node] = {}
+                self._outstanding[node] = 0
+        edge_keys = {frozenset(edge.endpoints()) for edge in graph.edges()}
+        removed_edges = (self._edge_keys - edge_keys) | set(severed)
+        if removed_edges:
+            self._drop_pending_over(removed_edges)
+        self._edge_keys = edge_keys
+        self._graph_version = graph.version
+
+    def _drop_pending_over(self, removed: set[frozenset]) -> None:
+        """Drop in-flight exchanges travelling over removed edges."""
+        kept: list[PendingExchange] = []
+        lost = 0
+        for exchange in self._pending:
+            if frozenset((exchange.initiator, exchange.responder)) in removed:
+                self._outstanding[exchange.initiator] -= 1
+                lost += 1
+                if self.trace is not None:
+                    self.trace.record(self.round, "lost", exchange.initiator, exchange.responder)
+            else:
+                kept.append(exchange)
+        if lost:
+            heapq.heapify(kept)
+            self._pending = kept
+            self.metrics.record_lost(lost)
+
+    # ------------------------------------------------------------------
     # Core stepping
     # ------------------------------------------------------------------
     def initiate_exchange(self, initiator: NodeId, responder: NodeId) -> None:
@@ -257,15 +340,16 @@ class GossipEngine:
     def step(self, policy: ExchangePolicy) -> None:
         """Advance the simulation by one round under ``policy``.
 
-        Order within a round: (1) the round counter advances, (2) exchanges
-        whose latency has elapsed complete and deliver rumors, (3) every node
-        (in a fixed order) is consulted for a new initiation.  This matches
-        the paper's convention that an exchange over a latency-ℓ edge
-        initiated in round r is usable from round r + ℓ on.
+        Order within a round: (1) the round counter advances and topology
+        dynamics for the round are applied (cancelling in-flight exchanges
+        over removed edges), (2) exchanges whose latency has elapsed complete
+        and deliver rumors, (3) every node (in a fixed order) is consulted
+        for a new initiation.  This matches the paper's convention that an
+        exchange over a latency-ℓ edge initiated in round r is usable from
+        round r + ℓ on.
         """
         policy = _as_callback(policy)
-        self.round += 1
-        self.metrics.rounds = self.round
+        self._begin_round()
         self._deliver_due_exchanges()
         for node in self.graph.nodes():
             if self.blocking and self._outstanding[node] > 0:

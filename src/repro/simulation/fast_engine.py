@@ -27,10 +27,12 @@ through :func:`repro.simulation.protocol.create_engine`.
 
 from __future__ import annotations
 
+from collections import Counter
 from collections.abc import Callable
 from typing import Any, Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
+from .dynamics import TopologyDynamics, apply_events
 from .messages import Rumor
 from .metrics import SimulationMetrics
 from .protocol import RoundPolicySpec, register_engine
@@ -46,21 +48,35 @@ class FastEngine:
     ----------
     graph:
         The network.  The engine snapshots its :meth:`WeightedGraph.indexed`
-        CSR core at construction time.
+        CSR core at construction time and re-snapshots whenever the graph's
+        structural version moves mid-run (topology dynamics, or direct
+        mutation between steps).
     blocking:
         If true, a node with an in-flight exchange skips its turn until the
         exchange completes (same semantics as the reference engine).
+    dynamics:
+        Optional :class:`~repro.simulation.dynamics.TopologyDynamics`; its
+        events are applied to ``graph`` at the start of every round with the
+        exact semantics of the reference engine, so seeded declarative runs
+        stay bit-identical across backends under a shared schedule.
     """
 
-    def __init__(self, graph: WeightedGraph, blocking: bool = False) -> None:
+    def __init__(
+        self,
+        graph: WeightedGraph,
+        blocking: bool = False,
+        dynamics: Optional[TopologyDynamics] = None,
+    ) -> None:
         if graph.num_nodes == 0:
             raise GraphError("cannot simulate on an empty graph")
         self.graph = graph
         self.blocking = blocking
+        self.dynamics = dynamics
         self.metrics = SimulationMetrics()
         self.round = 0
         idx = graph.indexed()
         self._idx = idx
+        self._graph_version = graph.version
         n = idx.num_nodes
         # Per-node state, indexed by contiguous node id.
         self._know: list[int] = [0] * n  # bitset over rumor indices
@@ -84,7 +100,10 @@ class FastEngine:
         # In-flight exchanges, batched by completion round.
         self._due: dict[int, list[tuple[int, int, int, int]]] = {}
         # Activation counts per directed CSR slot (materialized lazily).
+        # Counts accrued against CSR snapshots that a topology change retired
+        # are folded into the label-keyed counter below at re-snapshot time.
         self._slot_counts: list[int] = [0] * len(idx.indices)
+        self._folded_activations: Counter = Counter()
 
     # ------------------------------------------------------------------
     # Seeding knowledge
@@ -209,6 +228,134 @@ class FastEngine:
         self._lb_ready = True
 
     # ------------------------------------------------------------------
+    # Topology changes (dynamics events and direct graph mutation)
+    # ------------------------------------------------------------------
+    def _begin_round(self) -> None:
+        """Advance the round counter and bring the topology up to date.
+
+        Mirrors the reference engine: dynamics events for the new round are
+        applied to the graph first, then a structural-version mismatch —
+        from those events or from direct mutation between steps — triggers a
+        CSR re-snapshot via :meth:`_resync_topology`.
+        """
+        self.round += 1
+        self.metrics.rounds = self.round
+        severed: set = set()
+        events_only = self.graph.version == self._graph_version
+        if self.dynamics is not None:
+            events = self.dynamics.events_for_round(self.round)
+            if events:
+                severed = apply_events(self.graph, events)
+        if self.graph.version != self._graph_version:
+            self._resync_topology(severed, events_only)
+
+    def _resync_topology(self, severed: frozenset = frozenset(), events_only: bool = False) -> None:
+        """Re-snapshot the CSR core after the graph mutated.
+
+        Per-node bitset state survives because node indices are stable: the
+        node universe only grows (appended labels extend the arrays), and
+        removal raises :class:`GraphError` just like the reference engine.
+        Activation counts accrued on the retired snapshot's slots are folded
+        into a label-keyed counter, and in-flight exchanges over severed or
+        no-longer-existing directed pairs are dropped and counted as lost.
+
+        ``events_only`` asserts that dynamics events are the only mutations
+        since the last sync, in which case ``severed`` already names every
+        removed edge and the O(E) directed-pair diff is skipped.
+        """
+        old = self._idx
+        new = self.graph.indexed()
+        if new.labels[: old.num_nodes] != old.labels:
+            raise GraphError(
+                "nodes were removed or reordered mid-run; engines only support edge "
+                "mutations and appended nodes (use a 'node-leave' dynamics event to "
+                "churn a node out without deleting it)"
+            )
+        severed_pairs: set[tuple[int, int]] = set()
+        for key in severed:
+            u, v = tuple(key)
+            iu, iv = old.index.get(u), old.index.get(v)
+            if iu is not None and iv is not None:
+                severed_pairs.add((iu, iv))
+                severed_pairs.add((iv, iu))
+        if new.indptr == old.indptr and new.indices == old.indices:
+            # Identical edge structure (e.g. drift re-emitting set-latency
+            # every round): slots line up one-to-one, so activation counters
+            # and neighbour masks stay valid — only severed-and-restored
+            # edges can have lost their in-flight exchanges.
+            if severed_pairs:
+                self._drop_pending_over(severed_pairs)
+            self._idx = new
+            self._graph_version = self.graph.version
+            return
+        self._fold_slot_counts(old)
+        added = new.num_nodes - old.num_nodes
+        if added:
+            self._know.extend([0] * added)
+            self._outstanding.extend([0] * added)
+            self._cursors.extend([0] * added)
+            self._origin_seen.extend([0] * added)
+            self._origin_count.extend([0] * added)
+            hist = self._origin_count_hist
+            hist[0] = hist.get(0, 0) + added
+        if events_only:
+            removed = severed_pairs
+        else:
+            removed = (self._directed_pairs(old) - self._directed_pairs(new)) | severed_pairs
+        if removed:
+            self._drop_pending_over(removed)
+        self._idx = new
+        self._slot_counts = [0] * len(new.indices)
+        self._lb_ready = False
+        self._graph_version = self.graph.version
+
+    @staticmethod
+    def _directed_pairs(idx) -> set[tuple[int, int]]:
+        """All directed (node, neighbour) index pairs of a CSR snapshot."""
+        indptr, indices = idx.indptr, idx.indices
+        return {
+            (i, indices[slot])
+            for i in range(idx.num_nodes)
+            for slot in range(indptr[i], indptr[i + 1])
+        }
+
+    def _drop_pending_over(self, removed: set[tuple[int, int]]) -> None:
+        """Drop in-flight exchanges travelling over removed directed pairs."""
+        lost = 0
+        for completes_at, batch in list(self._due.items()):
+            kept = [entry for entry in batch if (entry[0], entry[1]) not in removed]
+            if len(kept) == len(batch):
+                continue
+            for entry in batch:
+                if (entry[0], entry[1]) in removed:
+                    self._outstanding[entry[0]] -= 1
+                    lost += 1
+            if kept:
+                self._due[completes_at] = kept
+            else:
+                del self._due[completes_at]
+        if lost:
+            self.metrics.record_lost(lost)
+
+    def _fold_slot_counts(self, idx) -> None:
+        """Fold a retiring snapshot's per-slot activation counts away."""
+        counter = self._folded_activations
+        reprs: Optional[list[str]] = None
+        indptr, indices = idx.indptr, idx.indices
+        slot_counts = self._slot_counts
+        for i in range(idx.num_nodes):
+            for slot in range(indptr[i], indptr[i + 1]):
+                count = slot_counts[slot]
+                if not count:
+                    continue
+                if reprs is None:
+                    reprs = [repr(label) for label in idx.labels]
+                first, second = reprs[i], reprs[indices[slot]]
+                if second < first:
+                    first, second = second, first
+                counter[(first, second)] += count
+
+    # ------------------------------------------------------------------
     # Core stepping
     # ------------------------------------------------------------------
     def initiate_exchange(self, initiator: NodeId, responder: NodeId) -> None:
@@ -259,16 +406,17 @@ class FastEngine:
         """Advance the simulation by one round under a declarative policy.
 
         Round order matches the reference engine: (1) the round counter
-        advances, (2) due exchanges deliver, (3) nodes are swept in index
-        order (= graph insertion order) for new initiations.
+        advances and topology dynamics for the round are applied (cancelling
+        in-flight exchanges over removed edges), (2) due exchanges deliver,
+        (3) nodes are swept in index order (= graph insertion order) for new
+        initiations.
         """
         if not isinstance(policy, RoundPolicySpec):
             raise TypeError(
                 "FastEngine only runs declarative RoundPolicySpec policies; "
                 "use the reference engine for arbitrary callbacks"
             )
-        self.round += 1
-        self.metrics.rounds = self.round
+        self._begin_round()
         self._deliver_due_exchanges()
 
         idx = self._idx
@@ -351,13 +499,15 @@ class FastEngine:
     def _materialize_edge_activations(self) -> None:
         """Fold per-slot activation counts into the reference-format counter.
 
-        Rebuilt from the cumulative slot counts each time, so calling it
+        Rebuilt each time from the counts folded away at re-snapshots plus
+        the cumulative slot counts of the current snapshot, so calling it
         repeatedly (e.g. multi-phase runs reusing one engine) stays
         consistent with the reference engine's incremental counter.
         """
         idx = self._idx
         counter = self.metrics.edge_activations
         counter.clear()
+        counter.update(self._folded_activations)
         reprs: Optional[list[str]] = None
         indptr, indices = idx.indptr, idx.indices
         slot_counts = self._slot_counts

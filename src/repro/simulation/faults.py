@@ -126,8 +126,9 @@ class FaultyEngine(GossipEngine):
         fault_plan: FaultPlan,
         blocking: bool = False,
         trace=None,
+        dynamics=None,
     ) -> None:
-        super().__init__(graph, blocking=blocking, trace=trace)
+        super().__init__(graph, blocking=blocking, trace=trace, dynamics=dynamics)
         self.fault_plan = fault_plan
 
     # -- fault-aware overrides -------------------------------------------
@@ -162,8 +163,7 @@ class FaultyEngine(GossipEngine):
 
     def step(self, policy: ExchangePolicy) -> None:
         policy = _as_callback(policy)
-        self.round += 1
-        self.metrics.rounds = self.round
+        self._begin_round()
         self._deliver_due_exchanges()
         for node in self.graph.nodes():
             if self.fault_plan.is_node_crashed(node, self.round):

@@ -16,7 +16,9 @@ Adding a golden trace
    backends can replay it; keep ``_policy_spec`` in sync with the
    algorithm's own spec construction) and/or the topology in
    :data:`GOLDEN_TOPOLOGIES` (builders must be fully determined by their
-   hard-coded seeds).
+   hard-coded seeds).  For a *churned* anchor, register the schedule
+   builder in :data:`GOLDEN_DYNAMICS` and the (algorithm, topology,
+   dynamics) triple in :data:`GOLDEN_DYNAMIC_CASES`.
 2. Regenerate the fixtures: ``python tests/golden/regen.py``.
 3. Commit the new/changed JSON files; the parity test picks them up
    automatically.
@@ -27,24 +29,30 @@ from __future__ import annotations
 import json
 import os
 from collections.abc import Callable
-from typing import Any
+from typing import Any, Optional
 
 from ..gossip import FloodingGossip, PullGossip, PushGossip, PushPullGossip, Task
 from ..gossip.base import GossipAlgorithm
 from ..graphs import path_graph, two_cluster_slow_bridge, weighted_erdos_renyi
+from ..graphs.dynamics import markov_churn
 from ..graphs.weighted_graph import WeightedGraph
+from .dynamics import TopologyDynamics
 from .protocol import PolicyCapability, RoundPolicySpec, create_engine
 from .rng import make_rng
 
 __all__ = [
     "GOLDEN_ALGORITHMS",
+    "GOLDEN_DYNAMICS",
+    "GOLDEN_DYNAMIC_CASES",
     "GOLDEN_TOPOLOGIES",
     "GOLDEN_SEED",
     "GOLDEN_SCHEMA",
     "golden_cases",
+    "golden_dynamic_cases",
     "fixture_filename",
     "build_golden_topology",
     "build_golden_algorithm",
+    "build_golden_dynamics",
     "capture_golden_trace",
     "write_golden_fixtures",
 ]
@@ -69,15 +77,37 @@ GOLDEN_ALGORITHMS: dict[str, Callable[[], GossipAlgorithm]] = {
     "flooding": lambda: FloodingGossip(task=Task.ONE_TO_ALL),
 }
 
+# Topology-dynamics schedules, built deterministically from the topology and
+# the golden seed, so regenerated fixtures are identical on any machine.
+GOLDEN_DYNAMICS: dict[str, Callable[[WeightedGraph], TopologyDynamics]] = {
+    "markov-churn": lambda graph: markov_churn(
+        graph, horizon=64, leave_prob=0.08, rejoin_prob=0.35, seed=GOLDEN_SEED
+    ),
+}
+
+# The churned anchor cases: one random-phone-call algorithm and one
+# deterministic round-robin algorithm, each replayed on both backends.
+GOLDEN_DYNAMIC_CASES: list[tuple[str, str, str]] = [
+    ("push-pull", "er24", "markov-churn"),
+    ("flooding", "slow-bridge10", "markov-churn"),
+]
+
 
 def golden_cases() -> list[tuple[str, str]]:
-    """Every (algorithm, topology) pair a fixture is committed for."""
+    """Every static (algorithm, topology) pair a fixture is committed for."""
     return [(algorithm, topology) for algorithm in GOLDEN_ALGORITHMS for topology in GOLDEN_TOPOLOGIES]
 
 
-def fixture_filename(algorithm: str, topology: str) -> str:
-    """The fixture file name for one golden case."""
-    return f"{algorithm}__{topology}.json"
+def golden_dynamic_cases() -> list[tuple[str, str, str]]:
+    """Every churned (algorithm, topology, dynamics) fixture triple."""
+    return list(GOLDEN_DYNAMIC_CASES)
+
+
+def fixture_filename(algorithm: str, topology: str, dynamics: Optional[str] = None) -> str:
+    """The fixture file name for one golden case (static or dynamic)."""
+    if dynamics is None:
+        return f"{algorithm}__{topology}.json"
+    return f"{algorithm}__{topology}__{dynamics}.json"
 
 
 def build_golden_topology(topology: str) -> WeightedGraph:
@@ -88,6 +118,16 @@ def build_golden_topology(topology: str) -> WeightedGraph:
 def build_golden_algorithm(algorithm: str) -> GossipAlgorithm:
     """Instantiate one of the registered golden algorithms."""
     return GOLDEN_ALGORITHMS[algorithm]()
+
+
+def build_golden_dynamics(dynamics: str, graph: WeightedGraph) -> TopologyDynamics:
+    """Build one of the registered golden dynamics schedules for ``graph``.
+
+    The schedule must be derived from the graph *before* any engine runs on
+    it (engines mutate the graph while applying events), so callers pass a
+    freshly built topology.
+    """
+    return GOLDEN_DYNAMICS[dynamics](graph)
 
 
 def _policy_spec(algorithm: str, seed: int) -> RoundPolicySpec:
@@ -114,17 +154,24 @@ def capture_golden_trace(
     topology: str,
     backend: str = "reference",
     seed: int = GOLDEN_SEED,
+    dynamics: Optional[str] = None,
 ) -> dict[str, Any]:
     """Replay one golden case round-by-round and return its trace.
 
     The engine is stepped manually (same round order as ``Engine.run``) so
     the informed count of the tracked rumor can be snapshotted after every
     round; the final metrics therefore match a plain ``GossipAlgorithm.run``
-    of the same case bit-for-bit.
+    of the same case bit-for-bit.  With ``dynamics``, the named golden
+    schedule is rebuilt from the fresh topology (deterministic — same seed,
+    same graph, same schedule) and the engine replays it, so the trace also
+    anchors lost-exchange accounting and mid-run CSR re-snapshots.
     """
     graph = build_golden_topology(topology)
     source = graph.nodes()[0]
-    engine, _backend_name = create_engine(graph, backend, capability=PolicyCapability.UNIFORM_RANDOM)
+    schedule = build_golden_dynamics(dynamics, graph) if dynamics is not None else None
+    engine, _backend_name = create_engine(
+        graph, backend, capability=PolicyCapability.UNIFORM_RANDOM, dynamics=schedule
+    )
     rumor = engine.seed_rumor(source)
     spec = _policy_spec(algorithm, seed)
     informed_counts = [len(engine.informed_nodes(rumor))]
@@ -136,7 +183,7 @@ def capture_golden_trace(
         engine.step(spec)
         informed_counts.append(len(engine.informed_nodes(rumor)))
     metrics = engine.metrics
-    return {
+    trace = {
         "schema": GOLDEN_SCHEMA,
         "algorithm": algorithm,
         "topology": topology,
@@ -149,19 +196,26 @@ def capture_golden_trace(
         "rumor_deliveries": metrics.rumor_deliveries,
         "informed_counts": informed_counts,
     }
+    if dynamics is not None:
+        trace["dynamics"] = dynamics
+        trace["lost_exchanges"] = metrics.lost_exchanges
+    return trace
 
 
 def write_golden_fixtures(directory: str) -> list[str]:
     """(Re)write every golden fixture under ``directory``; return the paths.
 
     Fixtures are always captured on the reference backend — it is the
-    correctness oracle the fast backend is verified against.
+    correctness oracle the fast backend is verified against.  Static cases
+    and churned dynamic cases are written alike.
     """
     os.makedirs(directory, exist_ok=True)
     written = []
-    for algorithm, topology in golden_cases():
-        trace = capture_golden_trace(algorithm, topology, backend="reference")
-        path = os.path.join(directory, fixture_filename(algorithm, topology))
+    cases = [(algorithm, topology, None) for algorithm, topology in golden_cases()]
+    cases.extend(golden_dynamic_cases())
+    for algorithm, topology, dynamics in cases:
+        trace = capture_golden_trace(algorithm, topology, backend="reference", dynamics=dynamics)
+        path = os.path.join(directory, fixture_filename(algorithm, topology, dynamics))
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(trace, handle, indent=2, sort_keys=True)
             handle.write("\n")

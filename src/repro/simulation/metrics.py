@@ -41,6 +41,11 @@ class SimulationMetrics:
         Activation count per canonical edge.
     rumor_deliveries:
         Number of (node, rumor) pairs that became newly known.
+    lost_exchanges:
+        In-flight exchanges dropped because their edge disappeared (a
+        topology-dynamics removal or churned endpoint) before the latency
+        elapsed.  Lost exchanges were paid for as activations but deliver
+        nothing.
     """
 
     rounds: int = 0
@@ -52,6 +57,7 @@ class SimulationMetrics:
     rumor_deliveries: int = 0
     payload_rumors_sent: int = 0
     max_payload_size: int = 0
+    lost_exchanges: int = 0
 
     def record_activation(self, u: NodeId, v: NodeId) -> None:
         """Record that the edge {u, v} was activated (an exchange initiated)."""
@@ -73,6 +79,10 @@ class SimulationMetrics:
     def record_deliveries(self, count: int) -> None:
         """Record ``count`` newly-learned (node, rumor) pairs."""
         self.rumor_deliveries += count
+
+    def record_lost(self, count: int = 1) -> None:
+        """Record ``count`` in-flight exchanges dropped by a topology change."""
+        self.lost_exchanges += count
 
     def charge(self, time: float) -> None:
         """Charge analytical time (e.g. a DTG phase simulated at coarse grain)."""
@@ -102,6 +112,7 @@ class SimulationMetrics:
             "rumor_deliveries": self.rumor_deliveries,
             "payload_rumors_sent": self.payload_rumors_sent,
             "max_payload_size": self.max_payload_size,
+            "lost_exchanges": self.lost_exchanges,
         }
 
     def merge(self, other: "SimulationMetrics") -> None:
@@ -111,6 +122,7 @@ class SimulationMetrics:
         self.activations += other.activations
         self.messages += other.messages
         self.rumor_deliveries += other.rumor_deliveries
+        self.lost_exchanges += other.lost_exchanges
         self.payload_rumors_sent += other.payload_rumors_sent
         self.max_payload_size = max(self.max_payload_size, other.max_payload_size)
         self.edge_activations.update(other.edge_activations)

@@ -172,6 +172,7 @@ class EngineProtocol(Protocol):
     blocking: bool
     metrics: SimulationMetrics
     round: int
+    dynamics: Any
 
     def seed_rumor(self, origin: NodeId, payload: Any = None) -> Rumor:
         """Give ``origin`` a fresh rumor and return it."""
@@ -299,14 +300,20 @@ def create_engine(
     capability: PolicyCapability = PolicyCapability.ARBITRARY_CALLBACK,
     blocking: bool = False,
     trace: Any = None,
+    dynamics: Any = None,
 ) -> tuple[EngineProtocol, str]:
     """Instantiate the backend selected by ``engine`` for ``graph``.
 
     Returns ``(engine_instance, backend_name)`` so callers can record which
     backend actually ran (the ``"auto"`` choice is data-dependent).
+
+    ``dynamics`` is an optional
+    :class:`~repro.simulation.dynamics.TopologyDynamics` applied by the
+    engine at the start of every round; both backends support it with
+    identical semantics, so it never constrains backend selection.
     """
     backend = resolve_backend(engine, capability=capability, trace=trace)
     cls = ENGINE_BACKENDS[backend]
     if backend == "fast":
-        return cls(graph, blocking=blocking), backend
-    return cls(graph, blocking=blocking, trace=trace), backend
+        return cls(graph, blocking=blocking, dynamics=dynamics), backend
+    return cls(graph, blocking=blocking, trace=trace, dynamics=dynamics), backend

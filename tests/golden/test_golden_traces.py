@@ -20,18 +20,21 @@ import pytest
 from repro.simulation.golden import (
     GOLDEN_SEED,
     build_golden_algorithm,
+    build_golden_dynamics,
     build_golden_topology,
     capture_golden_trace,
     fixture_filename,
     golden_cases,
+    golden_dynamic_cases,
 )
 
 FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
 CASES = golden_cases()
+DYNAMIC_CASES = golden_dynamic_cases()
 
 
-def _load_fixture(algorithm: str, topology: str) -> dict:
-    path = os.path.join(FIXTURE_DIR, fixture_filename(algorithm, topology))
+def _load_fixture(algorithm: str, topology: str, dynamics: str = None) -> dict:
+    path = os.path.join(FIXTURE_DIR, fixture_filename(algorithm, topology, dynamics))
     assert os.path.exists(path), (
         f"missing golden fixture {os.path.basename(path)}; run `python tests/golden/regen.py`"
     )
@@ -42,6 +45,10 @@ def _load_fixture(algorithm: str, topology: str) -> dict:
 def test_every_golden_case_has_a_committed_fixture():
     committed = {name for name in os.listdir(FIXTURE_DIR) if name.endswith(".json")}
     expected = {fixture_filename(algorithm, topology) for algorithm, topology in CASES}
+    expected |= {
+        fixture_filename(algorithm, topology, dynamics)
+        for algorithm, topology, dynamics in DYNAMIC_CASES
+    }
     assert committed == expected, (
         "fixture set is out of sync with repro.simulation.golden; "
         "run `python tests/golden/regen.py` (and delete stale files)"
@@ -78,3 +85,36 @@ def test_algorithm_run_matches_fixture_on_both_backends(algorithm, topology):
         assert result.metrics.messages == fixture["messages"], backend
         assert result.metrics.activations == fixture["activations"], backend
         assert result.metrics.rumor_deliveries == fixture["rumor_deliveries"], backend
+
+
+@pytest.mark.parametrize(("algorithm", "topology", "dynamics"), DYNAMIC_CASES)
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_churned_trace_matches_fixture_on_both_backends(algorithm, topology, dynamics, backend):
+    """The churned anchors: per-round informed counts under topology dynamics.
+
+    Replaying the committed schedule on either backend must reproduce the
+    fixture bit-for-bit — including the per-round informed counts and the
+    lost-exchange total — anchoring dynamics application order, in-flight
+    cancellation, and the fast engine's mid-run CSR re-snapshots.
+    """
+    fixture = _load_fixture(algorithm, topology, dynamics)
+    assert capture_golden_trace(algorithm, topology, backend=backend, dynamics=dynamics) == fixture
+
+
+@pytest.mark.parametrize(("algorithm", "topology", "dynamics"), DYNAMIC_CASES)
+def test_churned_algorithm_run_matches_fixture_on_both_backends(algorithm, topology, dynamics):
+    """End-to-end ``run(dynamics=...)`` agrees with the stepped churned trace."""
+    fixture = _load_fixture(algorithm, topology, dynamics)
+    for backend in ("reference", "fast"):
+        graph = build_golden_topology(topology)
+        schedule = build_golden_dynamics(dynamics, graph)
+        instance = build_golden_algorithm(algorithm)
+        result = instance.run(
+            graph, source=fixture["source"], seed=GOLDEN_SEED, engine=backend, dynamics=schedule
+        )
+        assert result.complete
+        assert result.rounds_simulated == fixture["rounds"], backend
+        assert result.metrics.messages == fixture["messages"], backend
+        assert result.metrics.activations == fixture["activations"], backend
+        assert result.metrics.lost_exchanges == fixture["lost_exchanges"], backend
+        assert result.details["dynamics"] == str(schedule), backend

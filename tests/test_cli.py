@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_algorithm, build_graph, main
+from repro.cli import build_algorithm, build_dynamics, build_graph, main
 
 
 class TestBuilders:
@@ -34,6 +34,16 @@ class TestBuilders:
         with pytest.raises(SystemExit):
             build_algorithm("carrier-pigeon")
 
+    def test_build_dynamics(self):
+        graph = build_graph("grid", 16, "uniform", seed=1)
+        assert build_dynamics("static", graph, seed=1) is None
+        churn = build_dynamics("markov-churn", graph, seed=1, horizon=50)
+        assert churn.events_for_round(0 + churn.horizon)  # schedule is non-trivial
+        combined = build_dynamics("churn-drift", graph, seed=1, horizon=50)
+        assert "+" in str(combined)
+        with pytest.raises(SystemExit):
+            build_dynamics("earthquake", graph, seed=1)
+
 
 class TestCommands:
     def test_run_command(self, capsys):
@@ -47,6 +57,26 @@ class TestCommands:
         exit_code = main(["run", "--algorithm", "flooding", "--graph", "grid", "--nodes", "16", "--latency", "unit"])
         assert exit_code == 0
         assert "flooding" in capsys.readouterr().out
+
+    def test_run_command_with_dynamics(self, capsys):
+        exit_code = main(
+            [
+                "run", "--algorithm", "push-pull", "--graph", "expander", "--nodes", "24",
+                "--seed", "3", "--dynamics", "markov-churn", "--churn-rate", "0.05",
+                "--dynamics-horizon", "200",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "markov-churn" in captured
+        assert "lost" in captured
+
+    def test_run_command_rejects_dynamics_for_static_algorithm(self):
+        with pytest.raises(SystemExit, match="does not support topology dynamics"):
+            main(
+                ["run", "--algorithm", "spanner", "--graph", "clique", "--nodes", "10",
+                 "--dynamics", "latency-drift"]
+            )
 
     def test_conductance_command(self, capsys):
         exit_code = main(["conductance", "--graph", "erdos-renyi", "--nodes", "10", "--seed", "2"])

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (dependency-free ``interrogate`` equivalent).
+
+Walks the given source trees with :mod:`ast` and measures the fraction of
+public definitions — modules, classes, functions, and methods whose names do
+not start with an underscore — that carry a docstring.  Exits non-zero when
+coverage falls below the threshold, printing every undocumented definition
+so the failure is actionable.
+
+Usage::
+
+    python tools/check_docstrings.py --fail-under 80 src/repro
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import os
+import sys
+
+
+def iter_python_files(roots):
+    """Yield every ``.py`` file under the given files/directories."""
+    for root in roots:
+        if os.path.isfile(root):
+            yield root
+            continue
+        for dirpath, dirnames, filenames in os.walk(root):
+            dirnames[:] = [name for name in dirnames if name != "__pycache__"]
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def public_definitions(tree, module_label):
+    """Yield ``(label, has_docstring)`` for the module and its public defs.
+
+    Nested functions (closures) are skipped — they are implementation
+    details of their parent — but methods of classes at any depth count.
+    """
+    yield module_label, ast.get_docstring(tree) is not None
+
+    def walk(node, prefix, inside_function):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = child.name
+                is_class = isinstance(child, ast.ClassDef)
+                if inside_function and not is_class:
+                    continue  # a closure
+                if name.startswith("_"):
+                    continue
+                label = f"{prefix}:{child.lineno} {name}"
+                yield label, ast.get_docstring(child) is not None
+                yield from walk(child, prefix, inside_function=not is_class)
+            else:
+                yield from walk(child, prefix, inside_function)
+
+    yield from walk(tree, module_label, inside_function=False)
+
+
+def main(argv=None):
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("roots", nargs="+", help="files or directories to scan")
+    parser.add_argument(
+        "--fail-under",
+        type=float,
+        default=80.0,
+        help="minimum acceptable coverage percentage (default 80)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="only print the summary line"
+    )
+    args = parser.parse_args(argv)
+
+    total = documented = 0
+    missing = []
+    for path in iter_python_files(args.roots):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                tree = ast.parse(handle.read(), filename=path)
+            except SyntaxError as exc:
+                print(f"error: cannot parse {path}: {exc}", file=sys.stderr)
+                return 2
+        for label, has_doc in public_definitions(tree, path):
+            total += 1
+            if has_doc:
+                documented += 1
+            else:
+                missing.append(label)
+
+    coverage = 100.0 * documented / total if total else 100.0
+    if missing and not args.quiet:
+        print("undocumented public definitions:")
+        for label in missing:
+            print(f"  {label}")
+    print(
+        f"docstring coverage: {documented}/{total} = {coverage:.1f}% "
+        f"(threshold {args.fail_under:g}%)"
+    )
+    return 0 if coverage >= args.fail_under else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Execute the ``python`` code blocks of markdown docs, failing on errors.
+
+Keeps README/docs honest: every fenced ```` ```python ```` block is executed
+in order, with blocks from the same file sharing one namespace (so a
+quickstart import carries into the next snippet).  A block directly preceded
+(blank lines allowed) by the marker comment ``<!-- doc-exec: skip -->`` is
+skipped — reserve that for snippets that are intentionally illustrative.
+
+Usage::
+
+    PYTHONPATH=src python tools/run_doc_examples.py README.md docs/*.md
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+import traceback
+
+SKIP_MARKER = "<!-- doc-exec: skip -->"
+
+
+def extract_blocks(text):
+    """Yield ``(start_line, source, skipped)`` for each ```python block.
+
+    A block whose closing fence is missing raises rather than being
+    silently dropped — otherwise an accidental fence deletion would leave
+    the snippet permanently unchecked while the gate reports success.
+    """
+    lines = text.splitlines()
+    in_block = False
+    block: list[str] = []
+    start = 0
+    skip_next = False
+    for number, line in enumerate(lines, start=1):
+        stripped = line.strip()
+        if in_block:
+            if stripped.startswith("```"):
+                in_block = False
+                # Dedent so blocks nested in markdown lists still compile.
+                yield start, textwrap.dedent("\n".join(block)), skip_next
+                skip_next = False
+            else:
+                block.append(line)
+        elif stripped.startswith("```python"):
+            in_block = True
+            block = []
+            start = number + 1
+        elif SKIP_MARKER in stripped:
+            skip_next = True
+        elif stripped:
+            # Any other content line breaks the marker's reach.
+            skip_next = False
+    if in_block:
+        raise ValueError(f"python code block starting at line {start} has no closing ``` fence")
+
+
+def run_file(path):
+    """Execute one markdown file's blocks; return the number of failures."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    namespace = {"__name__": f"doc_examples:{path}"}
+    failures = 0
+    executed = skipped = 0
+    try:
+        blocks = list(extract_blocks(text))
+    except ValueError as exc:
+        print(f"{path}: {exc}", file=sys.stderr)
+        return 1
+    for start, source, skip in blocks:
+        if skip:
+            skipped += 1
+            continue
+        try:
+            exec(compile(source, f"{path}:{start}", "exec"), namespace)  # noqa: S102
+            executed += 1
+        except Exception:
+            failures += 1
+            print(f"FAILED block at {path}:{start}", file=sys.stderr)
+            traceback.print_exc()
+    print(f"{path}: {executed} block(s) executed, {skipped} skipped, {failures} failed")
+    return failures
+
+
+def main(argv=None):
+    """Entry point; returns the process exit code."""
+    paths = argv if argv is not None else sys.argv[1:]
+    if not paths:
+        print("usage: run_doc_examples.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    failures = sum(run_file(path) for path in paths)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
