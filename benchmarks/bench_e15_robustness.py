@@ -6,10 +6,14 @@ from __future__ import annotations
 def test_e15_robustness(run_experiment_benchmark):
     table = run_experiment_benchmark("E15")
     rows = list(table)
-    # Push-pull completes among survivors at every tested crash fraction.
     for row in rows:
+        # Push-pull completes among survivors at every tested crash fraction.
         succeeded, total = row["pushpull_success"].split("/")
         assert succeeded == total
+        # The fault pipeline replays bit-identically on both backends.
+        matched, reps = row["parity"].split("/")
+        assert matched == reps, f"fast/reference divergence at crash_fraction={row['crash_fraction']}"
+        assert row["pushpull_time_fast"] == row["pushpull_time"]
     # Without faults, both strategies complete.
     baseline = rows[0]
     assert baseline["crash_fraction"] == 0.0

@@ -2,7 +2,10 @@
 
 * E15 — robustness: push-pull keeps working when nodes crash mid-run, the
         spanner-based round-robin dissemination degrades (it relies on the
-        pre-built structure),
+        pre-built structure).  The crash faults ride the unified dynamics
+        event pipeline, so the push-pull column runs on BOTH simulation
+        backends with a per-row bit-for-bit parity check — the robustness
+        comparison is no longer confined to the slow reference engine,
 * E16 — message size: push-pull one-to-all works with constant-size
         messages while the all-to-all DTG-based algorithms ship entire rumor
         sets,
@@ -20,8 +23,8 @@ from typing import Optional
 from repro.analysis import ResultTable
 from repro.gossip import FloodingGossip, PushPullGossip, Task, rr_broadcast
 from repro.graphs import baswana_sen_spanner, weighted_diameter, weighted_erdos_renyi
-from repro.simulation import FaultyEngine, GossipEngine, random_crash_plan
-from repro.simulation.rng import make_rng
+from repro.scenario import build_fault_plan, build_graph, load_named_scenario, prepare_scenario
+from repro.simulation import GossipEngine, compile_fault_plan
 
 __all__ = [
     "experiment_e15_robustness",
@@ -29,35 +32,42 @@ __all__ = [
     "experiment_e17_engine_backends",
 ]
 
+# The library scenario every E15 case is a patch of: push-pull all-to-all
+# on erdos-renyi with crash faults at round 3 (scenarios/crash-pushpull-er48.json).
+_E15_BASE_SCENARIO = "crash-pushpull-er48"
 
-def _push_pull_under_crashes(graph, crash_fraction: float, crash_round: int, seed: int) -> tuple[float, bool]:
-    """Run push-pull all-to-all among survivors under a crash plan."""
-    plan = random_crash_plan(graph, crash_fraction, crash_round, seed=seed)
-    engine = FaultyEngine(graph, plan)
-    engine.seed_all_rumors()
-    rng = make_rng(seed, "robust-push-pull")
 
-    def policy(view):
-        return rng.choice(view.neighbors) if view.neighbors else None
+def _push_pull_under_crashes(spec, engine: str) -> tuple[float, bool, tuple]:
+    """Run one patched crash scenario on ``engine``.
 
+    Returns ``(time, completed, trajectory_key)`` where the trajectory key
+    (rounds, messages, activations, suppressed exchanges) must agree
+    bit-for-bit across backends for the same spec.
+    """
+    prepared = prepare_scenario(spec.patched({"engine": engine}))
     try:
-        metrics = engine.run(policy, stop_condition=lambda eng: eng.all_to_all_complete(), max_rounds=20_000)
-        return metrics.total_time, True
+        result = prepared.execute()
     except RuntimeError:
-        return float("inf"), False
+        return float("inf"), False, ("incomplete",)
+    metrics = result.metrics
+    key = (result.rounds_simulated, metrics.messages, metrics.activations, metrics.suppressed_exchanges)
+    return result.time, True, key
 
 
-def _spanner_rr_under_crashes(graph, crash_fraction: float, crash_round: int, seed: int) -> tuple[float, bool]:
-    """Run RR Broadcast on a pre-built spanner while nodes crash.
+def _spanner_rr_under_crashes(graph, plan, seed: int) -> tuple[float, bool]:
+    """Run RR Broadcast on a pre-built spanner under the same crash plan.
 
     The spanner is built before the crashes (as the Spanner Broadcast
     algorithm would have done); crashed nodes stop relaying, so the
     round-robin schedule can lose the only path between two survivors.
+    The plan is compiled onto the same event pipeline the push-pull column
+    uses; the per-node round-robin policy is an arbitrary callback, so this
+    column runs on the reference backend.
     """
-    plan = random_crash_plan(graph, crash_fraction, crash_round, seed=seed)
     spanner = baswana_sen_spanner(graph, seed=seed)
     k = int(weighted_diameter(spanner.graph)) + 1
-    engine = FaultyEngine(spanner.graph, plan)
+    schedule = compile_fault_plan(plan) if plan is not None else None
+    engine = GossipEngine(spanner.graph, dynamics=schedule)
     engine.seed_all_rumors()
     usable = {node: [t for t, latency in spanner.out_edges.get(node, []) if latency <= k] for node in spanner.graph.nodes()}
     budget = k * max((len(v) for v in usable.values()), default=0) + k
@@ -78,22 +88,39 @@ def _spanner_rr_under_crashes(graph, crash_fraction: float, crash_round: int, se
 
 
 def experiment_e15_robustness(quick: bool = False) -> ResultTable:
-    """E15: crash-fault robustness of push-pull vs the spanner structure (Section 6 remark)."""
-    table = ResultTable(title="E15: robustness under crash faults — push-pull vs spanner round-robin")
-    n = 32 if quick else 48
-    graph = weighted_erdos_renyi(n, min(1.0, 8.0 / n), seed=5)
+    """E15: crash-fault robustness of push-pull vs the spanner structure (Section 6 remark).
+
+    Every case is a patch of the bundled ``crash-pushpull-er48`` scenario
+    (crash fraction and seed vary per cell); the push-pull column executes
+    the patched scenario on both simulation backends and the ``parity``
+    column counts repetitions whose trajectories matched bit-for-bit.
+    """
+    table = ResultTable(
+        title="E15: robustness under crash faults — push-pull (both engines) vs spanner round-robin"
+    )
+    base = load_named_scenario(_E15_BASE_SCENARIO)
+    if quick:
+        base = base.patched({"graph.n": 32})
     repetitions = 2 if quick else 4
     fractions = [0.0, 0.1, 0.25] if quick else [0.0, 0.1, 0.25, 0.4]
-    crash_round = 3
     for fraction in fractions:
-        push_pull_times, push_pull_ok = [], 0
+        push_pull_times, push_pull_fast_times, push_pull_ok = [], [], 0
         spanner_times, spanner_ok = [], 0
+        parity_ok = 0
         for repetition in range(repetitions):
-            time_pp, ok_pp = _push_pull_under_crashes(graph, fraction, crash_round, seed=repetition)
-            time_sp, ok_sp = _spanner_rr_under_crashes(graph, fraction, crash_round, seed=repetition)
-            if ok_pp:
-                push_pull_times.append(time_pp)
+            spec = base.patched({"faults.crash_fraction": fraction, "seed": repetition})
+            time_ref, ok_ref, key_ref = _push_pull_under_crashes(spec, "reference")
+            time_fast, ok_fast, key_fast = _push_pull_under_crashes(spec, "fast")
+            if key_ref == key_fast and ok_ref == ok_fast:
+                parity_ok += 1
+            if ok_ref:
+                push_pull_times.append(time_ref)
                 push_pull_ok += 1
+            if ok_fast:
+                push_pull_fast_times.append(time_fast)
+            graph = build_graph(spec)
+            plan = build_fault_plan(spec, graph, None)
+            time_sp, ok_sp = _spanner_rr_under_crashes(graph, plan, seed=repetition)
             if ok_sp:
                 spanner_times.append(time_sp)
                 spanner_ok += 1
@@ -101,11 +128,15 @@ def experiment_e15_robustness(quick: bool = False) -> ResultTable:
             crash_fraction=fraction,
             pushpull_success=f"{push_pull_ok}/{repetitions}",
             pushpull_time=round(statistics.fmean(push_pull_times), 1) if push_pull_times else None,
+            pushpull_time_fast=round(statistics.fmean(push_pull_fast_times), 1) if push_pull_fast_times else None,
+            parity=f"{parity_ok}/{repetitions}",
             spanner_success=f"{spanner_ok}/{repetitions}",
             spanner_time=round(statistics.fmean(spanner_times), 1) if spanner_times else None,
         )
     table.add_note("push-pull keeps completing among survivors as the crash fraction grows; the pre-built")
     table.add_note("spanner loses relay nodes and its round-robin dissemination stalls or slows sharply")
+    table.add_note(f"cases are patches of the {_E15_BASE_SCENARIO} library scenario; parity counts")
+    table.add_note("repetitions where fast and reference trajectories matched bit-for-bit")
     return table
 
 

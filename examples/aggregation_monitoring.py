@@ -28,7 +28,7 @@ from repro.analysis import ResultTable, render_table
 from repro.core import find_bottleneck, suggest_upgrades
 from repro.gossip import gossip_aggregate
 from repro.graphs import two_cluster_slow_bridge
-from repro.simulation import FaultyEngine, random_crash_plan
+from repro.simulation import GossipEngine, compile_fault_plan, random_crash_plan
 from repro.simulation.rng import make_rng
 
 
@@ -60,9 +60,11 @@ def main() -> None:
               f"-> critical ratio drops to {new_ratio:.1f}")
     print()
 
-    # Robustness: crash a quarter of the servers three rounds in and aggregate anyway.
+    # Robustness: crash a quarter of the servers three rounds in and aggregate
+    # anyway.  The plan compiles onto the dynamics event pipeline, so the same
+    # schedule would replay bit-identically on the fast bitset backend.
     plan = random_crash_plan(graph, crash_fraction=0.25, crash_round=3, seed=5)
-    engine = FaultyEngine(graph, plan)
+    engine = GossipEngine(graph, dynamics=compile_fault_plan(plan))
     engine.seed_all_rumors()
     policy_rng = make_rng(5, "monitoring")
     engine.run(

@@ -11,7 +11,10 @@ The package is organised as:
   Spanner Broadcast, Pattern Broadcast, the unified strategy);
 * :mod:`repro.guessing_game` — the lower-bound guessing game and the
   Lemma 6 reduction;
-* :mod:`repro.analysis` — the experiment / benchmark harness.
+* :mod:`repro.analysis` — the experiment / benchmark harness;
+* :mod:`repro.scenario` — declarative, JSON-serializable scenario specs
+  (graph × algorithm × dynamics × faults × engine × seed) runnable from
+  Python, the CLI, and patch-grid sweeps.
 
 Quickstart::
 
@@ -24,7 +27,7 @@ Quickstart::
     print(result.time, result.metrics.messages)
 """
 
-from . import analysis, core, gossip, graphs, guessing_game, simulation
+from . import analysis, core, gossip, graphs, guessing_game, scenario, simulation
 
 __version__ = "1.0.0"
 
@@ -34,6 +37,7 @@ __all__ = [
     "gossip",
     "graphs",
     "guessing_game",
+    "scenario",
     "simulation",
     "__version__",
 ]

@@ -45,8 +45,10 @@ from .experiment import (
     TrialShard,
     configure_sweeps,
     current_sweep_config,
+    default_scenario_measure,
     deterministic_rows,
     resolve_workers,
+    scenario_sweep,
     sweep,
     sweep_config,
 )
@@ -77,6 +79,7 @@ __all__ = [
     "ascii_series",
     "configure_sweeps",
     "current_sweep_config",
+    "default_scenario_measure",
     "deterministic_rows",
     "format_value",
     "geometric_mean",
@@ -87,6 +90,7 @@ __all__ = [
     "render_comparison",
     "render_table",
     "resolve_workers",
+    "scenario_sweep",
     "summarize",
     "sweep",
     "sweep_config",

@@ -71,6 +71,8 @@ __all__ = [
     "TrialRecord",
     "Experiment",
     "sweep",
+    "scenario_sweep",
+    "default_scenario_measure",
     "SweepConfig",
     "configure_sweeps",
     "current_sweep_config",
@@ -574,6 +576,79 @@ class Experiment:
 def _slug(name: str) -> str:
     """File-system-safe slug of an experiment name (for checkpoint files)."""
     return "".join(char if char.isalnum() or char in "-_" else "-" for char in name.lower()).strip("-") or "experiment"
+
+
+def default_scenario_measure(result: Any) -> dict[str, float]:
+    """The headline measurement row of one scenario run.
+
+    Time, rounds, message/activation counts, the event pipeline's lost and
+    suppressed totals, and a 0/1 completeness flag — enough for most
+    robustness and dynamics sweeps without a custom ``measure``.
+    """
+    metrics = result.metrics
+    return {
+        "time": float(result.time),
+        "rounds": float(result.rounds_simulated),
+        "messages": float(metrics.messages),
+        "activations": float(metrics.activations),
+        "lost_exchanges": float(metrics.lost_exchanges),
+        "suppressed_exchanges": float(metrics.suppressed_exchanges),
+        "complete": 1.0 if result.complete else 0.0,
+    }
+
+
+def scenario_sweep(
+    name: str,
+    base: Any,
+    patches: Sequence[Mapping[str, Any]],
+    repetitions: int = 3,
+    base_seed: int = 0,
+    measure: Optional[Callable[[Any], Mapping[str, float]]] = None,
+    workers: Union[int, str, None] = None,
+    timeout: Optional[float] = None,
+) -> Experiment:
+    """An :class:`Experiment` whose cases are patches on one base scenario.
+
+    Each case is a mapping of dotted scenario paths (see
+    :meth:`repro.scenario.ScenarioSpec.patched`) — e.g.
+    ``{"faults.crash_fraction": 0.25}`` or ``{"graph.n": 96, "engine":
+    "fast"}`` — applied to ``base`` (a :class:`~repro.scenario.ScenarioSpec`
+    or a bundled-library scenario name).  The patch dict doubles as the
+    result-table row key, so the grid reads off the table directly.  Every
+    repetition re-runs the patched scenario with the shard's derived seed
+    (``derive_seed(base_seed, name, case, rep)``), which reseeds the graph,
+    dynamics, and fault draws together — the sweep machinery's usual
+    process-independence guarantees apply unchanged.
+
+    ``measure`` maps a :class:`~repro.gossip.base.DisseminationResult` to
+    the measured columns; it defaults to :func:`default_scenario_measure`.
+    """
+    # Imported here so importing the analysis package stays light; the
+    # scenario layer pulls in every algorithm.
+    from ..scenario import ScenarioSpec, load_named_scenario
+
+    if isinstance(base, str):
+        base = load_named_scenario(base)
+    if not isinstance(base, ScenarioSpec):
+        raise TypeError(f"base must be a ScenarioSpec or library scenario name, got {base!r}")
+    measure_fn = measure if measure is not None else default_scenario_measure
+
+    def trial(case: Mapping[str, Any], seed: int) -> Mapping[str, float]:
+        from ..scenario import run_scenario
+
+        spec = base.patched(dict(case))
+        spec = spec.patched({"seed": seed})
+        return dict(measure_fn(run_scenario(spec)))
+
+    return Experiment(
+        name=name,
+        cases=list(patches),
+        trial=trial,
+        repetitions=repetitions,
+        base_seed=base_seed,
+        workers=workers,
+        timeout=timeout,
+    )
 
 
 def sweep(**parameters: Iterable[Any]) -> list[dict[str, Any]]:

@@ -1,11 +1,15 @@
 """Command-line interface: ``repro-gossip`` / ``python -m repro.cli``.
 
-The CLI exposes three things:
+The CLI exposes four things:
 
-* ``run`` — run one gossip algorithm on one generated graph and print the
-  result (useful for quick experimentation); ``--dynamics`` runs it under
-  a seeded topology-dynamics schedule (churn, latency drift, link
-  flapping),
+* ``run`` — run one gossip scenario and print the result.  The scenario is
+  either resolved from flat flags (algorithm, graph family, dynamics and
+  fault knobs) or loaded whole from a JSON file via ``--scenario``;
+  ``--dump-scenario out.json`` writes the resolved
+  :class:`~repro.scenario.ScenarioSpec` so any run can be replayed exactly,
+* ``scenario`` — inspect the declarative layer: ``list`` the bundled
+  library, ``dump`` one of its entries as canonical JSON, ``validate``
+  scenario files (schema + round-trip),
 * ``conductance`` — print the weighted-conductance profile of a generated
   graph,
 * ``experiment`` — regenerate one of the experiments (E1 .. E19) and print
@@ -14,7 +18,8 @@ The CLI exposes three things:
   ``--checkpoint-dir``, and ``--resume``.
 
 ``docs/CLI.md`` documents every subcommand and environment knob with
-copy-pasteable examples.
+copy-pasteable examples; ``docs/SCENARIOS.md`` documents the scenario
+schema and the bundled library.
 """
 
 from __future__ import annotations
@@ -26,137 +31,217 @@ from typing import Optional
 
 from .analysis.tables import render_table
 from .core import check_theorem5, extract_parameters
-from .graphs.dynamics import compose_dynamics, markov_churn, periodic_latency_drift, slow_bridge_flapping
 from .graphs.weighted_graph import GraphError
+from .scenario import (
+    DynamicsSpec,
+    FaultSpec,
+    GraphSpec,
+    GRAPH_FAMILIES,
+    LATENCY_MODELS,
+    ScenarioError,
+    ScenarioSpec,
+    dump_scenario,
+    library_scenario_names,
+    load_named_scenario,
+    load_scenario,
+    prepare_scenario,
+)
 from .simulation.protocol import EngineSelectionError
-from .gossip import (
-    FloodingGossip,
-    PatternBroadcast,
-    PushPullGossip,
-    SpannerBroadcast,
-    Task,
-    UnifiedGossip,
-)
-from .graphs import (
-    WeightedGraph,
-    bimodal_latency,
-    constant_latency,
-    uniform_latency,
-    weighted_barabasi_albert,
-    weighted_clique,
-    weighted_erdos_renyi,
-    weighted_expander,
-    weighted_grid,
-)
+from .graphs import WeightedGraph
 
-__all__ = ["main", "build_graph", "build_algorithm", "build_dynamics"]
+__all__ = ["main", "build_graph"]
 
 _DYNAMICS = ("static", "markov-churn", "latency-drift", "bridge-flap", "churn-drift")
 
-_GRAPH_BUILDERS = {
-    "clique": lambda n, model, seed: weighted_clique(n, model, seed=seed),
-    "expander": lambda n, model, seed: weighted_expander(n, 4, model, seed=seed),
-    "grid": lambda n, model, seed: weighted_grid(max(2, int(n ** 0.5)), max(2, int(n ** 0.5)), model, seed=seed),
-    "erdos-renyi": lambda n, model, seed: weighted_erdos_renyi(n, min(1.0, 8.0 / max(n, 2)), model, seed=seed),
-    "barabasi-albert": lambda n, model, seed: weighted_barabasi_albert(n, 3, model, seed=seed),
-}
-
-_LATENCY_MODELS = {
-    "unit": lambda: constant_latency(1),
-    "uniform": lambda: uniform_latency(1, 16),
-    "bimodal": lambda: bimodal_latency(fast=1, slow=64, slow_fraction=0.5),
-}
-
-_ALGORITHMS = {
-    "push-pull": lambda: PushPullGossip(task=Task.ALL_TO_ALL),
-    "flooding": lambda: FloodingGossip(task=Task.ALL_TO_ALL),
-    "spanner": lambda: SpannerBroadcast(),
-    "pattern": lambda: PatternBroadcast(),
-    "unified": lambda: UnifiedGossip(),
-}
+# The flat `run` flags are a thin veneer over the scenario registries; the
+# canonical tables live in repro.scenario so files and flags can never
+# drift apart.  (The flat surface offers the all-to-all algorithms only;
+# push/pull one-to-all variants are reachable through scenario files.)
+_GRAPH_BUILDERS = GRAPH_FAMILIES
+_LATENCY_MODELS = LATENCY_MODELS
+_ALGORITHMS = ("flooding", "pattern", "push-pull", "spanner", "unified")
 
 
 def build_graph(family: str, n: int, latency_model: str, seed: int) -> WeightedGraph:
-    """Build a graph from CLI arguments."""
-    if family not in _GRAPH_BUILDERS:
-        raise SystemExit(f"unknown graph family {family!r}; choose from {sorted(_GRAPH_BUILDERS)}")
-    if latency_model not in _LATENCY_MODELS:
-        raise SystemExit(f"unknown latency model {latency_model!r}; choose from {sorted(_LATENCY_MODELS)}")
+    """Build a graph from CLI arguments (validated through GraphSpec)."""
+    try:
+        GraphSpec(family=family, n=n, latency=latency_model).validate()
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
     return _GRAPH_BUILDERS[family](n, _LATENCY_MODELS[latency_model](), seed)
 
 
-def build_algorithm(name: str):
-    """Build a gossip algorithm from its CLI name."""
-    if name not in _ALGORITHMS:
-        raise SystemExit(f"unknown algorithm {name!r}; choose from {sorted(_ALGORITHMS)}")
-    return _ALGORITHMS[name]()
-
-
-def build_dynamics(
-    name: str,
-    graph: WeightedGraph,
-    seed: int,
-    churn_rate: float = 0.02,
-    drift_amplitude: float = 0.5,
-    period: int = 32,
-    horizon: int = 2000,
-):
-    """Build a topology-dynamics schedule from CLI arguments (or ``None``).
-
-    The schedule is derived deterministically from the graph and the run's
-    seed, so repeating a command reproduces the same evolving topology.
-    """
-    if name not in _DYNAMICS:
-        raise SystemExit(f"unknown dynamics {name!r}; choose from {sorted(_DYNAMICS)}")
-    if name == "static":
-        return None
-    parts = []
-    if name in ("markov-churn", "churn-drift"):
-        parts.append(markov_churn(graph, horizon=horizon, leave_prob=churn_rate, seed=seed))
-    if name in ("latency-drift", "churn-drift"):
-        parts.append(
-            periodic_latency_drift(graph, horizon=horizon, amplitude=drift_amplitude, period=period, seed=seed)
+def _scenario_from_flags(args: argparse.Namespace) -> ScenarioSpec:
+    """Resolve the flat ``run`` flags into a validated :class:`ScenarioSpec`."""
+    if args.algorithm not in _ALGORITHMS:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r}; choose from {sorted(_ALGORITHMS)}")
+    dynamics: list[DynamicsSpec] = []
+    if args.dynamics not in _DYNAMICS:
+        raise SystemExit(f"unknown dynamics {args.dynamics!r}; choose from {sorted(_DYNAMICS)}")
+    if args.dynamics in ("markov-churn", "churn-drift"):
+        dynamics.append(
+            DynamicsSpec(
+                kind="markov-churn",
+                rate=args.churn_rate,
+                period=args.dynamics_period,
+                horizon=args.dynamics_horizon,
+            )
         )
-    if name == "bridge-flap":
-        parts.append(slow_bridge_flapping(graph, horizon=horizon, period=period))
-    return parts[0] if len(parts) == 1 else compose_dynamics(*parts)
+    if args.dynamics in ("latency-drift", "churn-drift"):
+        dynamics.append(
+            DynamicsSpec(
+                kind="latency-drift",
+                amplitude=args.drift_amplitude,
+                period=args.dynamics_period,
+                horizon=args.dynamics_horizon,
+            )
+        )
+    if args.dynamics == "bridge-flap":
+        dynamics.append(
+            DynamicsSpec(
+                kind="bridge-flap", period=args.dynamics_period, horizon=args.dynamics_horizon
+            )
+        )
+    faults = None
+    if args.crash_fraction > 0.0 or args.drop_fraction > 0.0:
+        faults = FaultSpec(
+            crash_fraction=args.crash_fraction,
+            crash_round=args.crash_round,
+            drop_fraction=args.drop_fraction,
+            drop_round=args.drop_round,
+        )
+    spec = ScenarioSpec(
+        name=f"cli-{args.algorithm}-{args.graph}",
+        algorithm=args.algorithm,
+        task="all-to-all",
+        graph=GraphSpec(family=args.graph, n=args.nodes, latency=args.latency),
+        seed=args.seed if args.seed is not None else 0,
+        engine=args.engine or "auto",
+        dynamics=tuple(dynamics),
+        faults=faults,
+    )
+    return spec
+
+
+# Flat `run` flag dests that conflict with --scenario: the file provides
+# the whole run, so silently ignoring any of these would report numbers
+# the user never asked for.  --engine/--seed stay documented overrides and
+# --dump-scenario is always allowed.  The defaults themselves come from
+# the parser at build time (args._flat_defaults), keeping one source of
+# truth.
+_FLAT_RUN_CONFLICT_DESTS = (
+    "algorithm",
+    "graph",
+    "latency",
+    "nodes",
+    "dynamics",
+    "churn_rate",
+    "drift_amplitude",
+    "dynamics_period",
+    "dynamics_horizon",
+    "crash_fraction",
+    "crash_round",
+    "drop_fraction",
+    "drop_round",
+)
 
 
 def _command_run(args: argparse.Namespace) -> int:
-    graph = build_graph(args.graph, args.nodes, args.latency, args.seed)
-    description = f"{args.graph} (n={graph.num_nodes}, m={graph.num_edges}, lmax={graph.max_latency()})"
-    algorithm = build_algorithm(args.algorithm)
     try:
-        dynamics = build_dynamics(
-            args.dynamics,
-            graph,
-            args.seed,
-            churn_rate=args.churn_rate,
-            drift_amplitude=args.drift_amplitude,
-            period=args.dynamics_period,
-            horizon=args.dynamics_horizon,
-        )
-    except GraphError as exc:
-        raise SystemExit(f"--dynamics {args.dynamics}: {exc}")
+        if args.scenario:
+            conflicting = [
+                "--" + dest.replace("_", "-")
+                for dest, default in args._flat_defaults.items()
+                if getattr(args, dest) != default
+            ]
+            if conflicting:
+                raise SystemExit(
+                    f"--scenario provides the whole run; drop {', '.join(conflicting)} "
+                    "(patch the scenario file instead — only --engine and --seed override it)"
+                )
+            spec = load_scenario(args.scenario)
+            if args.engine and args.engine != "auto":
+                spec = spec.patched({"engine": args.engine})
+            if args.seed is not None:
+                spec = spec.patched({"seed": args.seed})
+        else:
+            spec = _scenario_from_flags(args)
+        spec.validate()
+    except ScenarioError as exc:
+        raise SystemExit(str(exc))
+    if args.dump_scenario:
+        dump_scenario(spec, args.dump_scenario)
+        print(f"scenario   : wrote {args.dump_scenario}")
     try:
-        result = algorithm.run(graph, seed=args.seed, engine=args.engine, dynamics=dynamics)
+        prepared = prepare_scenario(spec)
+    except (ScenarioError, GraphError) as exc:
+        raise SystemExit(str(exc))
+    graph = prepared.graph
+    description = f"{spec.graph.family} (n={graph.num_nodes}, m={graph.num_edges}, lmax={graph.max_latency()})"
+    try:
+        result = prepared.execute()
     except EngineSelectionError as exc:
-        raise SystemExit(f"--engine {args.engine}: {exc}")
+        raise SystemExit(f"--engine {spec.engine}: {exc}")
     except GraphError as exc:
         raise SystemExit(str(exc))
+    print(f"scenario   : {spec.name}")
     print(f"graph      : {description}")
     print(f"algorithm  : {result.algorithm}")
     print(f"engine     : {result.details.get('engine', 'reference')}")
-    print(f"dynamics   : {dynamics if dynamics is not None else 'static'}")
+    print(f"dynamics   : {prepared.dynamics if prepared.dynamics is not None else 'static'}")
+    print(f"faults     : {result.details.get('faults', 'none')}")
     print(f"task       : {result.task.value}")
     print(f"time       : {result.time:.1f}")
     print(f"messages   : {result.metrics.messages}")
     print(f"activations: {result.metrics.activations}")
     print(f"lost       : {result.metrics.lost_exchanges}")
+    print(f"suppressed : {result.metrics.suppressed_exchanges}")
     print(f"complete   : {result.complete}")
     for key, value in sorted(result.details.items()):
         print(f"  {key}: {value}")
     return 0
+
+
+def _command_scenario(args: argparse.Namespace) -> int:
+    if args.action == "list":
+        names = library_scenario_names()
+        if not names:
+            print("no bundled scenarios found (is the scenarios/ directory present?)")
+            return 1
+        broken = 0
+        for name in names:
+            try:
+                spec = load_named_scenario(name)
+            except ScenarioError as exc:
+                broken += 1
+                print(f"{name:32s} INVALID — {exc}", file=sys.stderr)
+                continue
+            parts = "+".join(part.kind for part in spec.dynamics) or "static"
+            fault = "faults" if (spec.faults is not None and not spec.faults.empty) else "no-faults"
+            print(
+                f"{name:32s} {spec.algorithm:9s} {spec.task:10s} "
+                f"{spec.graph.family}(n={spec.graph.n}) {parts} {fault}"
+            )
+        return 1 if broken else 0
+    if args.action == "dump":
+        try:
+            spec = load_named_scenario(args.target)
+        except ScenarioError as exc:
+            raise SystemExit(str(exc))
+        sys.stdout.write(spec.to_json())
+        return 0
+    # validate: schema-check each file and require canonical round-tripping.
+    failures = 0
+    for path in args.target_files:
+        try:
+            spec = load_scenario(path)
+            if ScenarioSpec.from_json(spec.to_json()) != spec:
+                raise ScenarioError("load -> dump -> load did not round-trip")
+            print(f"{path}: ok ({spec.name})")
+        except ScenarioError as exc:
+            failures += 1
+            print(f"{path}: INVALID — {exc}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _command_conductance(args: argparse.Namespace) -> int:
@@ -212,12 +297,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    run_parser = subparsers.add_parser("run", help="run one gossip algorithm on a generated graph")
+    run_parser = subparsers.add_parser("run", help="run one gossip scenario (flat flags or --scenario file)")
+    run_parser.add_argument(
+        "--scenario",
+        default=None,
+        metavar="FILE",
+        help="run a declarative scenario file instead of the flat flags below "
+        "(--engine and --seed, when given, override the file's values)",
+    )
+    run_parser.add_argument(
+        "--dump-scenario",
+        default=None,
+        metavar="OUT",
+        help="write the resolved ScenarioSpec as canonical JSON before running, "
+        "so this exact run can be replayed with --scenario OUT",
+    )
     run_parser.add_argument("--algorithm", default="push-pull", choices=sorted(_ALGORITHMS))
     run_parser.add_argument("--graph", default="erdos-renyi", choices=sorted(_GRAPH_BUILDERS))
     run_parser.add_argument("--latency", default="uniform", choices=sorted(_LATENCY_MODELS))
     run_parser.add_argument("--nodes", type=int, default=64)
-    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--seed", type=int, default=None)
     run_parser.add_argument(
         "--engine",
         default="auto",
@@ -258,7 +357,52 @@ def _build_parser() -> argparse.ArgumentParser:
         help="last round with scheduled dynamics events; the topology then freezes "
         "in (for churn: is restored to) its final state (default 2000)",
     )
-    run_parser.set_defaults(handler=_command_run)
+    run_parser.add_argument(
+        "--crash-fraction",
+        type=float,
+        default=0.0,
+        help="crash-stop this fraction of nodes at --crash-round (default 0: no crashes); "
+        "faults ride the dynamics event pipeline and run on either engine",
+    )
+    run_parser.add_argument(
+        "--crash-round",
+        type=int,
+        default=3,
+        help="round at whose start the crash faults fire (default 3)",
+    )
+    run_parser.add_argument(
+        "--drop-fraction",
+        type=float,
+        default=0.0,
+        help="permanently fault this fraction of edges at --drop-round (default 0)",
+    )
+    run_parser.add_argument(
+        "--drop-round",
+        type=int,
+        default=3,
+        help="round at whose start the edge faults fire (default 3)",
+    )
+    run_parser.set_defaults(
+        handler=_command_run,
+        _flat_defaults={
+            dest: run_parser.get_default(dest) for dest in _FLAT_RUN_CONFLICT_DESTS
+        },
+    )
+
+    scen_parser = subparsers.add_parser(
+        "scenario", help="inspect the declarative scenario layer (list / dump / validate)"
+    )
+    scen_sub = scen_parser.add_subparsers(dest="action", required=True)
+    scen_list = scen_sub.add_parser("list", help="list the bundled scenario library")
+    scen_list.set_defaults(handler=_command_scenario, action="list")
+    scen_dump = scen_sub.add_parser("dump", help="print a bundled scenario as canonical JSON")
+    scen_dump.add_argument("target", help="library scenario name (see `scenario list`)")
+    scen_dump.set_defaults(handler=_command_scenario, action="dump")
+    scen_validate = scen_sub.add_parser(
+        "validate", help="schema-validate scenario files (and check JSON round-tripping)"
+    )
+    scen_validate.add_argument("target_files", nargs="+", metavar="FILE")
+    scen_validate.set_defaults(handler=_command_scenario, action="validate")
 
     cond_parser = subparsers.add_parser("conductance", help="print the weighted-conductance profile")
     cond_parser.add_argument("--graph", default="erdos-renyi", choices=sorted(_GRAPH_BUILDERS))

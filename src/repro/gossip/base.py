@@ -20,12 +20,16 @@ from __future__ import annotations
 import abc
 import enum
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import TYPE_CHECKING, Any, Optional, Union
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
-from ..simulation.dynamics import TopologyDynamics
+from ..simulation.dynamics import ComposedDynamics, TopologyDynamics
+from ..simulation.faults import FaultPlan, compile_fault_plan
 from ..simulation.metrics import SimulationMetrics
 from ..simulation.protocol import EngineProtocol, PolicyCapability
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..scenario import ScenarioSpec
 
 __all__ = [
     "Task",
@@ -46,13 +50,16 @@ def engine_run_details(
     """The standard ``details`` block of an engine-driven declarative run.
 
     Always records which backend ran; under topology dynamics it also
-    records the schedule's label and the lost-exchange total, so sweep
-    tables can surface both without digging into the metrics object.
+    records the schedule's label, the lost-exchange total, and the
+    suppressed-exchange total (always, so sweep tables keyed on details
+    never get ragged columns), letting callers read all three without
+    digging into the metrics object.
     """
     details: dict[str, Any] = {"engine": backend}
     if dynamics is not None:
         details["dynamics"] = str(dynamics)
         details["lost_exchanges"] = metrics.lost_exchanges
+        details["suppressed_exchanges"] = metrics.suppressed_exchanges
     return details
 
 
@@ -203,8 +210,103 @@ class GossipAlgorithm(abc.ABC):
             )
         return dynamics
 
-    @abc.abstractmethod
     def run(
+        self,
+        graph: Optional[WeightedGraph] = None,
+        source: Optional[NodeId] = None,
+        seed: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+        engine: str = "auto",
+        dynamics: Optional[TopologyDynamics] = None,
+        faults: Optional[FaultPlan] = None,
+        scenario: Union["ScenarioSpec", str, None] = None,
+    ) -> DisseminationResult:
+        """Run the algorithm and return the result.
+
+        Two call forms share this entry point:
+
+        **Explicit form** — pass ``graph`` (and optionally the rest).
+        ``source`` is required for one-to-all algorithms and ignored by
+        all-to-all / local-broadcast algorithms.  ``seed`` makes randomized
+        algorithms reproducible.  ``max_rounds`` is a safety cap; hitting it
+        raises ``RuntimeError`` rather than returning a bogus result.
+        ``engine`` selects the simulation backend (``"reference"``,
+        ``"fast"``, or ``"auto"``); ``"auto"`` resolves to the fast backend
+        exactly when the algorithm's :attr:`capability` allows it; the
+        backend that ran is recorded in ``details["engine"]`` by
+        engine-driven algorithms.  ``dynamics`` applies a topology-dynamics
+        schedule for the duration of the run (mutating ``graph``; see
+        :mod:`repro.simulation.dynamics`); ``faults`` is a
+        :class:`~repro.simulation.faults.FaultPlan` compiled onto the same
+        event pipeline and composed after any ``dynamics`` — both require
+        :attr:`supports_dynamics`, both run on either backend, and runs
+        under them record ``details["dynamics"]`` /
+        ``details["lost_exchanges"]`` (plus ``details["faults"]`` and
+        ``details["suppressed_exchanges"]`` for fault runs).
+
+        **Scenario form** — pass ``scenario=`` (a
+        :class:`~repro.scenario.ScenarioSpec` or a path to its JSON file):
+        the graph, source, seeds, dynamics, fault plan, engine, and round
+        cap are all built from the spec (see :mod:`repro.scenario` for the
+        derivation discipline), this instance runs in place of the spec's
+        named algorithm, and ``details["scenario"]`` records the spec's
+        name.  Explicit ``seed=`` / ``max_rounds=`` arguments and an
+        ``engine=`` other than ``"auto"`` override the spec's values (the
+        engine override is how parity harnesses replay one scenario on
+        both backends; the seed override is how sweeps re-seed one spec
+        per repetition); ``graph``/``source``/``dynamics``/``faults``
+        cannot be combined with a scenario and raise.
+        """
+        if scenario is not None:
+            if graph is not None or source is not None or dynamics is not None or faults is not None:
+                raise GraphError(
+                    "run(scenario=...) builds the graph, source, dynamics, and faults "
+                    "from the spec; do not pass them alongside it (patch the spec instead)"
+                )
+            from ..scenario import load_scenario, prepare_scenario
+
+            spec = load_scenario(scenario) if isinstance(scenario, str) else scenario
+            if engine != "auto":
+                spec = spec.patched({"engine": engine})
+            if seed is not None:
+                spec = spec.patched({"seed": seed})
+            if max_rounds is not None:
+                spec = spec.patched({"max_rounds": max_rounds})
+            prepared = prepare_scenario(spec, algorithm=self)
+            return prepared.execute()
+
+        if graph is None:
+            raise GraphError("run() needs a graph (or a scenario= spec that builds one)")
+        seed = 0 if seed is None else seed
+        max_rounds = 1_000_000 if max_rounds is None else max_rounds
+        self._check_dynamics(dynamics)
+        if faults is not None and faults.empty:
+            faults = None
+        schedule = None
+        if faults is not None:
+            # Faults ride the same event pipeline as churn/drift, so the
+            # same capability gate applies: algorithms that precompute
+            # static structure cannot honour them.
+            schedule = compile_fault_plan(faults)
+            self._check_dynamics(schedule)
+            dynamics = (
+                schedule if dynamics is None else ComposedDynamics((dynamics, schedule))
+            )
+        result = self._run(
+            graph,
+            source=source,
+            seed=seed,
+            max_rounds=max_rounds,
+            engine=engine,
+            dynamics=dynamics,
+        )
+        if schedule is not None:
+            result.details["faults"] = str(schedule)
+            result.details["suppressed_exchanges"] = result.metrics.suppressed_exchanges
+        return result
+
+    @abc.abstractmethod
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,
@@ -213,24 +315,12 @@ class GossipAlgorithm(abc.ABC):
         engine: str = "auto",
         dynamics: Optional[TopologyDynamics] = None,
     ) -> DisseminationResult:
-        """Run the algorithm on ``graph`` and return the result.
+        """Algorithm-specific implementation behind :meth:`run`.
 
-        ``source`` is required for one-to-all algorithms and ignored by
-        all-to-all / local-broadcast algorithms.  ``seed`` makes randomized
-        algorithms reproducible.  ``max_rounds`` is a safety cap; hitting it
-        raises ``RuntimeError`` rather than returning a bogus result.
-        ``engine`` selects the simulation backend (``"reference"``,
-        ``"fast"``, or ``"auto"``); ``"auto"`` resolves to the fast backend
-        exactly when the algorithm's :attr:`capability` allows it.  The
-        backend that actually ran is recorded in
-        ``DisseminationResult.details["engine"]`` by engine-driven
-        algorithms.  ``dynamics`` applies a topology-dynamics schedule for
-        the duration of the run (mutating ``graph``; see
-        :mod:`repro.simulation.dynamics`) — only algorithms with
-        :attr:`supports_dynamics` accept one, and they record
-        ``details["dynamics"]`` and ``details["lost_exchanges"]``.
-        Subclasses that do not support dynamics may omit the parameter from
-        their signature entirely.
+        Receives fully resolved arguments: ``dynamics`` already includes
+        any compiled fault schedule, and scenario specs have been expanded.
+        Subclasses implement this — never call it directly; :meth:`run`
+        owns fault compilation, scenario expansion, and detail annotation.
         """
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

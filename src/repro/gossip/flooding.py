@@ -53,7 +53,7 @@ class FloodingGossip(GossipAlgorithm):
         self.task = task
         self.informed_only = informed_only
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,

@@ -37,7 +37,7 @@ class DTGLocalBroadcast(GossipAlgorithm):
         self.name = "dtg-local-broadcast"
         self.task = Task.LOCAL_BROADCAST
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,
@@ -80,7 +80,7 @@ class RandomizedLocalBroadcast(GossipAlgorithm):
         self.task = Task.LOCAL_BROADCAST
         self._inner = PushPullGossip(task=Task.LOCAL_BROADCAST)
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,

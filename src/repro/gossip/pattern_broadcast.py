@@ -87,7 +87,7 @@ class PatternBroadcast(GossipAlgorithm):
     def _round_up_power_of_two(value: float) -> int:
         return 1 << max(0, math.ceil(math.log2(max(1.0, value))))
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,

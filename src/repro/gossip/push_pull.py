@@ -60,7 +60,7 @@ class PushPullGossip(GossipAlgorithm):
         self.task = task
         self.informed_only = informed_only
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,
@@ -123,7 +123,7 @@ class _DirectionalGossip(GossipAlgorithm):
             return "uninformed-only"
         return "all"
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,

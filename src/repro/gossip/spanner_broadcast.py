@@ -107,7 +107,7 @@ class SpannerBroadcast(GossipAlgorithm):
         self.diameter = diameter
         self.n_estimate = n_estimate
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,

@@ -50,7 +50,7 @@ class UnifiedGossip(GossipAlgorithm):
         self.latencies_known = latencies_known
         self.diameter = diameter
 
-    def run(
+    def _run(
         self,
         graph: WeightedGraph,
         source: Optional[NodeId] = None,

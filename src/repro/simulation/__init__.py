@@ -65,7 +65,8 @@ Modules
 * :mod:`~repro.simulation.metrics` — time / message / activation counters,
 * :mod:`~repro.simulation.tracing` — optional event traces (reference only),
 * :mod:`~repro.simulation.rng` — deterministic seed derivation,
-* :mod:`~repro.simulation.faults` — crash/edge-drop fault injection,
+* :mod:`~repro.simulation.faults` — crash/edge-drop fault plans, compiled
+  onto the dynamics event pipeline so both backends replay them,
 * :mod:`~repro.simulation.golden` — golden-trace capture: seeded
   trajectories committed as ``tests/golden/`` fixtures and replayed on
   both backends by the parity tests (imported on demand, not re-exported
@@ -74,6 +75,7 @@ Modules
 
 from .dynamics import (
     ComposedDynamics,
+    FaultState,
     ScheduleDynamics,
     TopologyDynamics,
     TopologyEvent,
@@ -82,7 +84,13 @@ from .dynamics import (
 )
 from .engine import ExchangePolicy, GossipEngine, NodeView, PendingExchange
 from .fast_engine import FastEngine
-from .faults import FaultPlan, FaultyEngine, random_crash_plan, random_edge_drop_plan
+from .faults import (
+    FaultPlan,
+    FaultyEngine,
+    compile_fault_plan,
+    random_crash_plan,
+    random_edge_drop_plan,
+)
 from .messages import KnowledgeState, Rumor
 from .metrics import SimulationMetrics
 from .protocol import (
@@ -109,6 +117,7 @@ __all__ = [
     "ExchangePolicy",
     "FastEngine",
     "FaultPlan",
+    "FaultState",
     "FaultyEngine",
     "GossipEngine",
     "KnowledgeState",
@@ -125,6 +134,7 @@ __all__ = [
     "apply_event",
     "apply_events",
     "available_backends",
+    "compile_fault_plan",
     "create_engine",
     "derive_seed",
     "make_rng",

@@ -30,6 +30,15 @@ Semantics contract (honoured bit-for-bit by both engines)
   aligned) but keeps the node and its accumulated knowledge; a
   ``node-join`` restores edges.  Removing a node from the graph object
   itself mid-run is a :class:`~repro.graphs.weighted_graph.GraphError`.
+* Fault events (``node-crash``, ``edge-fault``) mutate engine-held
+  :class:`FaultState` rather than the graph: a crashed node keeps its edges
+  (neighbours still pick — and waste exchanges on — it, so random streams
+  are unchanged) but never initiates, and every exchange touching a crashed
+  node or faulted edge runs its full latency and then delivers nothing,
+  counted in :attr:`SimulationMetrics.suppressed_exchanges`.  Completion
+  predicates are restricted to non-crashed nodes while any crash is active.
+  This is the crash-stop model of :mod:`repro.simulation.faults`, compiled
+  onto the shared pipeline so both backends replay it bit-identically.
 * Event application is *forgiving*: removing an absent edge, re-adding a
   present one, or drifting the latency of a churned-out edge is a no-op.
   This lets independently generated schedules (churn + drift) compose
@@ -55,6 +64,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 
 __all__ = [
     "EVENT_KINDS",
+    "FAULT_EVENT_KINDS",
+    "FaultState",
     "TopologyEvent",
     "TopologyDynamics",
     "ScheduleDynamics",
@@ -63,7 +74,23 @@ __all__ = [
     "apply_events",
 ]
 
-EVENT_KINDS = ("add-edge", "remove-edge", "set-latency", "node-leave", "node-join")
+EVENT_KINDS = (
+    "add-edge",
+    "remove-edge",
+    "set-latency",
+    "node-leave",
+    "node-join",
+    "node-crash",
+    "edge-fault",
+)
+
+#: The event kinds that mutate engine fault state instead of the graph.
+#: ``node-crash`` is crash-stop: the node stays in the graph (neighbours
+#: still see — and waste exchanges on — it) but never initiates, never
+#: responds usefully, and its knowledge is frozen.  ``edge-fault`` silences
+#: an edge the same way: it remains selectable, but exchanges over it are
+#: suppressed at delivery time.  Both are permanent for the rest of the run.
+FAULT_EVENT_KINDS = ("node-crash", "edge-fault")
 
 _NO_EVENTS: tuple["TopologyEvent", ...] = ()
 
@@ -95,7 +122,7 @@ class TopologyEvent:
     def __post_init__(self) -> None:
         if self.kind not in EVENT_KINDS:
             raise ValueError(f"unknown event kind {self.kind!r}; choose from {EVENT_KINDS}")
-        if self.kind in ("add-edge", "remove-edge", "set-latency") and self.v is None:
+        if self.kind in ("add-edge", "remove-edge", "set-latency", "edge-fault") and self.v is None:
             raise ValueError(f"{self.kind} events need both endpoints")
         if self.kind in ("add-edge", "set-latency") and (
             not isinstance(self.latency, int) or self.latency < 1
@@ -103,18 +130,91 @@ class TopologyEvent:
             raise ValueError(f"{self.kind} events need a positive integer latency")
 
 
+class FaultState:
+    """Accumulated crash-stop / edge-fault state, fed by fault events.
+
+    Both engines hold one of these and pass it to :func:`apply_events`; a
+    ``node-crash`` or ``edge-fault`` event lands here instead of mutating
+    the graph (fault events never bump the graph version, so they never
+    force the fast backend to re-snapshot its CSR core).  State only grows:
+    faults are permanent for the rest of the run, matching the legacy
+    crash-stop :class:`~repro.simulation.faults.FaultPlan` model.
+
+    The reference engine uses the label-based sets directly; the fast
+    backend subclasses :meth:`crash` / :meth:`drop_edge` to mirror the
+    state into index-based structures.
+    """
+
+    __slots__ = ("crashed", "dropped")
+
+    def __init__(self) -> None:
+        self.crashed: set = set()
+        self.dropped: set = set()
+
+    @property
+    def active(self) -> bool:
+        """Whether any fault has fired yet (engines skip all checks until then)."""
+        return bool(self.crashed or self.dropped)
+
+    def crash(self, node: NodeId) -> None:
+        """Mark ``node`` as crash-stopped (idempotent)."""
+        self.crashed.add(node)
+
+    def drop_edge(self, u: NodeId, v: NodeId) -> None:
+        """Mark the edge ``{u, v}`` as permanently faulted (idempotent)."""
+        self.dropped.add(frozenset((u, v)))
+
+    def is_crashed(self, node: NodeId) -> bool:
+        """Whether ``node`` has crash-stopped."""
+        return node in self.crashed
+
+    def suppresses(self, u: NodeId, v: NodeId) -> bool:
+        """Whether an exchange between ``u`` and ``v`` delivers nothing."""
+        return u in self.crashed or v in self.crashed or frozenset((u, v)) in self.dropped
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FaultState(crashed={len(self.crashed)}, dropped={len(self.dropped)})"
+
+
 def apply_event(
     graph: WeightedGraph,
     event: TopologyEvent,
     severed: Optional[set] = None,
+    faults: Optional[FaultState] = None,
 ) -> None:
     """Apply one event to ``graph`` with the module's forgiving semantics.
 
     When ``severed`` is given, every edge actually removed (directly or via
     ``node-leave``) is recorded into it as a frozenset of its endpoints.
+    Fault events (:data:`FAULT_EVENT_KINDS`) are routed into ``faults``
+    instead of the graph; applying one without a fault state is an error —
+    silently dropping a fault would turn a robustness experiment into a
+    fault-free run.
     """
     kind = event.kind
-    if kind == "add-edge":
+    if kind in FAULT_EVENT_KINDS:
+        if faults is None:
+            raise ValueError(
+                f"{kind} events need a FaultState to apply to; drive them through an "
+                "engine (which owns one) rather than a bare graph"
+            )
+        # Unlike graph events, fault events are NOT forgiving about unknown
+        # nodes: a typo'd label would silently turn a robustness run
+        # fault-free, and the two backends must agree on the outcome —
+        # so both reject it here, at the shared layer.  (Imported lazily:
+        # repro.graphs package init imports this module.)
+        from ..graphs.weighted_graph import GraphError
+
+        for endpoint in (event.u,) if kind == "node-crash" else (event.u, event.v):
+            if not graph.has_node(endpoint):
+                raise GraphError(
+                    f"{kind} event names {endpoint!r}, which is not in the graph"
+                )
+        if kind == "node-crash":
+            faults.crash(event.u)
+        else:
+            faults.drop_edge(event.u, event.v)
+    elif kind == "add-edge":
         _put_edge(graph, event.u, event.v, event.latency)
     elif kind == "remove-edge":
         if graph.has_edge(event.u, event.v):
@@ -147,17 +247,22 @@ def _put_edge(graph: WeightedGraph, u: NodeId, v: NodeId, latency: int) -> None:
         graph.add_edge(u, v, latency)
 
 
-def apply_events(graph: WeightedGraph, events: Iterable[TopologyEvent]) -> set:
-    """Apply a round's events to ``graph`` in order.
+def apply_events(
+    graph: WeightedGraph,
+    events: Iterable[TopologyEvent],
+    faults: Optional[FaultState] = None,
+) -> set:
+    """Apply a round's events to ``graph`` (and ``faults``) in order.
 
     Returns the edge keys (frozensets of endpoints) removed at any point
     during application — even if a later event of the same round re-added
     the edge — so engines can cancel in-flight exchanges per the module
     contract rather than diffing only the round's net topology change.
+    Fault events accumulate into ``faults`` (see :class:`FaultState`).
     """
     severed: set = set()
     for event in events:
-        apply_event(graph, event, severed)
+        apply_event(graph, event, severed, faults)
     return severed
 
 

@@ -29,7 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
-from .dynamics import TopologyDynamics, apply_events
+from .dynamics import FaultState, TopologyDynamics, apply_events
 from .messages import KnowledgeState, Rumor
 from .metrics import SimulationMetrics
 from .protocol import RoundPolicySpec, register_engine
@@ -151,6 +151,7 @@ class GossipEngine:
         self._outstanding: dict[NodeId, int] = {node: 0 for node in graph.nodes()}
         self._graph_version = graph.version
         self._edge_keys: set[frozenset] = {frozenset(edge.endpoints()) for edge in graph.edges()}
+        self._faults = FaultState()
 
     # ------------------------------------------------------------------
     # Seeding knowledge
@@ -175,13 +176,29 @@ class GossipEngine:
         return {node for node, state in self.knowledge.items() if state.knows(rumor)}
 
     def dissemination_complete(self, rumor: Rumor) -> bool:
-        """Return whether every node knows ``rumor``."""
+        """Return whether every non-crashed node knows ``rumor``.
+
+        Without fault events this is every node.  Once a ``node-crash``
+        fired, crashed nodes are exempt — their knowledge is frozen, so
+        requiring them to learn would make every faulted run fail.
+        """
+        crashed = self._faults.crashed
+        if crashed:
+            return all(
+                state.knows(rumor) for node, state in self.knowledge.items() if node not in crashed
+            )
         return all(state.knows(rumor) for state in self.knowledge.values())
 
     def all_to_all_complete(self) -> bool:
-        """Return whether every node knows a rumor from every node."""
-        everyone = set(self.graph.nodes())
-        return all(state.origins() >= everyone for state in self.knowledge.values())
+        """Return whether every survivor knows a rumor from every survivor.
+
+        Without fault events "survivor" means every node; crashed nodes are
+        excluded both as learners and as origins that must be learned.
+        """
+        everyone = set(self.graph.nodes()) - self._faults.crashed
+        return all(
+            self.knowledge[node].origins() >= everyone for node in everyone
+        )
 
     def local_broadcast_complete(self) -> bool:
         """Return whether every node knows the rumor of each of its neighbours."""
@@ -226,7 +243,7 @@ class GossipEngine:
         if self.dynamics is not None:
             events = self.dynamics.events_for_round(self.round)
             if events:
-                severed = apply_events(self.graph, events)
+                severed = apply_events(self.graph, events, self._faults)
         if self.graph.version != self._graph_version:
             self._resync_topology(severed)
 
@@ -317,17 +334,26 @@ class GossipEngine:
         elapsed, so a rumor needs at least time ``d`` to reach a node at
         weighted distance ``d`` (the paper's trivial Ω(D) lower bound).
         """
+        fault_active = self._faults.active
         while self._pending and self._pending[0].completes_at <= self.round:
             exchange = heapq.heappop(self._pending)
             u, v = exchange.initiator, exchange.responder
-            new_for_v = self.knowledge[v].merge(set(exchange.initiator_payload))
-            new_for_u = self.knowledge[u].merge(set(exchange.responder_payload))
             self._outstanding[u] -= 1
             if self._outstanding[u] < 0:
                 raise RuntimeError(
                     f"outstanding-exchange underflow for node {u!r}: an exchange "
                     "completed that was never accounted as initiated"
                 )
+            if fault_active and self._faults.suppresses(u, v):
+                # The channel is up but a fault silenced an endpoint or the
+                # edge: the exchange ran its full latency and delivers
+                # nothing (crash-stop — crashed knowledge stays frozen).
+                self.metrics.record_suppressed()
+                if self.trace is not None:
+                    self.trace.record(self.round, "suppressed", u, v)
+                continue
+            new_for_v = self.knowledge[v].merge(set(exchange.initiator_payload))
+            new_for_u = self.knowledge[u].merge(set(exchange.responder_payload))
             self.metrics.record_exchange_completed(
                 payload_size=len(exchange.initiator_payload) + len(exchange.responder_payload)
             )
@@ -351,7 +377,13 @@ class GossipEngine:
         policy = _as_callback(policy)
         self._begin_round()
         self._deliver_due_exchanges()
+        crashed = self._faults.crashed
         for node in self.graph.nodes():
+            if crashed and node in crashed:
+                # Crash-stop: the node is silent and consumes no randomness
+                # (its policy is never consulted), which keeps seeded runs
+                # aligned with the fast backend and with fault-free nodes.
+                continue
             if self.blocking and self._outstanding[node] > 0:
                 continue
             choice = policy(self.node_view(node))

@@ -32,12 +32,42 @@ from collections.abc import Callable
 from typing import Any, Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
-from .dynamics import TopologyDynamics, apply_events
+from .dynamics import FaultState, TopologyDynamics, apply_events
 from .messages import Rumor
 from .metrics import SimulationMetrics
 from .protocol import RoundPolicySpec, register_engine
 
 __all__ = ["FastEngine"]
+
+
+class _IndexedFaultState(FaultState):
+    """A :class:`FaultState` that mirrors updates into FastEngine indices.
+
+    The label-based sets stay authoritative (the shared applier and any
+    parity assertions read them); each *new* fault additionally notifies
+    the owning engine so it can maintain its contiguous-index bookkeeping
+    (crashed-index set, dropped directed pairs, survivor-informed counts)
+    without re-deriving it per round.
+    """
+
+    __slots__ = ("_engine",)
+
+    def __init__(self, engine: "FastEngine") -> None:
+        super().__init__()
+        self._engine = engine
+
+    def crash(self, node: NodeId) -> None:
+        """Crash-stop ``node``, updating the engine's index mirrors once."""
+        if node not in self.crashed:
+            self.crashed.add(node)
+            self._engine._on_crash(node)
+
+    def drop_edge(self, u: NodeId, v: NodeId) -> None:
+        """Fault the edge ``{u, v}``, updating the directed-pair mirror once."""
+        key = frozenset((u, v))
+        if key not in self.dropped:
+            self.dropped.add(key)
+            self._engine._on_edge_fault(u, v)
 
 
 @register_engine("fast")
@@ -97,6 +127,15 @@ class FastEngine:
         self._lb_neighbor_mask: list[int] = []
         self._lb_missing: list[int] = []
         self._lb_done = 0
+        # Fault bookkeeping: the shared label-based state plus index mirrors
+        # (stable across CSR re-snapshots because node indices only append).
+        self._fault_state: FaultState = _IndexedFaultState(self)
+        self._crashed_idx: set[int] = set()
+        self._dropped_pairs: set[tuple[int, int]] = set()
+        # Fault events naming a node added earlier in the same round reach
+        # _on_crash/_on_edge_fault before the CSR re-snapshot; their index
+        # bookkeeping is parked here and replayed right after the resync.
+        self._deferred_faults: list[tuple] = []
         # In-flight exchanges, batched by completion round.
         self._due: dict[int, list[tuple[int, int, int, int]]] = {}
         # Activation counts per directed CSR slot (materialized lazily).
@@ -186,15 +225,39 @@ class FastEngine:
         return {labels[i] for i in range(len(labels)) if (know[i] >> bit) & 1}
 
     def dissemination_complete(self, rumor: Rumor) -> bool:
-        """Whether every node knows ``rumor`` (O(1))."""
+        """Whether every non-crashed node knows ``rumor`` (O(1)).
+
+        Under fault events the per-bit informed counts track survivors only
+        (a crash retires the node's contributions in :meth:`_on_crash`), so
+        the predicate stays a single comparison.
+        """
         bit = self._rumor_bit.get(rumor)
         if bit is None:
             return False
-        return self._informed_count[bit] == self._idx.num_nodes
+        return self._informed_count[bit] == self._idx.num_nodes - len(self._crashed_idx)
 
     def all_to_all_complete(self) -> bool:
-        """Whether every node knows a rumor from every node (O(1))."""
+        """Whether every survivor knows a rumor from every survivor.
+
+        O(1) in the fault-free case via the origin-count histogram; once a
+        ``node-crash`` fired the predicate drops to an O(n) bitmask sweep
+        over survivors (fault scenarios are run at modest n, and the sweep
+        matches the reference engine's survivor semantics exactly).
+        """
         n = self._idx.num_nodes
+        crashed = self._crashed_idx
+        if crashed:
+            survivors_mask = 0
+            for i in range(n):
+                if i not in crashed:
+                    survivors_mask |= 1 << i
+            origin_seen = self._origin_seen
+            for i in range(n):
+                if i in crashed:
+                    continue
+                if (origin_seen[i] & survivors_mask) != survivors_mask:
+                    return False
+            return True
         if len(self._seeded_origins) < n:
             return False
         return self._origin_count_hist.get(n, 0) == n
@@ -228,6 +291,59 @@ class FastEngine:
         self._lb_ready = True
 
     # ------------------------------------------------------------------
+    # Fault events (node-crash / edge-fault, via the shared applier)
+    # ------------------------------------------------------------------
+    def _on_crash(self, label: NodeId) -> None:
+        """Index-side bookkeeping for a (new) ``node-crash`` event.
+
+        The node's contributions to the per-bit informed counts are retired
+        so the counters track *survivors* from here on — its knowledge is
+        frozen (every delivery touching it is suppressed), so the retired
+        contribution can never change again.  A label the current CSR
+        snapshot does not know yet (the shared applier validated it exists
+        in the graph, so it was appended earlier this round) is deferred
+        until the post-event resync.
+        """
+        i = self._idx.index.get(label)
+        if i is None:
+            self._deferred_faults.append(("crash", label))
+            return
+        self._crashed_idx.add(i)
+        informed = self._informed_count
+        bits = self._know[i]
+        while bits:
+            low = bits & -bits
+            bits ^= low
+            informed[low.bit_length() - 1] -= 1
+
+    def _on_edge_fault(self, u: NodeId, v: NodeId) -> None:
+        """Index-side bookkeeping for a (new) ``edge-fault`` event."""
+        iu, iv = self._idx.index.get(u), self._idx.index.get(v)
+        if iu is None or iv is None:
+            self._deferred_faults.append(("edge", u, v))
+            return
+        self._dropped_pairs.add((iu, iv))
+        self._dropped_pairs.add((iv, iu))
+
+    def _apply_deferred_faults(self) -> None:
+        """Replay fault bookkeeping parked for a mid-round CSR re-snapshot."""
+        deferred, self._deferred_faults = self._deferred_faults, []
+        for entry in deferred:
+            if entry[0] == "crash":
+                i = self._idx.index.get(entry[1])
+                if i is None:
+                    raise GraphError(
+                        f"node-crash event names {entry[1]!r}, which is not in the simulated graph"
+                    )
+                self._on_crash(entry[1])
+            else:
+                self._on_edge_fault(entry[1], entry[2])
+        if self._deferred_faults:  # still unresolved after a resync: a real bug
+            raise GraphError(
+                f"fault events reference nodes unknown to the engine: {self._deferred_faults!r}"
+            )
+
+    # ------------------------------------------------------------------
     # Topology changes (dynamics events and direct graph mutation)
     # ------------------------------------------------------------------
     def _begin_round(self) -> None:
@@ -245,9 +361,11 @@ class FastEngine:
         if self.dynamics is not None:
             events = self.dynamics.events_for_round(self.round)
             if events:
-                severed = apply_events(self.graph, events)
+                severed = apply_events(self.graph, events, self._fault_state)
         if self.graph.version != self._graph_version:
             self._resync_topology(severed, events_only)
+        if self._deferred_faults:
+            self._apply_deferred_faults()
 
     def _resync_topology(self, severed: frozenset = frozenset(), events_only: bool = False) -> None:
         """Re-snapshot the CSR core after the graph mutated.
@@ -388,6 +506,9 @@ class FastEngine:
         metrics = self.metrics
         outstanding = self._outstanding
         learn = self._learn
+        crashed = self._crashed_idx
+        dropped = self._dropped_pairs
+        fault_active = bool(crashed or dropped)
         for i, j, payload_i, payload_j in batch:
             outstanding[i] -= 1
             if outstanding[i] < 0:
@@ -395,6 +516,9 @@ class FastEngine:
                     f"outstanding-exchange underflow for node {self._idx.labels[i]!r}: "
                     "an exchange completed that was never accounted as initiated"
                 )
+            if fault_active and (i in crashed or j in crashed or (i, j) in dropped):
+                metrics.record_suppressed()
+                continue
             new_for_j = learn(j, payload_i)
             new_for_i = learn(i, payload_j)
             metrics.record_exchange_completed(
@@ -432,10 +556,15 @@ class FastEngine:
         uniform = policy.select == "uniform-random"
         randrange = policy.rng.randrange if uniform else None
         cursors = self._cursors
+        crashed = self._crashed_idx
         round_base = self.round
         activations = 0
 
         for i in range(idx.num_nodes):
+            if crashed and i in crashed:
+                # Crash-stop: silent, and consumes no randomness — mirrors
+                # the reference engine skipping the policy consult.
+                continue
             if blocking and outstanding[i]:
                 continue
             knowledge = know[i]

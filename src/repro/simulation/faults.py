@@ -5,26 +5,45 @@ the spanner does not have good robustness properties whereas push-pull is
 inherently quite robust", and the conclusion lists fault-tolerant variants as
 future work.  This module makes that comparison measurable: a
 :class:`FaultPlan` describes node crashes and edge drops over time, and
-:func:`apply_faults_policy` wraps an exchange policy so that crashed nodes
-stay silent and dropped edges cannot be activated.
+:func:`compile_fault_plan` lowers it onto the topology-dynamics event
+pipeline (``node-crash`` / ``edge-fault`` events, see
+:mod:`repro.simulation.dynamics`) that **both** simulation backends replay
+bit-identically.
 
 The fault model is crash-stop (no recovery) for nodes and permanent removal
 for edges; both are scheduled by round so experiments can, e.g., crash 10% of
 nodes halfway through dissemination and measure how much longer each
-algorithm needs — the E15 robustness benchmark does exactly that.
+algorithm needs — the E15 robustness benchmark does exactly that, on both
+engines.  Crashed nodes stay *in* the graph: neighbours still pick them (and
+pay for the wasted activation, counted in
+:attr:`~repro.simulation.metrics.SimulationMetrics.suppressed_exchanges`),
+which is what keeps seeded random streams identical to a fault-free run of
+the same topology.
+
+:class:`FaultyEngine` survives as a thin deprecated shim that compiles its
+plan and delegates to the plain :class:`GossipEngine`; new code should pass
+``faults=`` to :meth:`repro.gossip.base.GossipAlgorithm.run` (or a compiled
+schedule as ``dynamics=``) instead.
 """
 
 from __future__ import annotations
 
-import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
-from .engine import ExchangePolicy, GossipEngine, NodeView, _as_callback
-from .rng import make_rng
+from .dynamics import ComposedDynamics, ScheduleDynamics, TopologyDynamics, TopologyEvent
+from .engine import GossipEngine
+from .rng import derive_seed, make_rng
 
-__all__ = ["FaultPlan", "random_crash_plan", "random_edge_drop_plan", "FaultyEngine"]
+__all__ = [
+    "FaultPlan",
+    "compile_fault_plan",
+    "random_crash_plan",
+    "random_edge_drop_plan",
+    "FaultyEngine",
+]
 
 
 @dataclass
@@ -59,6 +78,11 @@ class FaultPlan:
         """The nodes that have not crashed by ``round_number``."""
         return {node for node in graph.nodes() if not self.is_node_crashed(node, round_number)}
 
+    @property
+    def empty(self) -> bool:
+        """Whether the plan schedules no faults at all."""
+        return not self.node_crashes and not self.edge_drops
+
     def merge(self, other: "FaultPlan") -> "FaultPlan":
         """Combine two fault plans (earliest failure round wins per element)."""
         crashes = dict(self.node_crashes)
@@ -68,6 +92,42 @@ class FaultPlan:
         for edge, round_number in other.edge_drops.items():
             drops[edge] = min(round_number, drops.get(edge, round_number))
         return FaultPlan(node_crashes=crashes, edge_drops=drops)
+
+
+def compile_fault_plan(plan: FaultPlan, name: Optional[str] = None) -> ScheduleDynamics:
+    """Compile a :class:`FaultPlan` into a dynamics event schedule.
+
+    Crashes become ``node-crash`` events and drops become ``edge-fault``
+    events at the start of their scheduled round (rounds below 1 clamp to
+    round 1 — engines only act from round 1, so a "round 0" fault and a
+    round-1 fault are indistinguishable).  Events are emitted in a canonical
+    order — crashes before drops, each sorted by the ``repr`` of the nodes
+    involved — so the compiled schedule is identical across processes even
+    though ``edge_drops`` is keyed by frozensets, whose iteration order
+    varies under string-hash randomization.
+
+    The returned :class:`ScheduleDynamics` runs on either backend and
+    composes with churn/drift schedules via
+    :class:`~repro.simulation.dynamics.ComposedDynamics`.
+    """
+    events_by_round: dict[int, list[TopologyEvent]] = {}
+    for node, crash_round in sorted(plan.node_crashes.items(), key=lambda item: repr(item[0])):
+        events_by_round.setdefault(max(1, crash_round), []).append(
+            TopologyEvent("node-crash", node)
+        )
+    drops = []
+    for key, drop_round in plan.edge_drops.items():
+        endpoints = sorted(key, key=repr)
+        u = endpoints[0]
+        v = endpoints[-1]  # a single-element key degenerates to u == v
+        drops.append((u, v, drop_round))
+    for u, v, drop_round in sorted(drops, key=lambda item: (repr(item[0]), repr(item[1]))):
+        events_by_round.setdefault(max(1, drop_round), []).append(
+            TopologyEvent("edge-fault", u, v)
+        )
+    if name is None:
+        name = f"faults(crash={len(plan.node_crashes)},drop={len(plan.edge_drops)})"
+    return ScheduleDynamics(events_by_round, name=name)
 
 
 def random_crash_plan(
@@ -80,13 +140,17 @@ def random_crash_plan(
     """Crash a random fraction of nodes at a fixed round.
 
     ``protect`` lists nodes that must survive (e.g. the rumor source, without
-    which dissemination is trivially impossible).
+    which dissemination is trivially impossible).  The draw is seeded through
+    :func:`~repro.simulation.rng.derive_seed` and samples candidates in
+    graph insertion order, so the same ``(graph, seed)`` pair yields the
+    same plan in any process — scenario-derived fault schedules replay
+    identically on parallel sweep workers.
     """
     if not 0.0 <= crash_fraction <= 1.0:
         raise GraphError("crash_fraction must be in [0, 1]")
     if crash_round < 0:
         raise GraphError("crash_round must be >= 0")
-    rng = make_rng(seed, "crash-plan")
+    rng = make_rng(derive_seed(seed, "crash-plan"))
     protected = protect or set()
     candidates = [node for node in graph.nodes() if node not in protected]
     count = int(round(crash_fraction * len(candidates)))
@@ -100,10 +164,15 @@ def random_edge_drop_plan(
     drop_round: int,
     seed: int = 0,
 ) -> FaultPlan:
-    """Drop a random fraction of edges at a fixed round."""
+    """Drop a random fraction of edges at a fixed round.
+
+    Seeded through :func:`~repro.simulation.rng.derive_seed` over the
+    graph's canonical edge list, for the same cross-process stability as
+    :func:`random_crash_plan`.
+    """
     if not 0.0 <= drop_fraction <= 1.0:
         raise GraphError("drop_fraction must be in [0, 1]")
-    rng = make_rng(seed, "edge-drop-plan")
+    rng = make_rng(derive_seed(seed, "edge-drop-plan"))
     edges = graph.edge_list()
     count = int(round(drop_fraction * len(edges)))
     dropped = rng.sample(edges, min(count, len(edges))) if count else []
@@ -111,13 +180,21 @@ def random_edge_drop_plan(
 
 
 class FaultyEngine(GossipEngine):
-    """A :class:`GossipEngine` that honours a :class:`FaultPlan`.
+    """Deprecated shim: a :class:`GossipEngine` honouring a :class:`FaultPlan`.
 
-    Crashed nodes are skipped when policies are consulted, any exchange they
-    initiated but that completes after their crash is suppressed, and
-    exchanges over dropped edges are suppressed likewise.  Completion
-    predicates are restricted to surviving nodes (a crashed node can never
-    learn anything, so requiring it to would make every run fail).
+    Historically this class reimplemented delivery and stepping with
+    plan-aware overrides; it now simply compiles its plan onto the shared
+    dynamics event pipeline (:func:`compile_fault_plan`) and delegates, so
+    its behaviour is — bit for bit — that of any engine running the same
+    compiled schedule.  Crashed nodes are silent and frozen, exchanges
+    touching a crashed node or dropped edge run their latency and deliver
+    nothing (``suppressed_exchanges``), and completion predicates are
+    restricted to survivors.
+
+    Prefer ``GossipAlgorithm.run(..., faults=plan)`` or
+    ``create_engine(..., dynamics=compile_fault_plan(plan))``: those run on
+    either backend, while this shim exists only so pre-pipeline callers
+    keep working.
     """
 
     def __init__(
@@ -126,68 +203,18 @@ class FaultyEngine(GossipEngine):
         fault_plan: FaultPlan,
         blocking: bool = False,
         trace=None,
-        dynamics=None,
+        dynamics: Optional[TopologyDynamics] = None,
     ) -> None:
-        super().__init__(graph, blocking=blocking, trace=trace, dynamics=dynamics)
+        warnings.warn(
+            "FaultyEngine is deprecated: faults now flow through the dynamics event "
+            "pipeline on both backends — pass faults= to GossipAlgorithm.run, or "
+            "dynamics=compile_fault_plan(plan) to create_engine",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        schedule = compile_fault_plan(fault_plan)
+        combined: TopologyDynamics = schedule
+        if dynamics is not None:
+            combined = ComposedDynamics((dynamics, schedule))
+        super().__init__(graph, blocking=blocking, trace=trace, dynamics=combined)
         self.fault_plan = fault_plan
-
-    # -- fault-aware overrides -------------------------------------------
-    def _deliver_due_exchanges(self) -> None:
-        import heapq
-
-        while self._pending and self._pending[0].completes_at <= self.round:
-            exchange = heapq.heappop(self._pending)
-            u, v = exchange.initiator, exchange.responder
-            self._outstanding[u] -= 1
-            if self._outstanding[u] < 0:
-                raise RuntimeError(
-                    f"outstanding-exchange underflow for node {u!r}: an exchange "
-                    "completed that was never accounted as initiated"
-                )
-            if (
-                self.fault_plan.is_node_crashed(u, self.round)
-                or self.fault_plan.is_node_crashed(v, self.round)
-                or self.fault_plan.is_edge_dropped(u, v, self.round)
-            ):
-                continue
-            new_for_v = self.knowledge[v].merge(set(exchange.initiator_payload))
-            new_for_u = self.knowledge[u].merge(set(exchange.responder_payload))
-            self.metrics.record_exchange_completed(
-                payload_size=len(exchange.initiator_payload) + len(exchange.responder_payload)
-            )
-            self.metrics.record_deliveries(new_for_u + new_for_v)
-            if self.trace is not None:
-                self.trace.record(
-                    self.round, "complete", u, v, new_for_initiator=new_for_u, new_for_responder=new_for_v
-                )
-
-    def step(self, policy: ExchangePolicy) -> None:
-        policy = _as_callback(policy)
-        self._begin_round()
-        self._deliver_due_exchanges()
-        for node in self.graph.nodes():
-            if self.fault_plan.is_node_crashed(node, self.round):
-                continue
-            if self.blocking and self._outstanding[node] > 0:
-                continue
-            choice = policy(self.node_view(node))
-            if choice is None:
-                continue
-            if not self.graph.has_edge(node, choice):
-                raise GraphError(f"policy for node {node!r} chose {choice!r}, which is not a neighbour")
-            if self.fault_plan.is_node_crashed(choice, self.round) or self.fault_plan.is_edge_dropped(
-                node, choice, self.round
-            ):
-                # The initiation happens (and is paid for) but delivers nothing.
-                self.initiate_exchange(node, choice)
-                continue
-            self.initiate_exchange(node, choice)
-
-    # -- fault-aware completion predicates --------------------------------
-    def dissemination_complete(self, rumor) -> bool:
-        survivors = self.fault_plan.surviving_nodes(self.graph, self.round)
-        return all(self.knowledge[node].knows(rumor) for node in survivors)
-
-    def all_to_all_complete(self) -> bool:
-        survivors = self.fault_plan.surviving_nodes(self.graph, self.round)
-        return all(self.knowledge[node].origins() >= survivors for node in survivors)

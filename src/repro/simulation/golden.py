@@ -18,7 +18,10 @@ Adding a golden trace
    :data:`GOLDEN_TOPOLOGIES` (builders must be fully determined by their
    hard-coded seeds).  For a *churned* anchor, register the schedule
    builder in :data:`GOLDEN_DYNAMICS` and the (algorithm, topology,
-   dynamics) triple in :data:`GOLDEN_DYNAMIC_CASES`.
+   dynamics) triple in :data:`GOLDEN_DYNAMIC_CASES`; for a *faulted*
+   anchor (crash-stop / edge-fault events through the same pipeline),
+   register the plan builder in :data:`GOLDEN_FAULTS` and the triple in
+   :data:`GOLDEN_FAULT_CASES`.
 2. Regenerate the fixtures: ``python tests/golden/regen.py``.
 3. Commit the new/changed JSON files; the parity test picks them up
    automatically.
@@ -36,7 +39,8 @@ from ..gossip.base import GossipAlgorithm
 from ..graphs import path_graph, two_cluster_slow_bridge, weighted_erdos_renyi
 from ..graphs.dynamics import markov_churn
 from ..graphs.weighted_graph import WeightedGraph
-from .dynamics import TopologyDynamics
+from .dynamics import ComposedDynamics, TopologyDynamics
+from .faults import FaultPlan, compile_fault_plan, random_crash_plan, random_edge_drop_plan
 from .protocol import PolicyCapability, RoundPolicySpec, create_engine
 from .rng import make_rng
 
@@ -44,15 +48,19 @@ __all__ = [
     "GOLDEN_ALGORITHMS",
     "GOLDEN_DYNAMICS",
     "GOLDEN_DYNAMIC_CASES",
+    "GOLDEN_FAULTS",
+    "GOLDEN_FAULT_CASES",
     "GOLDEN_TOPOLOGIES",
     "GOLDEN_SEED",
     "GOLDEN_SCHEMA",
     "golden_cases",
     "golden_dynamic_cases",
+    "golden_fault_cases",
     "fixture_filename",
     "build_golden_topology",
     "build_golden_algorithm",
     "build_golden_dynamics",
+    "build_golden_faults",
     "capture_golden_trace",
     "write_golden_fixtures",
 ]
@@ -92,6 +100,23 @@ GOLDEN_DYNAMIC_CASES: list[tuple[str, str, str]] = [
     ("flooding", "slow-bridge10", "markov-churn"),
 ]
 
+# Fault plans, drawn deterministically from the topology and the golden
+# seed.  The one-to-all source (the first node) is protected from crashing,
+# so survivor-restricted dissemination always completes.
+GOLDEN_FAULTS: dict[str, Callable[[WeightedGraph], FaultPlan]] = {
+    "crash-faults": lambda graph: random_crash_plan(
+        graph, 0.2, crash_round=4, seed=GOLDEN_SEED, protect={graph.nodes()[0]}
+    ),
+    "edge-faults": lambda graph: random_edge_drop_plan(graph, 0.2, drop_round=3, seed=GOLDEN_SEED),
+}
+
+# The faulted anchor cases: crashes under uniform-random selection and edge
+# faults under deterministic round-robin, each replayed on both backends.
+GOLDEN_FAULT_CASES: list[tuple[str, str, str]] = [
+    ("push-pull", "er24", "crash-faults"),
+    ("flooding", "er24", "edge-faults"),
+]
+
 
 def golden_cases() -> list[tuple[str, str]]:
     """Every static (algorithm, topology) pair a fixture is committed for."""
@@ -103,11 +128,24 @@ def golden_dynamic_cases() -> list[tuple[str, str, str]]:
     return list(GOLDEN_DYNAMIC_CASES)
 
 
-def fixture_filename(algorithm: str, topology: str, dynamics: Optional[str] = None) -> str:
-    """The fixture file name for one golden case (static or dynamic)."""
-    if dynamics is None:
-        return f"{algorithm}__{topology}.json"
-    return f"{algorithm}__{topology}__{dynamics}.json"
+def golden_fault_cases() -> list[tuple[str, str, str]]:
+    """Every faulted (algorithm, topology, faults) fixture triple."""
+    return list(GOLDEN_FAULT_CASES)
+
+
+def fixture_filename(
+    algorithm: str,
+    topology: str,
+    dynamics: Optional[str] = None,
+    faults: Optional[str] = None,
+) -> str:
+    """The fixture file name for one golden case (static, dynamic, or faulted)."""
+    parts = [algorithm, topology]
+    if dynamics is not None:
+        parts.append(dynamics)
+    if faults is not None:
+        parts.append(faults)
+    return "__".join(parts) + ".json"
 
 
 def build_golden_topology(topology: str) -> WeightedGraph:
@@ -128,6 +166,11 @@ def build_golden_dynamics(dynamics: str, graph: WeightedGraph) -> TopologyDynami
     freshly built topology.
     """
     return GOLDEN_DYNAMICS[dynamics](graph)
+
+
+def build_golden_faults(faults: str, graph: WeightedGraph) -> FaultPlan:
+    """Draw one of the registered golden fault plans for ``graph``."""
+    return GOLDEN_FAULTS[faults](graph)
 
 
 def _policy_spec(algorithm: str, seed: int) -> RoundPolicySpec:
@@ -155,6 +198,7 @@ def capture_golden_trace(
     backend: str = "reference",
     seed: int = GOLDEN_SEED,
     dynamics: Optional[str] = None,
+    faults: Optional[str] = None,
 ) -> dict[str, Any]:
     """Replay one golden case round-by-round and return its trace.
 
@@ -164,11 +208,17 @@ def capture_golden_trace(
     of the same case bit-for-bit.  With ``dynamics``, the named golden
     schedule is rebuilt from the fresh topology (deterministic — same seed,
     same graph, same schedule) and the engine replays it, so the trace also
-    anchors lost-exchange accounting and mid-run CSR re-snapshots.
+    anchors lost-exchange accounting and mid-run CSR re-snapshots.  With
+    ``faults``, the named golden fault plan is compiled onto the same event
+    pipeline, anchoring suppression accounting and survivor-restricted
+    completion on both backends.
     """
     graph = build_golden_topology(topology)
     source = graph.nodes()[0]
     schedule = build_golden_dynamics(dynamics, graph) if dynamics is not None else None
+    if faults is not None:
+        fault_schedule = compile_fault_plan(build_golden_faults(faults, graph))
+        schedule = fault_schedule if schedule is None else ComposedDynamics((schedule, fault_schedule))
     engine, _backend_name = create_engine(
         graph, backend, capability=PolicyCapability.UNIFORM_RANDOM, dynamics=schedule
     )
@@ -199,6 +249,9 @@ def capture_golden_trace(
     if dynamics is not None:
         trace["dynamics"] = dynamics
         trace["lost_exchanges"] = metrics.lost_exchanges
+    if faults is not None:
+        trace["faults"] = faults
+        trace["suppressed_exchanges"] = metrics.suppressed_exchanges
     return trace
 
 
@@ -211,11 +264,14 @@ def write_golden_fixtures(directory: str) -> list[str]:
     """
     os.makedirs(directory, exist_ok=True)
     written = []
-    cases = [(algorithm, topology, None) for algorithm, topology in golden_cases()]
-    cases.extend(golden_dynamic_cases())
-    for algorithm, topology, dynamics in cases:
-        trace = capture_golden_trace(algorithm, topology, backend="reference", dynamics=dynamics)
-        path = os.path.join(directory, fixture_filename(algorithm, topology, dynamics))
+    cases = [(algorithm, topology, None, None) for algorithm, topology in golden_cases()]
+    cases.extend((algorithm, topology, dynamics, None) for algorithm, topology, dynamics in golden_dynamic_cases())
+    cases.extend((algorithm, topology, None, faults) for algorithm, topology, faults in golden_fault_cases())
+    for algorithm, topology, dynamics, faults in cases:
+        trace = capture_golden_trace(
+            algorithm, topology, backend="reference", dynamics=dynamics, faults=faults
+        )
+        path = os.path.join(directory, fixture_filename(algorithm, topology, dynamics, faults))
         with open(path, "w", encoding="utf-8") as handle:
             json.dump(trace, handle, indent=2, sort_keys=True)
             handle.write("\n")

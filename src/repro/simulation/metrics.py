@@ -46,6 +46,14 @@ class SimulationMetrics:
         topology-dynamics removal or churned endpoint) before the latency
         elapsed.  Lost exchanges were paid for as activations but deliver
         nothing.
+    suppressed_exchanges:
+        Exchanges that ran to the end of their latency but delivered
+        nothing because a fault event (``node-crash`` / ``edge-fault``)
+        silenced an endpoint or the edge in the meantime.  Unlike lost
+        exchanges the edge still exists — the channel is up, the far side
+        is dead — so suppressed exchanges are the fault pipeline's
+        signature cost: paid for as activations, counted as neither
+        messages nor deliveries.
     """
 
     rounds: int = 0
@@ -58,6 +66,7 @@ class SimulationMetrics:
     payload_rumors_sent: int = 0
     max_payload_size: int = 0
     lost_exchanges: int = 0
+    suppressed_exchanges: int = 0
 
     def record_activation(self, u: NodeId, v: NodeId) -> None:
         """Record that the edge {u, v} was activated (an exchange initiated)."""
@@ -83,6 +92,10 @@ class SimulationMetrics:
     def record_lost(self, count: int = 1) -> None:
         """Record ``count`` in-flight exchanges dropped by a topology change."""
         self.lost_exchanges += count
+
+    def record_suppressed(self, count: int = 1) -> None:
+        """Record ``count`` exchanges that completed but a fault silenced."""
+        self.suppressed_exchanges += count
 
     def charge(self, time: float) -> None:
         """Charge analytical time (e.g. a DTG phase simulated at coarse grain)."""
@@ -113,6 +126,7 @@ class SimulationMetrics:
             "payload_rumors_sent": self.payload_rumors_sent,
             "max_payload_size": self.max_payload_size,
             "lost_exchanges": self.lost_exchanges,
+            "suppressed_exchanges": self.suppressed_exchanges,
         }
 
     def merge(self, other: "SimulationMetrics") -> None:
@@ -123,6 +137,7 @@ class SimulationMetrics:
         self.messages += other.messages
         self.rumor_deliveries += other.rumor_deliveries
         self.lost_exchanges += other.lost_exchanges
+        self.suppressed_exchanges += other.suppressed_exchanges
         self.payload_rumors_sent += other.payload_rumors_sent
         self.max_payload_size = max(self.max_payload_size, other.max_payload_size)
         self.edge_activations.update(other.edge_activations)

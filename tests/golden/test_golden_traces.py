@@ -21,20 +21,23 @@ from repro.simulation.golden import (
     GOLDEN_SEED,
     build_golden_algorithm,
     build_golden_dynamics,
+    build_golden_faults,
     build_golden_topology,
     capture_golden_trace,
     fixture_filename,
     golden_cases,
     golden_dynamic_cases,
+    golden_fault_cases,
 )
 
 FIXTURE_DIR = os.path.dirname(os.path.abspath(__file__))
 CASES = golden_cases()
 DYNAMIC_CASES = golden_dynamic_cases()
+FAULT_CASES = golden_fault_cases()
 
 
-def _load_fixture(algorithm: str, topology: str, dynamics: str = None) -> dict:
-    path = os.path.join(FIXTURE_DIR, fixture_filename(algorithm, topology, dynamics))
+def _load_fixture(algorithm: str, topology: str, dynamics: str = None, faults: str = None) -> dict:
+    path = os.path.join(FIXTURE_DIR, fixture_filename(algorithm, topology, dynamics, faults))
     assert os.path.exists(path), (
         f"missing golden fixture {os.path.basename(path)}; run `python tests/golden/regen.py`"
     )
@@ -48,6 +51,10 @@ def test_every_golden_case_has_a_committed_fixture():
     expected |= {
         fixture_filename(algorithm, topology, dynamics)
         for algorithm, topology, dynamics in DYNAMIC_CASES
+    }
+    expected |= {
+        fixture_filename(algorithm, topology, None, faults)
+        for algorithm, topology, faults in FAULT_CASES
     }
     assert committed == expected, (
         "fixture set is out of sync with repro.simulation.golden; "
@@ -118,3 +125,36 @@ def test_churned_algorithm_run_matches_fixture_on_both_backends(algorithm, topol
         assert result.metrics.activations == fixture["activations"], backend
         assert result.metrics.lost_exchanges == fixture["lost_exchanges"], backend
         assert result.details["dynamics"] == str(schedule), backend
+
+
+@pytest.mark.parametrize(("algorithm", "topology", "faults"), FAULT_CASES)
+@pytest.mark.parametrize("backend", ["reference", "fast"])
+def test_faulted_trace_matches_fixture_on_both_backends(algorithm, topology, faults, backend):
+    """The faulted anchors: crash/edge faults compiled onto the event pipeline.
+
+    Replaying the committed fault plan on either backend must reproduce the
+    fixture bit-for-bit — per-round informed counts among all nodes and the
+    suppressed-exchange total — anchoring suppression accounting and the
+    survivor-restricted completion predicates.
+    """
+    fixture = _load_fixture(algorithm, topology, faults=faults)
+    assert capture_golden_trace(algorithm, topology, backend=backend, faults=faults) == fixture
+
+
+@pytest.mark.parametrize(("algorithm", "topology", "faults"), FAULT_CASES)
+def test_faulted_algorithm_run_matches_fixture_on_both_backends(algorithm, topology, faults):
+    """End-to-end ``run(faults=...)`` agrees with the stepped faulted trace."""
+    fixture = _load_fixture(algorithm, topology, faults=faults)
+    for backend in ("reference", "fast"):
+        graph = build_golden_topology(topology)
+        plan = build_golden_faults(faults, graph)
+        instance = build_golden_algorithm(algorithm)
+        result = instance.run(
+            graph, source=fixture["source"], seed=GOLDEN_SEED, engine=backend, faults=plan
+        )
+        assert result.complete
+        assert result.rounds_simulated == fixture["rounds"], backend
+        assert result.metrics.messages == fixture["messages"], backend
+        assert result.metrics.activations == fixture["activations"], backend
+        assert result.metrics.suppressed_exchanges == fixture["suppressed_exchanges"], backend
+        assert result.details["suppressed_exchanges"] == fixture["suppressed_exchanges"], backend

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cli import build_algorithm, build_dynamics, build_graph, main
+from repro.cli import build_graph, main
 
 
 class TestBuilders:
@@ -28,21 +28,13 @@ class TestBuilders:
         with pytest.raises(SystemExit):
             build_graph("clique", 8, "warp", seed=0)
 
-    def test_build_algorithm(self):
-        assert build_algorithm("push-pull").name == "push-pull"
-        assert build_algorithm("pattern").name.startswith("pattern-broadcast")
-        with pytest.raises(SystemExit):
-            build_algorithm("carrier-pigeon")
-
-    def test_build_dynamics(self):
-        graph = build_graph("grid", 16, "uniform", seed=1)
-        assert build_dynamics("static", graph, seed=1) is None
-        churn = build_dynamics("markov-churn", graph, seed=1, horizon=50)
-        assert churn.events_for_round(0 + churn.horizon)  # schedule is non-trivial
-        combined = build_dynamics("churn-drift", graph, seed=1, horizon=50)
-        assert "+" in str(combined)
-        with pytest.raises(SystemExit):
-            build_dynamics("earthquake", graph, seed=1)
+    def test_build_graph_pins_slow_bridge_latency(self):
+        # Same rule as the scenario layer: slow-bridge latencies are fixed
+        # by construction, so claiming another model is an error, not a
+        # silent no-op (`conductance --graph slow-bridge` hits this path).
+        with pytest.raises(SystemExit, match="slow-bridge"):
+            build_graph("slow-bridge", 16, "bimodal", seed=0)
+        assert build_graph("slow-bridge", 16, "unit", seed=0).is_connected()
 
 
 class TestCommands:

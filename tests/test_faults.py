@@ -7,12 +7,18 @@ import pytest
 from repro.graphs import GraphError, clique, path_graph, weighted_erdos_renyi
 from repro.simulation import (
     FaultPlan,
+    FaultState,
     FaultyEngine,
     GossipEngine,
+    TopologyEvent,
+    apply_events,
+    compile_fault_plan,
     random_crash_plan,
     random_edge_drop_plan,
 )
 from repro.simulation.rng import make_rng
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestFaultPlan:
@@ -56,7 +62,111 @@ class TestFaultPlan:
             random_edge_drop_plan(graph, drop_fraction=-0.1, drop_round=2)
 
 
+class TestCompileFaultPlan:
+    def test_events_land_on_their_rounds(self):
+        plan = FaultPlan(
+            node_crashes={1: 5, 2: 0},
+            edge_drops={frozenset((0, 3)): 4},
+        )
+        schedule = compile_fault_plan(plan)
+        assert [event.kind for event in schedule.events_for_round(5)] == ["node-crash"]
+        # Round-0 faults clamp to round 1 (engines only act from round 1).
+        assert schedule.events_for_round(1)[0].u == 2
+        (drop,) = schedule.events_for_round(4)
+        assert drop.kind == "edge-fault" and {drop.u, drop.v} == {0, 3}
+
+    def test_canonical_event_order_is_repr_sorted(self):
+        """Same plan content -> same schedule, independent of dict/frozenset
+        iteration order (which varies across processes for string labels)."""
+        plan_a = FaultPlan(
+            node_crashes={"delta": 2, "alpha": 2},
+            edge_drops={frozenset(("x", "y")): 2, frozenset(("a", "b")): 2},
+        )
+        plan_b = FaultPlan(
+            node_crashes={"alpha": 2, "delta": 2},
+            edge_drops={frozenset(("b", "a")): 2, frozenset(("y", "x")): 2},
+        )
+        events_a = compile_fault_plan(plan_a).events_for_round(2)
+        events_b = compile_fault_plan(plan_b).events_for_round(2)
+        assert events_a == events_b
+        assert [event.u for event in events_a] == ["alpha", "delta", "a", "x"]
+
+    def test_empty_plan_compiles_to_empty_schedule(self):
+        schedule = compile_fault_plan(FaultPlan())
+        assert schedule.horizon == 0 and schedule.num_events == 0
+        assert FaultPlan().empty
+
+    def test_plan_draws_are_cross_run_stable(self):
+        graph = clique(12)
+        assert (
+            random_crash_plan(graph, 0.5, 2, seed=9).node_crashes
+            == random_crash_plan(graph, 0.5, 2, seed=9).node_crashes
+        )
+        assert (
+            random_edge_drop_plan(graph, 0.3, 2, seed=9).edge_drops
+            == random_edge_drop_plan(graph, 0.3, 2, seed=9).edge_drops
+        )
+
+
+class TestFaultEvents:
+    def test_fault_events_need_a_fault_state(self):
+        graph = clique(4)
+        with pytest.raises(ValueError, match="FaultState"):
+            apply_events(graph, [TopologyEvent("node-crash", 0)])
+
+    def test_fault_events_accumulate_without_touching_the_graph(self):
+        graph = clique(4)
+        version = graph.version
+        faults = FaultState()
+        apply_events(
+            graph,
+            [TopologyEvent("node-crash", 0), TopologyEvent("edge-fault", 1, 2)],
+            faults,
+        )
+        assert graph.version == version  # no CSR resync needed
+        assert graph.has_edge(1, 2)  # the edge stays; only deliveries stop
+        assert faults.is_crashed(0)
+        assert faults.suppresses(1, 2) and faults.suppresses(2, 1)
+        assert faults.suppresses(0, 3)  # any exchange touching a crashed node
+        assert not faults.suppresses(1, 3)
+
+    def test_edge_fault_event_requires_both_endpoints(self):
+        with pytest.raises(ValueError, match="both endpoints"):
+            TopologyEvent("edge-fault", 0)
+
+    def test_fault_events_reject_unknown_nodes_on_both_backends(self):
+        """A typo'd label must fail loudly — and identically — everywhere.
+
+        Silently ignoring it (as a forgiving graph event would) would turn
+        a robustness run fault-free on one backend while the other raised.
+        """
+        from repro.gossip import PushPullGossip, Task
+
+        plan = FaultPlan(node_crashes={"no-such-node": 2})
+        for engine in ("reference", "fast"):
+            graph = clique(6)
+            with pytest.raises(GraphError, match="no-such-node"):
+                PushPullGossip(task=Task.ALL_TO_ALL).run(
+                    graph, seed=1, engine=engine, faults=plan, max_rounds=50
+                )
+
+    def test_suppressed_exchanges_are_counted_not_messaged(self):
+        graph = path_graph(2)
+        engine = GossipEngine(graph, dynamics=compile_fault_plan(FaultPlan(node_crashes={1: 1})))
+        engine.seed_rumor(0)
+        rng = make_rng(0, "suppress")
+        for _ in range(4):
+            engine.step(lambda view: rng.choice(view.neighbors) if view.neighbors else None)
+        assert engine.metrics.suppressed_exchanges > 0
+        assert engine.metrics.messages == 0
+        assert engine.metrics.activations > 0
+
+
 class TestFaultyEngine:
+    def test_shim_is_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="dynamics event pipeline"):
+            FaultyEngine(clique(4), FaultPlan())
+
     def test_no_faults_behaves_like_plain_engine(self):
         graph = clique(8)
         rng_a, rng_b = make_rng(1, "a"), make_rng(1, "a")

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import math
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import find_bottleneck, suggest_upgrades
@@ -26,6 +27,10 @@ from repro.graphs import (
 )
 from repro.simulation import FaultPlan, FaultyEngine, random_crash_plan
 from repro.simulation.rng import make_rng
+
+# FaultyEngine's deprecation warning is expected here; the shim's semantics
+# are exactly what these properties pin down.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 graph_params = st.tuples(
     st.integers(min_value=3, max_value=12),      # n

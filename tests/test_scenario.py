@@ -1,0 +1,359 @@
+"""Unit tests for the declarative scenario layer (repro.scenario)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.gossip import PushPullGossip, Task
+from repro.graphs import GraphError
+from repro.scenario import (
+    DynamicsSpec,
+    FaultSpec,
+    GraphSpec,
+    ScenarioError,
+    ScenarioSpec,
+    build_fault_plan,
+    build_graph,
+    dump_scenario,
+    library_scenario_names,
+    load_named_scenario,
+    load_scenario,
+    prepare_scenario,
+    run_scenario,
+    scenario_library_dir,
+)
+
+LIBRARY = library_scenario_names()
+
+
+def _small_spec(**overrides) -> ScenarioSpec:
+    defaults = dict(
+        name="test-spec",
+        algorithm="push-pull",
+        task="all-to-all",
+        graph=GraphSpec(family="erdos-renyi", n=20, latency="uniform"),
+        seed=7,
+    )
+    defaults.update(overrides)
+    return ScenarioSpec(**defaults)
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = _small_spec(
+            dynamics=(DynamicsSpec(kind="markov-churn", rate=0.05, horizon=64),),
+            faults=FaultSpec(crash_fraction=0.2, crash_round=3),
+        )
+        text = spec.to_json()
+        again = ScenarioSpec.from_json(text)
+        assert again == spec
+        assert again.to_json() == text
+
+    def test_file_round_trip(self, tmp_path):
+        spec = _small_spec(faults=FaultSpec(drop_fraction=0.1, drop_round=2))
+        path = str(tmp_path / "spec.json")
+        dump_scenario(spec, path)
+        assert load_scenario(path) == spec
+
+    def test_full_schema_always_serialized(self):
+        payload = json.loads(_small_spec().to_json())
+        assert set(payload) == {
+            "name", "algorithm", "task", "graph", "seed", "engine",
+            "source_index", "max_rounds", "dynamics", "faults", "schema",
+        }
+        assert set(payload["graph"]) == {"family", "n", "latency"}
+
+
+class TestValidation:
+    def test_unknown_top_level_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown scenario keys"):
+            ScenarioSpec.from_dict({"name": "x", "surprise": 1})
+
+    def test_unknown_graph_key_rejected(self):
+        with pytest.raises(ScenarioError, match="unknown graph keys"):
+            ScenarioSpec.from_dict({"name": "x", "graph": {"colour": "red"}})
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(ScenarioError, match="algorithm"):
+            _small_spec(algorithm="carrier-pigeon").validate()
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ScenarioError, match="schema"):
+            _small_spec(schema=99).validate()
+
+    def test_task_compatibility_enforced(self):
+        with pytest.raises(ScenarioError, match="only solves"):
+            _small_spec(algorithm="spanner", task="one-to-all").validate()
+
+    def test_static_algorithm_rejects_dynamics(self):
+        spec = _small_spec(algorithm="spanner", dynamics=(DynamicsSpec(),))
+        with pytest.raises(ScenarioError, match="does not support topology dynamics"):
+            spec.validate()
+
+    def test_static_algorithm_rejects_faults(self):
+        spec = _small_spec(algorithm="pattern", faults=FaultSpec(crash_fraction=0.5))
+        with pytest.raises(ScenarioError, match="fault"):
+            spec.validate()
+
+    def test_fault_fraction_range_checked(self):
+        with pytest.raises(ScenarioError, match="crash_fraction"):
+            _small_spec(faults=FaultSpec(crash_fraction=1.5)).validate()
+
+    def test_slow_bridge_pins_latency_model(self):
+        # slow-bridge latencies are fixed by construction; a spec claiming
+        # another model would silently lie, so validation rejects it.
+        with pytest.raises(ScenarioError, match="slow-bridge"):
+            _small_spec(graph=GraphSpec(family="slow-bridge", n=16, latency="bimodal")).validate()
+        _small_spec(graph=GraphSpec(family="slow-bridge", n=16, latency="unit")).validate()
+
+    def test_source_index_out_of_range(self):
+        spec = _small_spec(task="one-to-all", source_index=500)
+        with pytest.raises(ScenarioError, match="out of range"):
+            prepare_scenario(spec)
+
+
+class TestPatching:
+    def test_dotted_and_nested_patches(self):
+        spec = _small_spec()
+        patched = spec.patched({"graph.n": 30, "faults": {"crash_fraction": 0.3}, "engine": "fast"})
+        assert patched.graph.n == 30
+        assert patched.faults.crash_fraction == 0.3
+        assert patched.faults.crash_round == 1  # defaults fill the rest
+        assert patched.engine == "fast"
+        # Patching never mutates the original.
+        assert spec.graph.n == 20 and spec.faults is None
+
+    def test_dynamics_list_patch_by_index(self):
+        spec = _small_spec(dynamics=(DynamicsSpec(kind="markov-churn", rate=0.02),))
+        patched = spec.patched({"dynamics.0.rate": 0.1})
+        assert patched.dynamics[0].rate == 0.1
+
+    def test_partial_dict_patch_on_list_element_merges(self):
+        # A dict patch at a list element must merge like a dict patch on a
+        # dict field — untouched knobs (here: the kind) keep their values.
+        spec = _small_spec(dynamics=(DynamicsSpec(kind="latency-drift", amplitude=0.7),))
+        patched = spec.patched({"dynamics.0": {"period": 64}})
+        assert patched.dynamics[0].kind == "latency-drift"
+        assert patched.dynamics[0].amplitude == 0.7
+        assert patched.dynamics[0].period == 64
+
+    def test_same_kind_dynamics_parts_draw_independent_streams(self):
+        spec = _small_spec(
+            dynamics=(
+                DynamicsSpec(kind="markov-churn", rate=0.05, horizon=32),
+                DynamicsSpec(kind="markov-churn", rate=0.05, horizon=32),
+            )
+        )
+        from repro.scenario import build_dynamics
+
+        composed = build_dynamics(spec, build_graph(spec))
+        first, second = composed.parts
+        events = {
+            part: [part.events_for_round(r) for r in range(1, 32)] for part in (first, second)
+        }
+        # Identical knobs, different position -> different derived seed ->
+        # the two schedules must not be byte-for-byte duplicates.
+        assert events[first] != events[second]
+
+    def test_patch_result_is_validated(self):
+        with pytest.raises(ScenarioError):
+            _small_spec().patched({"engine": "warp-drive"})
+
+    def test_patch_bad_index_rejected(self):
+        with pytest.raises(ScenarioError, match="out of range"):
+            _small_spec().patched({"dynamics.3.rate": 0.5})
+
+
+class TestExecution:
+    def test_run_scenario_is_deterministic(self):
+        spec = _small_spec(faults=FaultSpec(crash_fraction=0.2, crash_round=3))
+        a = run_scenario(spec)
+        b = run_scenario(spec)
+        assert a.time == b.time
+        assert a.metrics.messages == b.metrics.messages
+        assert a.metrics.suppressed_exchanges == b.metrics.suppressed_exchanges
+        assert a.details["scenario"] == "test-spec"
+
+    def test_backend_parity_for_faults_plus_churn(self):
+        spec = _small_spec(
+            dynamics=(DynamicsSpec(kind="markov-churn", rate=0.04, horizon=64),),
+            faults=FaultSpec(crash_fraction=0.15, crash_round=4),
+        )
+        results = {
+            engine: run_scenario(spec.patched({"engine": engine}))
+            for engine in ("reference", "fast")
+        }
+        for field in ("rounds", "messages", "activations", "lost_exchanges", "suppressed_exchanges"):
+            ref = getattr(results["reference"].metrics, field)
+            fast = getattr(results["fast"].metrics, field)
+            assert ref == fast, field
+
+    def test_algorithm_run_accepts_scenario(self):
+        spec = _small_spec()
+        result = PushPullGossip(task=Task.ALL_TO_ALL).run(scenario=spec)
+        assert result.complete
+        assert result.details["scenario"] == "test-spec"
+
+    def test_algorithm_run_scenario_engine_override(self):
+        spec = _small_spec(engine="fast")
+        result = PushPullGossip(task=Task.ALL_TO_ALL).run(scenario=spec, engine="reference")
+        assert result.details["engine"] == "reference"
+
+    def test_scenario_excludes_explicit_graph_and_source(self):
+        spec = _small_spec()
+        graph = build_graph(spec)
+        with pytest.raises(GraphError, match="scenario"):
+            PushPullGossip(task=Task.ALL_TO_ALL).run(graph, scenario=spec)
+        with pytest.raises(GraphError, match="scenario"):
+            PushPullGossip(task=Task.ALL_TO_ALL).run(scenario=spec, source=0)
+
+    def test_scenario_honors_seed_override(self):
+        spec = _small_spec(faults=FaultSpec(crash_fraction=0.25, crash_round=2))
+        algo = PushPullGossip(task=Task.ALL_TO_ALL)
+        baseline = algo.run(scenario=spec)
+        same = algo.run(scenario=spec, seed=spec.seed)
+        reseeded = [algo.run(scenario=spec, seed=k) for k in (101, 202)]
+        assert same.metrics.messages == baseline.metrics.messages
+        # Different seeds re-derive the graph, fault draw, and policy
+        # streams together — the runs must actually differ.
+        signatures = {
+            (r.rounds_simulated, r.metrics.messages, r.metrics.suppressed_exchanges)
+            for r in [baseline, *reseeded]
+        }
+        assert len(signatures) > 1
+
+    def test_scenario_honors_max_rounds_override(self):
+        spec = _small_spec()
+        with pytest.raises(RuntimeError, match="did not reach"):
+            PushPullGossip(task=Task.ALL_TO_ALL).run(scenario=spec, max_rounds=1)
+
+    def test_seed_changes_fault_draw(self):
+        spec = _small_spec(faults=FaultSpec(crash_fraction=0.3, crash_round=2))
+        graph = build_graph(spec)
+        plan_a = build_fault_plan(spec, graph, None)
+        plan_b = build_fault_plan(spec.patched({"seed": 8}), graph, None)
+        assert plan_a.node_crashes != plan_b.node_crashes
+
+    def test_protect_source_keeps_source_alive(self):
+        spec = _small_spec(
+            algorithm="push-pull",
+            task="one-to-all",
+            faults=FaultSpec(crash_fraction=0.9, crash_round=1, protect_source=True),
+        )
+        prepared = prepare_scenario(spec)
+        assert prepared.source not in prepared.fault_plan.node_crashes
+
+
+class TestLibrary:
+    def test_library_is_present_and_named_consistently(self):
+        assert len(LIBRARY) >= 8
+        for name in LIBRARY:
+            spec = load_named_scenario(name)
+            assert spec.name == name
+
+    @pytest.mark.parametrize("name", LIBRARY)
+    def test_library_file_is_canonical(self, name):
+        """Committed files byte-match their canonical dump (load→dump→load)."""
+        path = os.path.join(scenario_library_dir(), f"{name}.json")
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+        spec = ScenarioSpec.from_json(text)
+        assert spec.to_json() == text
+        assert ScenarioSpec.from_json(spec.to_json()) == spec
+
+    def test_unknown_library_name(self):
+        with pytest.raises(ScenarioError, match="no library scenario"):
+            load_named_scenario("does-not-exist")
+
+
+class TestCLI:
+    @pytest.mark.parametrize("name", LIBRARY)
+    def test_every_library_scenario_runs_from_cli(self, name, capsys):
+        path = os.path.join(scenario_library_dir(), f"{name}.json")
+        exit_code = main(["run", "--scenario", path])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert f"scenario   : {name}" in captured
+        assert "complete   : True" in captured
+
+    def test_dump_scenario_replays_identically(self, tmp_path, capsys):
+        out = str(tmp_path / "resolved.json")
+        flat = ["run", "--algorithm", "push-pull", "--graph", "clique", "--nodes", "12",
+                "--seed", "5", "--crash-fraction", "0.2", "--dump-scenario", out]
+        assert main(flat) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "--scenario", out]) == 0
+        second = capsys.readouterr().out
+        interesting = [
+            line for line in first.splitlines()
+            if line.startswith(("time", "messages", "activations", "suppressed"))
+        ]
+        assert interesting and all(line in second for line in interesting)
+
+    def test_scenario_validate_rejects_bad_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"name": "x", "algorithm": "carrier-pigeon"}')
+        assert main(["scenario", "validate", str(bad)]) == 1
+
+    def test_scenario_list_survives_a_broken_library_file(self, tmp_path, monkeypatch, capsys):
+        good = load_named_scenario("crash-pushpull-er48")
+        dump_scenario(good.patched({"name": "good-one"}), str(tmp_path / "good-one.json"))
+        (tmp_path / "mismatched.json").write_text(good.to_json())  # stem != name
+        monkeypatch.setenv("REPRO_SCENARIO_DIR", str(tmp_path))
+        assert main(["scenario", "list"]) == 1
+        captured = capsys.readouterr()
+        assert "good-one" in captured.out  # the valid entry still lists
+        assert "INVALID" in captured.err  # the broken one is one line, not a traceback
+
+    def test_scenario_dump_and_list(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        listing = capsys.readouterr().out
+        assert "crash-pushpull-er48" in listing
+        assert main(["scenario", "dump", "crash-pushpull-er48"]) == 0
+        dumped = capsys.readouterr().out
+        assert ScenarioSpec.from_json(dumped).name == "crash-pushpull-er48"
+
+    def test_run_rejects_unknown_scenario_file(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--scenario", "/nonexistent/path.json"])
+
+    def test_run_rejects_flat_flags_alongside_scenario(self):
+        path = os.path.join(scenario_library_dir(), "crash-pushpull-er48.json")
+        with pytest.raises(SystemExit, match="--crash-fraction"):
+            main(["run", "--scenario", path, "--crash-fraction", "0.4"])
+        with pytest.raises(SystemExit, match="--nodes"):
+            main(["run", "--scenario", path, "--nodes", "96"])
+
+
+class TestScenarioSweep:
+    def test_patch_grid_sweep_runs_and_is_deterministic(self):
+        from repro.analysis import deterministic_rows, scenario_sweep
+
+        base = load_named_scenario("crash-pushpull-er48").patched({"graph.n": 20})
+        patches = [{"faults.crash_fraction": 0.0}, {"faults.crash_fraction": 0.25}]
+        experiment = scenario_sweep(
+            "scenario-sweep-test", base, patches, repetitions=2, base_seed=3
+        )
+        table_a = experiment.run()
+        table_b = experiment.run()
+        rows = deterministic_rows(table_a)
+        assert rows == deterministic_rows(table_b)
+        assert [row["faults.crash_fraction"] for row in rows] == [0.0, 0.25]
+        for row in rows:
+            assert row["complete"] == 1.0
+        # Crashing a quarter of the nodes suppresses deliveries.
+        assert rows[1]["suppressed_exchanges"] > 0
+
+    def test_sweep_accepts_library_name_as_base(self):
+        from repro.analysis import scenario_sweep
+
+        experiment = scenario_sweep(
+            "scenario-sweep-name", "crash-pushpull-er48",
+            [{"graph.n": 16, "faults.crash_fraction": 0.1}], repetitions=1,
+        )
+        table = experiment.run()
+        assert list(table)[0]["complete"] == 1.0

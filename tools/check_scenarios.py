@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Gate the bundled scenario library: schema, canonical form, and execution.
+
+For every ``scenarios/*.json`` file this checks that:
+
+* the file parses and validates against the :mod:`repro.scenario` schema;
+* the scenario's ``name`` matches the file stem (the library is looked up
+  by name);
+* the committed bytes are the *canonical* dump — ``load → dump`` reproduces
+  the file exactly, so ``load → dump → load`` is the identity and diffs
+  stay reviewable;
+* with ``--run``, the scenario executes end to end on BOTH simulation
+  backends (graph size clamped to ``--max-nodes`` so the smoke stays
+  fast) and the two backends' trajectories agree bit-for-bit.
+
+Usage::
+
+    PYTHONPATH=src python tools/check_scenarios.py            # validate only
+    PYTHONPATH=src python tools/check_scenarios.py --run      # + dual-engine smoke
+
+Exits non-zero on the first category of failure, printing one line per file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    run_scenario,
+    scenario_library_dir,
+)
+
+
+def check_file(path: str) -> ScenarioSpec:
+    """Validate one scenario file; return its spec or raise ScenarioError."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    spec = ScenarioSpec.from_json(text)
+    stem = os.path.splitext(os.path.basename(path))[0]
+    if spec.name != stem:
+        raise ScenarioError(f"scenario name {spec.name!r} does not match file stem {stem!r}")
+    if spec.to_json() != text:
+        raise ScenarioError(
+            "file is not in canonical form; rewrite it with "
+            f"`repro-gossip scenario dump {stem} >` or ScenarioSpec.to_json()"
+        )
+    return spec
+
+
+def smoke_run(spec: ScenarioSpec, max_nodes: int) -> str:
+    """Run ``spec`` on both backends at clamped size; return a summary.
+
+    Raises ScenarioError if either backend fails to complete or the two
+    trajectories diverge.
+    """
+    clamped = spec.patched({"graph.n": min(spec.graph.n, max_nodes)})
+    signatures = {}
+    for engine in ("reference", "fast"):
+        result = run_scenario(clamped.patched({"engine": engine}))
+        if not result.complete:
+            raise ScenarioError(f"{engine} run did not complete")
+        metrics = result.metrics
+        signatures[engine] = (
+            result.rounds_simulated,
+            metrics.messages,
+            metrics.activations,
+            metrics.lost_exchanges,
+            metrics.suppressed_exchanges,
+        )
+    if signatures["reference"] != signatures["fast"]:
+        raise ScenarioError(
+            f"backend divergence: reference={signatures['reference']} fast={signatures['fast']}"
+        )
+    rounds, messages, _activations, lost, suppressed = signatures["reference"]
+    return (
+        f"n={clamped.graph.n} rounds={rounds} messages={messages} "
+        f"lost={lost} suppressed={suppressed} (both engines bit-identical)"
+    )
+
+
+def main(argv=None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="scenario files to check (default: every *.json in the bundled library)",
+    )
+    parser.add_argument(
+        "--run",
+        action="store_true",
+        help="also execute each scenario on both engines and compare trajectories",
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=24,
+        help="clamp graph sizes to this many nodes for the --run smoke (default 24)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = args.paths
+    if not paths:
+        directory = scenario_library_dir()
+        if not os.path.isdir(directory):
+            print(f"error: scenario library directory {directory!r} not found", file=sys.stderr)
+            return 2
+        paths = sorted(
+            os.path.join(directory, entry)
+            for entry in os.listdir(directory)
+            if entry.endswith(".json")
+        )
+        if not paths:
+            print(f"error: no scenario files in {directory!r}", file=sys.stderr)
+            return 2
+
+    failures = 0
+    for path in paths:
+        label = os.path.basename(path)
+        try:
+            spec = check_file(path)
+            message = "valid, canonical"
+            if args.run:
+                message += "; " + smoke_run(spec, args.max_nodes)
+            print(f"ok   {label}: {message}")
+        except (ScenarioError, RuntimeError, OSError) as exc:
+            failures += 1
+            print(f"FAIL {label}: {exc}", file=sys.stderr)
+    if failures:
+        print(f"{failures} scenario file(s) failed", file=sys.stderr)
+        return 1
+    print(f"{len(paths)} scenario file(s) ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
