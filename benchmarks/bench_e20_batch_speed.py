@@ -1,0 +1,34 @@
+"""E20 — batch-replication engine: vectorized multi-seed runs vs the scalar loop.
+
+The batch backend must reproduce each replication's sequential numpy-mode
+fast-engine trajectory bit for bit (the ``parity`` column) while running
+many replications per second; at the full size the acceptance bar is a
+≥ 20× replication-throughput speedup over the scalar loop on push-pull /
+ER-1024 at R=128.
+"""
+
+from __future__ import annotations
+
+
+def test_e20_batch_speed(run_experiment_benchmark, quick_mode):
+    table = run_experiment_benchmark("E20")
+    rows = list(table)
+    assert rows, "E20 produced no rows"
+    # Parity: every checked replication matched its sequential twin.
+    for row in rows:
+        checked = row["parity"].split("/")[1]
+        assert row["parity"] == f"{checked}/{checked}", (
+            f"batch/sequential mismatch on {row['topology']} at R={row['reps']}: {row['parity']}"
+        )
+    # Speed: the headline ER row at the largest R carries the 20× target;
+    # the quick smoke only checks the batch engine wins at all (small n
+    # amortizes less fixed cost and shared CI runners are noisy).
+    largest = max(row["reps"] for row in rows)
+    headline = next(
+        row for row in rows if row["topology"].startswith("er-") and row["reps"] == largest
+    )
+    floor = 1.5 if quick_mode else 20.0
+    assert headline["speedup"] >= floor, (
+        f"batch replication speedup {headline['speedup']}x below {floor}x "
+        f"on {headline['topology']} at R={largest}"
+    )

@@ -230,4 +230,22 @@ def experiment_e17_engine_backends(quick: bool = False) -> ResultTable:
         f"parity: rounds match = {rounds['reference'] == rounds['fast']}, "
         f"messages match = {messages['reference'] == messages['fast']}"
     )
+    # Imported lazily: the registry imports this module at load time.
+    from .registry import record_bench
+
+    record_bench(
+        "E17",
+        {
+            "quick": quick,
+            "n": n,
+            "engine": "fast-vs-reference",
+            "rounds_per_sec": {
+                backend: round(rounds[backend] / wall[backend], 1) if wall[backend] else None
+                for backend in ("reference", "fast")
+            },
+            "speedup": round(wall["reference"] / wall["fast"], 2) if wall["fast"] else None,
+            "parity": rounds["reference"] == rounds["fast"]
+            and messages["reference"] == messages["fast"],
+        },
+    )
     return table

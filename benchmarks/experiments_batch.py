@@ -1,0 +1,163 @@
+"""E20 — batch replication: the vectorized multi-seed engine vs the scalar loop.
+
+The batch backend's promise is *replication throughput*: running ``R``
+seeded replications of one scenario as a single numpy computation instead
+of ``R`` scalar scenario trials (the pre-batch sweep shard, which rebuilds
+the graph and runs one pure-Python fast-engine round loop per repetition).
+E20 measures both paths on three topologies at R ∈ {8, 32, 128} and
+cross-checks the parity contract: batched replication ``r`` must equal the
+sequential numpy-mode fast-engine run with seed label ``("rep", r)``
+bit for bit.
+
+The headline row (push-pull one-to-all on ER-1024 at R=128) carries the
+acceptance target: ≥ 20× replication throughput over the scalar loop.  The
+measured rates land in ``BENCH_e20.json`` at the repository root via
+:func:`benchmarks.registry.record_bench`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+from repro.analysis import ResultTable
+from repro.scenario import GraphSpec, ScenarioSpec, run_scenario
+from repro.simulation.rng import derive_seed
+
+__all__ = ["experiment_e20_batch_replication"]
+
+# (label, family, n) per measured topology; quick mode shrinks the sizes.
+_TOPOLOGIES = (
+    ("er-1024", "erdos-renyi", 1024),
+    ("expander-512", "expander", 512),
+    ("grid-400", "grid", 400),
+)
+_TOPOLOGIES_QUICK = (
+    ("er-128", "erdos-renyi", 128),
+    ("expander-96", "expander", 96),
+    ("grid-64", "grid", 64),
+)
+
+
+def _base_spec(label: str, family: str, n: int) -> ScenarioSpec:
+    """The push-pull one-to-all scenario E20 replicates on one topology."""
+    return ScenarioSpec(
+        name=f"e20-{label}",
+        algorithm="push-pull",
+        task="one-to-all",
+        graph=GraphSpec(family=family, n=n, latency="unit" if family == "slow-bridge" else "uniform"),
+        seed=20,
+    )
+
+
+def _trajectory(result) -> tuple:
+    """The bit-for-bit comparison key of one replication's run."""
+    metrics = result.metrics
+    return (
+        result.rounds_simulated,
+        result.time,
+        metrics.messages,
+        metrics.activations,
+        metrics.rumor_deliveries,
+        metrics.payload_rumors_sent,
+        metrics.max_payload_size,
+        metrics.lost_exchanges,
+        metrics.suppressed_exchanges,
+    )
+
+
+def _scalar_loop_rate(spec: ScenarioSpec, reps: int, attempts: int = 2) -> float:
+    """Replications per second of the pre-batch path: one scenario trial per seed.
+
+    Each repetition is a full scalar sweep shard — graph rebuilt from the
+    derived seed, scenario prepared, one fast-engine run — exactly what a
+    (case × seed) grid executed before batch shards existed.  Measured as
+    best-of-``attempts`` loops, the same discipline as :func:`_batch_rate`,
+    so scheduler noise biases neither side of the comparison.
+    """
+    best = float("inf")
+    for _attempt in range(attempts):
+        started = _time.perf_counter()
+        for rep in range(reps):
+            run_scenario(spec.patched({"seed": derive_seed(spec.seed, "E20-scalar", rep)}))
+        best = min(best, _time.perf_counter() - started)
+    return reps / best
+
+
+def _batch_rate(spec: ScenarioSpec, reps: int, attempts: int = 2) -> tuple[float, float]:
+    """Best-of-``attempts`` replication rate of one vectorized batch trial."""
+    best = float("inf")
+    for _attempt in range(attempts):
+        started = _time.perf_counter()
+        run_scenario(spec, reps=reps)
+        best = min(best, _time.perf_counter() - started)
+    return reps / best, best
+
+
+def experiment_e20_batch_replication(quick: bool = False) -> ResultTable:
+    """E20: replication throughput of the batch backend vs the scalar loop.
+
+    Every row is one (topology, R) cell: the scalar-loop rate (measured
+    once per topology over a fixed number of scalar trials), the batch
+    rate (best of two runs), their ratio, and a ``parity`` column counting
+    replications whose batched trajectory matched the sequential
+    numpy-mode fast-engine run bit for bit (checked at min(R, 8)
+    replications to keep the sequential oracle affordable).
+    """
+    table = ResultTable(title="E20: batch replication engine — reps/sec vs the scalar loop")
+    topologies = _TOPOLOGIES_QUICK if quick else _TOPOLOGIES
+    rep_counts = (4, 8) if quick else (8, 32, 128)
+    scalar_reps = 3 if quick else 8
+    headline: dict[str, float] = {}
+    parity_all = True
+    for label, family, n in topologies:
+        spec = _base_spec(label, family, n)
+        scalar_rate = _scalar_loop_rate(spec, scalar_reps)
+        for reps in rep_counts:
+            batch_rate, batch_wall = _batch_rate(spec, reps)
+            parity_reps = min(reps, 4 if quick else 8)
+            batched = run_scenario(spec.patched({"engine": "batch"}), reps=parity_reps)
+            sequential = run_scenario(spec.patched({"engine": "fast"}), reps=parity_reps)
+            matches = sum(
+                1
+                for b, s in zip(batched.results, sequential.results)
+                if _trajectory(b) == _trajectory(s)
+                and b.metrics.edge_activations == s.metrics.edge_activations
+            )
+            parity_all = parity_all and matches == parity_reps
+            speedup = round(batch_rate / scalar_rate, 1) if scalar_rate else None
+            table.add_row(
+                topology=label,
+                n=n,
+                reps=reps,
+                scalar_reps_per_sec=round(scalar_rate, 1),
+                batch_reps_per_sec=round(batch_rate, 1),
+                speedup=speedup,
+                parity=f"{matches}/{parity_reps}",
+                batch_wall_seconds=round(batch_wall, 3),
+            )
+            if label.startswith("er-") and reps == rep_counts[-1]:
+                headline = {
+                    "topology": label,
+                    "reps": reps,
+                    "scalar_reps_per_sec": round(scalar_rate, 1),
+                    "batch_reps_per_sec": round(batch_rate, 1),
+                    "speedup": speedup,
+                }
+    table.add_note("scalar loop = one full scenario trial per seed (graph rebuild + pure-Python")
+    table.add_note("fast-engine run), the pre-batch sweep shard; batch = one run_scenario(reps=R)")
+    table.add_note("call on the vectorized backend; both sides report best-of-2 loops.  parity")
+    table.add_note("counts replications whose batched trajectory equals the sequential numpy-mode")
+    table.add_note("fast-engine run with seed label ('rep', r), bit for bit")
+    # Imported lazily: the registry imports this module at load time.
+    from .registry import record_bench
+
+    record_bench(
+        "E20",
+        {
+            "quick": quick,
+            "engine": "batch-vs-scalar-loop",
+            "parity": parity_all,
+            **headline,
+        },
+    )
+    return table

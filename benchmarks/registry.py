@@ -1,15 +1,25 @@
-"""Registry mapping experiment ids (E1..E19) to their implementations.
+"""Registry mapping experiment ids (E1..E20) to their implementations.
 
 Both the pytest-benchmark modules and the CLI (``repro-gossip experiment E7``)
 dispatch through :func:`run_experiment`.  Every experiment returns a
 :class:`repro.analysis.ResultTable`; the caller renders or saves it.
+
+Perf-trajectory records
+-----------------------
+Speed-comparison experiments (E17, E20) additionally persist a small
+machine-readable summary — headline rates, the engine knob, and the git
+SHA — via :func:`record_bench`, which writes ``BENCH_<id>.json`` at the
+repository root.  CI uploads these files as artifacts, so the measured
+perf trajectory of every run is diffable across commits.
 """
 
 from __future__ import annotations
 
+import json
 import os
+import subprocess
 from collections.abc import Callable
-from typing import Optional, Union
+from typing import Any, Optional, Union
 
 from repro.analysis import ResultTable, render_table, sweep_config
 
@@ -30,6 +40,7 @@ from .experiments_lower_bounds import (
     experiment_e5_lb_conductance,
     experiment_e6_lb_tradeoff,
 )
+from .experiments_batch import experiment_e20_batch_replication
 from .experiments_dynamics import experiment_e19_dynamics
 from .experiments_sweeps import experiment_e18_parallel_sweep
 from .experiments_upper_bounds import (
@@ -41,7 +52,7 @@ from .experiments_upper_bounds import (
     experiment_e13_unified,
 )
 
-__all__ = ["EXPERIMENTS", "run_experiment", "run_and_report"]
+__all__ = ["EXPERIMENTS", "record_bench", "run_experiment", "run_and_report"]
 
 ExperimentFunction = Callable[[bool], ResultTable]
 
@@ -65,9 +76,47 @@ EXPERIMENTS: dict[str, tuple[str, ExperimentFunction]] = {
     "E17": ("Engine backends: bitset fast engine vs reference", experiment_e17_engine_backends),
     "E18": ("Harness: parallel sweep orchestrator scaling", experiment_e18_parallel_sweep),
     "E19": ("Topology dynamics: churn x latency drift on both engines", experiment_e19_dynamics),
+    "E20": ("Batch replication: vectorized multi-seed engine vs scalar loop", experiment_e20_batch_replication),
 }
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+_REPO_ROOT = os.path.normpath(os.path.join(os.path.dirname(__file__), os.pardir))
+
+
+def _git_sha() -> str:
+    """The current commit SHA, or ``"unknown"`` outside a git checkout."""
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "HEAD"],
+                cwd=_REPO_ROOT,
+                capture_output=True,
+                text=True,
+                timeout=10,
+                check=True,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def record_bench(experiment_id: str, payload: dict[str, Any]) -> str:
+    """Write ``BENCH_<id>.json`` at the repository root; return its path.
+
+    ``payload`` carries the experiment's headline rates (rounds/sec,
+    reps/sec, speedups, parity) plus any configuration worth pinning; the
+    hook adds the experiment id and the git SHA so saved records are
+    attributable across commits.  The file is CI's perf-trajectory
+    artifact — regenerate it by re-running the experiment.
+    """
+    record = {"experiment": experiment_id.upper(), "git_sha": _git_sha()}
+    record.update(payload)
+    path = os.path.join(_REPO_ROOT, f"BENCH_{experiment_id.lower()}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
 
 
 def run_experiment(

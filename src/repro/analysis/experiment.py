@@ -47,6 +47,18 @@ A trial that raises is recorded as a failed shard — its error lands in the
 checkpoint and in the table notes, and the case row gains a ``failures``
 column — instead of aborting the sweep.  An optional per-trial ``timeout``
 (seconds, POSIX only) converts runaway trials into failures the same way.
+
+Batch shards
+------------
+A *batched* experiment (``batched=True``; built by
+``scenario_sweep(batch=True)``) compiles the (case × repetition) grid into
+one shard **per case** instead of one per repetition: the trial receives
+the case's shard seed and returns ``{"reps": [per-repetition measurement,
+...]}`` — typically by running all repetitions as one vectorized
+batch-backend call.  Aggregation, spread columns, checkpointing/resume,
+and :func:`deterministic_rows` behave exactly as in the scalar-shard form;
+only the unit of execution (and hence the checkpoint granularity) is the
+whole case.
 """
 
 from __future__ import annotations
@@ -357,6 +369,11 @@ class Experiment:
         ``"auto"``, or an integer).
     timeout:
         Default per-trial timeout in seconds (``None`` disables it).
+    batched:
+        If true, the grid compiles into one shard per *case* (seeded
+        ``derive_seed(base_seed, name, case_index, 0)``) and ``trial``
+        must return ``{"reps": [...]}`` with one measurement mapping per
+        repetition (see the module docstring's "Batch shards").
     """
 
     name: str
@@ -366,6 +383,7 @@ class Experiment:
     base_seed: int = 0
     workers: Union[int, str, None] = None
     timeout: Optional[float] = None
+    batched: bool = False
 
     # -- sharding ---------------------------------------------------------
     def shard_seed(self, case_index: int, rep_index: int) -> int:
@@ -373,9 +391,24 @@ class Experiment:
         return derive_seed(self.base_seed, self.name, case_index, rep_index)
 
     def shards(self) -> list[TrialShard]:
-        """The flattened (case × repetition) grid, in deterministic order."""
+        """The flattened grid, in deterministic order.
+
+        Scalar experiments get one shard per (case, repetition); batched
+        experiments get one shard per case (the repetitions run inside it).
+        """
         if self.repetitions < 1:
             raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
+        if self.batched:
+            return [
+                TrialShard(
+                    experiment=self.name,
+                    case_index=case_index,
+                    rep_index=0,
+                    case=dict(case),
+                    seed=self.shard_seed(case_index, 0),
+                )
+                for case_index, case in enumerate(self.cases)
+            ]
         return [
             TrialShard(
                 experiment=self.name,
@@ -422,6 +455,21 @@ class Experiment:
                     continue
                 measurement = payload.get("measurement")
                 if not isinstance(measurement, dict):
+                    continue
+                if self.batched:
+                    # A batch shard must carry every repetition; a record
+                    # written under a different repetition count is stale.
+                    reps = measurement.get("reps")
+                    if (
+                        not isinstance(reps, list)
+                        or len(reps) != self.repetitions
+                        or not all(isinstance(entry, dict) for entry in reps)
+                    ):
+                        continue
+                elif isinstance(measurement.get("reps"), list):
+                    # Symmetrically, a scalar schedule must not trust a
+                    # batch-shaped record left over from a batched run of
+                    # the same experiment name.
                     continue
                 completed[(case_index, rep_index)] = TrialRecord(
                     case_index=case_index,
@@ -554,14 +602,17 @@ class Experiment:
         table = ResultTable(title=self.name)
         for case_index, case in enumerate(self.cases):
             outcome = TrialOutcome(case=dict(case))
-            for rep_index in range(self.repetitions):
-                record = completed.get((case_index, rep_index))
-                if record is None:
-                    outcome.errors.append((rep_index, "shard did not run"))
-                elif record.error is None:
-                    outcome.measurements.append(dict(record.measurement))
-                else:
-                    outcome.errors.append((rep_index, record.error))
+            if self.batched:
+                self._collect_batched(case_index, completed, outcome)
+            else:
+                for rep_index in range(self.repetitions):
+                    record = completed.get((case_index, rep_index))
+                    if record is None:
+                        outcome.errors.append((rep_index, "shard did not run"))
+                    elif record.error is None:
+                        outcome.measurements.append(dict(record.measurement))
+                    else:
+                        outcome.errors.append((rep_index, record.error))
             row_values: dict[str, Any] = dict(case)
             row_values.update(outcome.aggregate())
             if outcome.errors:
@@ -570,7 +621,40 @@ class Experiment:
                     table.add_note(f"case {case_index} rep {rep_index} failed: {error}")
             table.add_row(**row_values)
         table.add_note(f"{self.repetitions} repetitions per case, base seed {self.base_seed}")
+        if self.batched:
+            table.add_note("repetitions ran as one batch shard per case")
         return table
+
+    def _collect_batched(
+        self,
+        case_index: int,
+        completed: Mapping[tuple[int, int], TrialRecord],
+        outcome: TrialOutcome,
+    ) -> None:
+        """Expand a batch shard's record into per-repetition measurements.
+
+        The shard's wall clock is spread evenly over the repetitions so the
+        mean ``wall_seconds`` column keeps its per-repetition meaning.
+        """
+        record = completed.get((case_index, 0))
+        if record is None:
+            outcome.errors.append((0, "batch shard did not run"))
+            return
+        if record.error is not None:
+            outcome.errors.append((0, record.error))
+            return
+        reps = record.measurement.get("reps")
+        if not isinstance(reps, list) or len(reps) != self.repetitions:
+            outcome.errors.append(
+                (0, f"batch shard returned {0 if not isinstance(reps, list) else len(reps)} "
+                    f"repetitions, expected {self.repetitions}")
+            )
+            return
+        per_rep_wall = record.wall_seconds / len(reps) if reps else 0.0
+        for measurement in reps:
+            expanded = dict(measurement)
+            expanded.setdefault("wall_seconds", per_rep_wall)
+            outcome.measurements.append(expanded)
 
 
 def _slug(name: str) -> str:
@@ -606,6 +690,7 @@ def scenario_sweep(
     measure: Optional[Callable[[Any], Mapping[str, float]]] = None,
     workers: Union[int, str, None] = None,
     timeout: Optional[float] = None,
+    batch: bool = False,
 ) -> Experiment:
     """An :class:`Experiment` whose cases are patches on one base scenario.
 
@@ -622,6 +707,17 @@ def scenario_sweep(
 
     ``measure`` maps a :class:`~repro.gossip.base.DisseminationResult` to
     the measured columns; it defaults to :func:`default_scenario_measure`.
+
+    With ``batch=True`` the (case × repetition) grid compiles into **one
+    batch shard per case**: the case's patched scenario runs once with
+    ``reps=repetitions`` on the vectorized batch backend, and each
+    replication becomes one measurement row.  The statistical design
+    shifts accordingly — all repetitions of a case share the case-seeded
+    graph/dynamics/fault draws and vary only the protocol's own coin flips
+    (``derive_seed(case_seed, "rep", r)``), the paper's
+    distribution-of-spreading-times ensemble — so batch and scalar sweeps
+    answer slightly different questions and are not row-identical.
+    Requires a declarative base algorithm (push/pull/push-pull/flooding).
     """
     # Imported here so importing the analysis package stays light; the
     # scenario layer pulls in every algorithm.
@@ -633,12 +729,23 @@ def scenario_sweep(
         raise TypeError(f"base must be a ScenarioSpec or library scenario name, got {base!r}")
     measure_fn = measure if measure is not None else default_scenario_measure
 
-    def trial(case: Mapping[str, Any], seed: int) -> Mapping[str, float]:
-        from ..scenario import run_scenario
+    if batch:
+        def trial(case: Mapping[str, Any], seed: int) -> Mapping[str, Any]:
+            from ..scenario import run_scenario
 
-        spec = base.patched(dict(case))
-        spec = spec.patched({"seed": seed})
-        return dict(measure_fn(run_scenario(spec)))
+            spec = base.patched(dict(case)).patched({"seed": seed})
+            outcome = run_scenario(spec, reps=repetitions)
+            # reps=1 with a non-batch engine legitimately degrades to one
+            # scalar run; normalize so the shard always reports a list.
+            results = outcome.results if hasattr(outcome, "results") else [outcome]
+            return {"reps": [dict(measure_fn(result)) for result in results]}
+    else:
+        def trial(case: Mapping[str, Any], seed: int) -> Mapping[str, float]:
+            from ..scenario import run_scenario
+
+            spec = base.patched(dict(case))
+            spec = spec.patched({"seed": seed})
+            return dict(measure_fn(run_scenario(spec)))
 
     return Experiment(
         name=name,
@@ -648,6 +755,7 @@ def scenario_sweep(
         base_seed=base_seed,
         workers=workers,
         timeout=timeout,
+        batched=batch,
     )
 
 

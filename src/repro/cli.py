@@ -12,7 +12,7 @@ The CLI exposes four things:
   scenario files (schema + round-trip),
 * ``conductance`` — print the weighted-conductance profile of a generated
   graph,
-* ``experiment`` — regenerate one of the experiments (E1 .. E19) and print
+* ``experiment`` — regenerate one of the experiments (E1 .. E20) and print
   its table; the same code paths the benchmark suite uses.  Sweeps built on
   :class:`repro.analysis.Experiment` honour ``--workers``,
   ``--checkpoint-dir``, and ``--resume``.
@@ -46,6 +46,7 @@ from .scenario import (
     load_scenario,
     prepare_scenario,
 )
+from .gossip.base import ReplicatedResult
 from .simulation.protocol import EngineSelectionError
 from .graphs import WeightedGraph
 
@@ -117,6 +118,7 @@ def _scenario_from_flags(args: argparse.Namespace) -> ScenarioSpec:
         graph=GraphSpec(family=args.graph, n=args.nodes, latency=args.latency),
         seed=args.seed if args.seed is not None else 0,
         engine=args.engine or "auto",
+        reps=args.reps if args.reps is not None else 1,
         dynamics=tuple(dynamics),
         faults=faults,
     )
@@ -157,13 +159,16 @@ def _command_run(args: argparse.Namespace) -> int:
             if conflicting:
                 raise SystemExit(
                     f"--scenario provides the whole run; drop {', '.join(conflicting)} "
-                    "(patch the scenario file instead — only --engine and --seed override it)"
+                    "(patch the scenario file instead — only --engine, --seed, and "
+                    "--reps override it)"
                 )
             spec = load_scenario(args.scenario)
             if args.engine and args.engine != "auto":
                 spec = spec.patched({"engine": args.engine})
             if args.seed is not None:
                 spec = spec.patched({"seed": args.seed})
+            if args.reps is not None:
+                spec = spec.patched({"reps": args.reps})
         else:
             spec = _scenario_from_flags(args)
         spec.validate()
@@ -191,6 +196,21 @@ def _command_run(args: argparse.Namespace) -> int:
     print(f"dynamics   : {prepared.dynamics if prepared.dynamics is not None else 'static'}")
     print(f"faults     : {result.details.get('faults', 'none')}")
     print(f"task       : {result.task.value}")
+    if isinstance(result, ReplicatedResult):
+        aggregate = result.aggregate()
+        print(f"reps       : {result.reps}")
+        for key in ("time", "messages", "activations", "lost_exchanges", "suppressed_exchanges"):
+            line = f"{aggregate[key]:.1f}"
+            if result.reps > 1:
+                line += (
+                    f"  (min {aggregate[f'{key}_min']:.1f}, max {aggregate[f'{key}_max']:.1f}, "
+                    f"stdev {aggregate[f'{key}_stdev']:.2f})"
+                )
+            print(f"{key:11s}: {line}")
+        print(f"complete   : {result.complete}")
+        for key, value in sorted(result.details.items()):
+            print(f"  {key}: {value}")
+        return 0
     print(f"time       : {result.time:.1f}")
     print(f"messages   : {result.metrics.messages}")
     print(f"activations: {result.metrics.activations}")
@@ -320,9 +340,20 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "fast", "reference"],
+        choices=["auto", "fast", "reference", "batch"],
         help="simulation backend: 'fast' (bitset engine, declarative policies only), "
-        "'reference' (callback engine), or 'auto' (fast when the algorithm allows it)",
+        "'reference' (callback engine), 'batch' (vectorized multi-replication engine; "
+        "combine with --reps), or 'auto' (fast when the algorithm allows it, "
+        "batch when --reps asks for replications)",
+    )
+    run_parser.add_argument(
+        "--reps",
+        type=int,
+        default=None,
+        metavar="R",
+        help="run R independent replications sharing the graph/dynamics/faults and "
+        "varying only the protocol's coin flips (seeded derive_seed(seed, 'rep', r)); "
+        "executed as one vectorized batch computation unless --engine overrides it",
     )
     run_parser.add_argument(
         "--dynamics",
@@ -411,7 +442,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cond_parser.add_argument("--seed", type=int, default=0)
     cond_parser.set_defaults(handler=_command_conductance)
 
-    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E19)")
+    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E20)")
     exp_parser.add_argument("experiment", help="experiment id, e.g. E1")
     exp_parser.add_argument("--quick", action="store_true", help="reduced sweep for a fast smoke run")
     exp_parser.add_argument(

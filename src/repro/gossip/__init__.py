@@ -15,6 +15,7 @@ from .aggregation import BUILTIN_AGGREGATES, AggregationResult, gossip_aggregate
 from .base import (
     DisseminationResult,
     GossipAlgorithm,
+    ReplicatedResult,
     Task,
     require_connected,
     seed_engine,
@@ -51,6 +52,7 @@ __all__ = [
     "PullGossip",
     "PushGossip",
     "PushPullGossip",
+    "ReplicatedResult",
     "RRBroadcastResult",
     "SpannerBroadcast",
     "Task",

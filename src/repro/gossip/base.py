@@ -26,7 +26,16 @@ from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
 from ..simulation.dynamics import ComposedDynamics, TopologyDynamics
 from ..simulation.faults import FaultPlan, compile_fault_plan
 from ..simulation.metrics import SimulationMetrics
-from ..simulation.protocol import EngineProtocol, PolicyCapability
+from ..simulation.protocol import (
+    BatchPolicySpec,
+    EngineProtocol,
+    EngineSelectionError,
+    PolicyCapability,
+    RoundPolicySpec,
+    create_engine,
+    resolve_backend,
+)
+from ..simulation.rng import make_numpy_rng, replication_rngs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..scenario import ScenarioSpec
@@ -34,6 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
 __all__ = [
     "Task",
     "DisseminationResult",
+    "ReplicatedResult",
     "GossipAlgorithm",
     "engine_run_details",
     "require_connected",
@@ -116,6 +126,93 @@ class DisseminationResult:
         }
         row.update({f"detail_{key}": value for key, value in self.details.items() if isinstance(value, (int, float, str, bool))})
         return row
+
+
+@dataclass
+class ReplicatedResult:
+    """Outcome of running ``reps`` seeded replications of one scenario.
+
+    Row ``r`` of :attr:`results` is replication ``r`` — the run whose
+    neighbour draws are seeded ``derive_seed(seed, "rep", r)`` — so the
+    list is directly comparable, element by element, against sequential
+    numpy-mode runs with the same labels (the batch backend's parity
+    contract).
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable algorithm name.
+    task:
+        Which task every replication solved.
+    reps:
+        Number of replications.
+    results:
+        One :class:`DisseminationResult` per replication, in replication
+        order, each carrying its own full metrics.
+    details:
+        Run-level extras (backend, dynamics label, fault plan, exchange
+        totals across replications).
+    """
+
+    algorithm: str
+    task: Task
+    reps: int
+    results: list[DisseminationResult]
+    details: dict[str, Any] = field(default_factory=dict)
+
+    #: The headline per-replication quantities aggregated by :meth:`aggregate`.
+    MEASURES = (
+        "time",
+        "rounds",
+        "messages",
+        "activations",
+        "rumor_deliveries",
+        "lost_exchanges",
+        "suppressed_exchanges",
+    )
+
+    @property
+    def complete(self) -> bool:
+        """Whether every replication reached its task goal."""
+        return all(result.complete for result in self.results)
+
+    def measurements(self, key: str) -> list[float]:
+        """The per-replication series of one :data:`MEASURES` quantity."""
+        if key in ("time", "rounds"):
+            return [
+                float(result.time if key == "time" else result.rounds_simulated)
+                for result in self.results
+            ]
+        return [float(getattr(result.metrics, key)) for result in self.results]
+
+    def rows(self) -> list[dict[str, Any]]:
+        """One flattened dict per replication (for tables), in order."""
+        flattened = []
+        for rep, result in enumerate(self.results):
+            row = {"rep": rep}
+            row.update(result.as_dict())
+            flattened.append(row)
+        return flattened
+
+    def aggregate(self) -> dict[str, float]:
+        """Mean of every headline quantity plus min/max/stdev spread columns.
+
+        Emits the same ``{key}`` / ``{key}_min`` / ``{key}_max`` /
+        ``{key}_stdev`` shape as
+        :meth:`repro.analysis.experiment.TrialOutcome.aggregate`, so a
+        replicated run drops into result tables exactly like a sweep case.
+        """
+        # Imported here: repro.analysis pulls in plotting/reporting, which
+        # the gossip layer should not load at import time.
+        from ..analysis.stats import summarize
+
+        aggregated: dict[str, float] = {}
+        for key in self.MEASURES:
+            summary = summarize(self.measurements(key))
+            aggregated[key] = summary.mean
+            if self.reps > 1:
+                aggregated.update(summary.spread_fields(key))
+        return aggregated
 
 
 def require_connected(graph: WeightedGraph) -> None:
@@ -210,6 +307,22 @@ class GossipAlgorithm(abc.ABC):
             )
         return dynamics
 
+    def batch_policy(self) -> tuple[str, str]:
+        """The algorithm's declarative per-round policy as ``(select, gate)``.
+
+        Declarative algorithms (those declaring
+        :attr:`PolicyCapability.UNIFORM_RANDOM`) override this; it is the
+        single source their ``_run`` builds its
+        :class:`~repro.simulation.protocol.RoundPolicySpec` from and the
+        shape replicated runs vectorize over.  Callback-driven algorithms
+        have no declarative form and raise.
+        """
+        raise EngineSelectionError(
+            f"{self.name} drives the engine through arbitrary per-node callbacks "
+            "and has no declarative batch policy; replicated (reps=) runs need a "
+            "declarative algorithm (push/pull/push-pull/flooding)"
+        )
+
     def run(
         self,
         graph: Optional[WeightedGraph] = None,
@@ -220,7 +333,8 @@ class GossipAlgorithm(abc.ABC):
         dynamics: Optional[TopologyDynamics] = None,
         faults: Optional[FaultPlan] = None,
         scenario: Union["ScenarioSpec", str, None] = None,
-    ) -> DisseminationResult:
+        reps: Optional[int] = None,
+    ) -> Union[DisseminationResult, "ReplicatedResult"]:
         """Run the algorithm and return the result.
 
         Two call forms share this entry point:
@@ -256,7 +370,25 @@ class GossipAlgorithm(abc.ABC):
         both backends; the seed override is how sweeps re-seed one spec
         per repetition); ``graph``/``source``/``dynamics``/``faults``
         cannot be combined with a scenario and raise.
+
+        **Replicated form** — pass ``reps=R`` (or ``engine="batch"``, or a
+        scenario whose spec sets them): the run executes ``R`` independent
+        replications that share the graph, dynamics schedule, and fault
+        plan (all derived from ``seed`` as usual) and differ only in the
+        per-replication neighbour-draw stream, seeded
+        ``derive_seed(seed, "rep", r)``.  ``engine="batch"`` (what
+        ``"auto"`` resolves to) vectorizes all replications as one numpy
+        computation on the :class:`~repro.simulation.batch_engine.BatchEngine`;
+        ``engine="fast"`` runs them as a sequential loop of numpy-mode
+        fast-backend runs — bit-for-bit the same per-replication results,
+        which is the batch backend's parity oracle.  Returns a
+        :class:`ReplicatedResult` (row ``r`` = replication ``r``).  Unlike
+        scalar runs, replicated runs never mutate the caller's graph (each
+        backend works on a copy).  Requires a declarative algorithm and a
+        dissemination task.
         """
+        if reps is not None and (not isinstance(reps, int) or reps < 1):
+            raise ValueError(f"reps must be a positive integer, got {reps!r}")
         if scenario is not None:
             if graph is not None or source is not None or dynamics is not None or faults is not None:
                 raise GraphError(
@@ -272,6 +404,8 @@ class GossipAlgorithm(abc.ABC):
                 spec = spec.patched({"seed": seed})
             if max_rounds is not None:
                 spec = spec.patched({"max_rounds": max_rounds})
+            if reps is not None:
+                spec = spec.patched({"reps": reps})
             prepared = prepare_scenario(spec, algorithm=self)
             return prepared.execute()
 
@@ -292,18 +426,133 @@ class GossipAlgorithm(abc.ABC):
             dynamics = (
                 schedule if dynamics is None else ComposedDynamics((dynamics, schedule))
             )
-        result = self._run(
-            graph,
-            source=source,
-            seed=seed,
-            max_rounds=max_rounds,
-            engine=engine,
-            dynamics=dynamics,
-        )
+        if reps is not None or engine == "batch":
+            result = self._run_replicated(
+                graph,
+                source=source,
+                seed=seed,
+                max_rounds=max_rounds,
+                engine=engine,
+                dynamics=dynamics,
+                reps=1 if reps is None else reps,
+            )
+        else:
+            result = self._run(
+                graph,
+                source=source,
+                seed=seed,
+                max_rounds=max_rounds,
+                engine=engine,
+                dynamics=dynamics,
+            )
         if schedule is not None:
             result.details["faults"] = str(schedule)
-            result.details["suppressed_exchanges"] = result.metrics.suppressed_exchanges
+            if isinstance(result, DisseminationResult):
+                result.details["suppressed_exchanges"] = result.metrics.suppressed_exchanges
+            else:
+                for rep_result in result.results:
+                    rep_result.details["faults"] = str(schedule)
         return result
+
+    def _run_replicated(
+        self,
+        graph: WeightedGraph,
+        source: Optional[NodeId],
+        seed: int,
+        max_rounds: int,
+        engine: str,
+        dynamics: Optional[TopologyDynamics],
+        reps: int,
+    ) -> "ReplicatedResult":
+        """Run ``reps`` replications sharing graph/dynamics/faults.
+
+        The concrete replication harness behind ``run(reps=...)``: resolves
+        the backend (``"batch"`` vectorized, or ``"fast"`` as a sequential
+        numpy-mode loop), derives one neighbour-draw stream per replication
+        with the ``("rep", r)`` labels, and assembles per-replication
+        :class:`DisseminationResult` rows.  Works on copies of ``graph`` so
+        the caller's graph survives dynamics untouched.
+        """
+        if self.task is Task.LOCAL_BROADCAST:
+            raise GraphError(
+                f"{self.name} solves local broadcast, which replicated runs do not "
+                "support; run a dissemination task instead"
+            )
+        backend = resolve_backend(engine, self.capability, reps=reps)
+        select, gate = self.batch_policy()
+        require_connected(graph)
+        results: list[DisseminationResult] = []
+        # Engines only mutate the graph while applying dynamics events, so
+        # the never-mutate-the-caller's-graph guarantee is free on static
+        # runs; only dynamic runs pay for copies.
+        if backend == "batch":
+            work = graph.copy() if dynamics is not None else graph
+            eng, _ = create_engine(
+                work, engine, capability=self.capability, dynamics=dynamics, reps=reps
+            )
+            rumor = seed_engine(eng, self.task, work, source)
+            if self.task is Task.ONE_TO_ALL:
+                eng.track_curve(rumor)
+                stop_mask = lambda e: e.dissemination_complete_mask(rumor)  # noqa: E731
+            else:
+                stop_mask = lambda e: e.all_to_all_complete_mask()  # noqa: E731
+            rngs = tuple(replication_rngs(seed, reps)) if select == "uniform-random" else ()
+            policy = BatchPolicySpec(select=select, gate=gate, rngs=rngs)
+            per_rep_metrics = eng.run_batch(policy, stop_mask, max_rounds=max_rounds)
+            for rep, metrics in enumerate(per_rep_metrics):
+                details = engine_run_details(backend, dynamics, metrics)
+                details["rep"] = rep
+                if self.task is Task.ONE_TO_ALL:
+                    details["informed_curve"] = eng.informed_curve(rep)
+                results.append(
+                    DisseminationResult(
+                        algorithm=self.name,
+                        task=self.task,
+                        time=metrics.total_time,
+                        rounds_simulated=metrics.rounds,
+                        complete=True,
+                        metrics=metrics,
+                        details=details,
+                    )
+                )
+        else:  # "fast": the sequential numpy-mode loop (the parity oracle)
+            for rep in range(reps):
+                work = graph.copy() if dynamics is not None else graph
+                eng, _ = create_engine(work, "fast", capability=self.capability, dynamics=dynamics)
+                rumor = seed_engine(eng, self.task, work, source)
+                if select == "uniform-random":
+                    spec = RoundPolicySpec(
+                        select=select, gate=gate, rng=make_numpy_rng(seed, "rep", rep)
+                    )
+                else:
+                    spec = RoundPolicySpec(select=select, gate=gate)
+                metrics = eng.run(
+                    spec,
+                    stop_condition=task_stop_condition(self.task, rumor),
+                    max_rounds=max_rounds,
+                )
+                details = engine_run_details(backend, dynamics, metrics)
+                details["rep"] = rep
+                details["sampling"] = "numpy"
+                results.append(
+                    DisseminationResult(
+                        algorithm=self.name,
+                        task=self.task,
+                        time=metrics.total_time,
+                        rounds_simulated=metrics.rounds,
+                        complete=True,
+                        metrics=metrics,
+                        details=details,
+                    )
+                )
+        details: dict[str, Any] = {"engine": backend, "reps": reps}
+        if dynamics is not None:
+            details["dynamics"] = str(dynamics)
+        details["lost_exchanges"] = sum(r.metrics.lost_exchanges for r in results)
+        details["suppressed_exchanges"] = sum(r.metrics.suppressed_exchanges for r in results)
+        return ReplicatedResult(
+            algorithm=self.name, task=self.task, reps=reps, results=results, details=details
+        )
 
     @abc.abstractmethod
     def _run(

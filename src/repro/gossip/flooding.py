@@ -53,6 +53,10 @@ class FloodingGossip(GossipAlgorithm):
         self.task = task
         self.informed_only = informed_only
 
+    def batch_policy(self) -> tuple[str, str]:
+        """Declarative policy: round-robin cursors, optionally receipt-gated."""
+        return "round-robin", "informed-only" if self.informed_only else "all"
+
     def _run(
         self,
         graph: WeightedGraph,
@@ -66,10 +70,8 @@ class FloodingGossip(GossipAlgorithm):
         self._check_dynamics(dynamics)
         eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
-        spec = RoundPolicySpec(
-            select="round-robin",
-            gate="informed-only" if self.informed_only else "all",
-        )
+        select, gate = self.batch_policy()
+        spec = RoundPolicySpec(select=select, gate=gate)
         metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,

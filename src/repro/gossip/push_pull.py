@@ -60,6 +60,10 @@ class PushPullGossip(GossipAlgorithm):
         self.task = task
         self.informed_only = informed_only
 
+    def batch_policy(self) -> tuple[str, str]:
+        """Declarative policy: uniform neighbour choice, optionally push-gated."""
+        return "uniform-random", "informed-only" if self.informed_only else "all"
+
     def _run(
         self,
         graph: WeightedGraph,
@@ -73,11 +77,8 @@ class PushPullGossip(GossipAlgorithm):
         self._check_dynamics(dynamics)
         eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
-        spec = RoundPolicySpec(
-            select="uniform-random",
-            gate="informed-only" if self.informed_only else "all",
-            rng=make_rng(seed, "push-pull"),
-        )
+        select, gate = self.batch_policy()
+        spec = RoundPolicySpec(select=select, gate=gate, rng=make_rng(seed, "push-pull"))
         metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,
@@ -123,6 +124,10 @@ class _DirectionalGossip(GossipAlgorithm):
             return "uninformed-only"
         return "all"
 
+    def batch_policy(self) -> tuple[str, str]:
+        """Declarative policy: uniform neighbour choice behind the direction gate."""
+        return "uniform-random", self._gate()
+
     def _run(
         self,
         graph: WeightedGraph,
@@ -136,11 +141,8 @@ class _DirectionalGossip(GossipAlgorithm):
         self._check_dynamics(dynamics)
         eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
-        spec = RoundPolicySpec(
-            select="uniform-random",
-            gate=self._gate(),
-            rng=make_rng(seed, self.direction),
-        )
+        select, gate = self.batch_policy()
+        spec = RoundPolicySpec(select=select, gate=gate, rng=make_rng(seed, self.direction))
         metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,

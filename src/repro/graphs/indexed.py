@@ -144,5 +144,19 @@ class IndexedGraph:
         """Latency of the edge between node indices ``i`` and ``j``."""
         return self.latencies[self.slot_of(i, j)]
 
+    def directed_pairs(self) -> set[tuple[int, int]]:
+        """All directed (node, neighbour) index pairs of this snapshot.
+
+        The simulation backends diff two snapshots' pair sets to find edges
+        a topology resync removed; sharing the builder keeps their
+        lost-exchange accounting aligned by construction.
+        """
+        indptr, indices = self.indptr, self.indices
+        return {
+            (i, indices[slot])
+            for i in range(self.num_nodes)
+            for slot in range(indptr[i], indptr[i + 1])
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"

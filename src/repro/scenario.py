@@ -21,7 +21,11 @@ single number:
 * dynamics part *i* with ``derive_seed(seed, "dynamics", i, kind)``;
 * the crash / drop fault draws with ``derive_seed(seed, "faults", "crash")``
   / ``derive_seed(seed, "faults", "drop")``;
-* the algorithm itself runs with ``seed`` (it applies its own labels).
+* the algorithm itself runs with ``seed`` (it applies its own labels);
+* replication ``r`` of a replicated run (``reps > 1`` / ``engine ==
+  "batch"``) draws neighbours from ``derive_seed(seed, "rep", r)`` — the
+  graph, dynamics, and fault streams above stay shared across
+  replications, so the ensemble varies only the protocol's own coin flips.
 
 Canonical JSON form
 -------------------
@@ -151,7 +155,7 @@ DYNAMICS_KINDS = ("markov-churn", "latency-drift", "bridge-flap")
 
 TASKS = ("one-to-all", "all-to-all")
 
-ENGINES = ("auto", "fast", "reference")
+ENGINES = ("auto", "fast", "reference", "batch")
 
 # algorithm name -> (factory taking a Task, tasks the algorithm solves).
 ALGORITHMS: dict[str, tuple[Any, tuple[str, ...]]] = {
@@ -268,7 +272,17 @@ class FaultSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """The complete declarative description of one gossip run."""
+    """The complete declarative description of one gossip run.
+
+    ``reps`` asks for a *replicated* run: ``reps`` independent replications
+    that share the spec-seeded graph, dynamics, and faults and differ only
+    in the neighbour-draw stream (replication ``r`` draws from
+    ``derive_seed(seed, "rep", r)``).  A spec with ``reps > 1`` — or with
+    ``engine`` set to ``"batch"``, the vectorized multi-replication
+    backend — executes as a
+    :class:`~repro.gossip.base.ReplicatedResult`; ``reps == 1`` with any
+    other engine is the classic single-run form.
+    """
 
     name: str
     algorithm: str = "push-pull"
@@ -278,6 +292,7 @@ class ScenarioSpec:
     engine: str = "auto"
     source_index: Optional[int] = None
     max_rounds: int = 100_000
+    reps: int = 1
     dynamics: tuple[DynamicsSpec, ...] = ()
     faults: Optional[FaultSpec] = None
     schema: int = SCENARIO_SCHEMA
@@ -312,6 +327,20 @@ class ScenarioSpec:
             raise ScenarioError(f"source_index must be a non-negative integer or null, got {self.source_index!r}")
         if not isinstance(self.max_rounds, int) or self.max_rounds < 1:
             raise ScenarioError(f"max_rounds must be an integer >= 1, got {self.max_rounds!r}")
+        if not isinstance(self.reps, int) or self.reps < 1:
+            raise ScenarioError(f"reps must be an integer >= 1, got {self.reps!r}")
+        if (self.reps > 1 or self.engine == "batch") and self.algorithm not in _DYNAMIC_ALGORITHMS:
+            raise ScenarioError(
+                f"algorithm {self.algorithm!r} drives the engine through arbitrary "
+                "callbacks and cannot run replicated (reps > 1 / engine='batch'); "
+                f"choose from {_DYNAMIC_ALGORITHMS}"
+            )
+        if self.reps > 1 and self.engine == "reference":
+            raise ScenarioError(
+                "the reference engine has no numpy sampling mode; replicated scenarios "
+                "(reps > 1) need engine 'batch' (vectorized), 'fast' (sequential "
+                "numpy-mode loop), or 'auto'"
+            )
         self.graph.validate()
         for part in self.dynamics:
             part.validate()
@@ -549,7 +578,13 @@ class PreparedScenario:
     fault_plan: Optional[FaultPlan]
 
     def execute(self) -> DisseminationResult:
-        """Run the prepared scenario and return the annotated result."""
+        """Run the prepared scenario and return the annotated result.
+
+        A spec with ``reps > 1`` or ``engine == "batch"`` runs replicated
+        and returns a :class:`~repro.gossip.base.ReplicatedResult` instead
+        (whose per-replication rows are each annotated too).
+        """
+        reps = self.spec.reps if (self.spec.reps > 1 or self.spec.engine == "batch") else None
         result = self.algorithm.run(
             self.graph,
             source=self.source,
@@ -558,8 +593,12 @@ class PreparedScenario:
             engine=self.spec.engine,
             dynamics=self.dynamics,
             faults=self.fault_plan,
+            reps=reps,
         )
         result.details["scenario"] = self.spec.name
+        if reps is not None:
+            for rep_result in result.results:
+                rep_result.details["scenario"] = self.spec.name
         return result
 
 
@@ -598,10 +637,19 @@ def prepare_scenario(
     )
 
 
-def run_scenario(spec: Union[ScenarioSpec, str]) -> DisseminationResult:
-    """Run a scenario end to end (spec value or path to its JSON file)."""
+def run_scenario(
+    spec: Union[ScenarioSpec, str], reps: Optional[int] = None
+) -> DisseminationResult:
+    """Run a scenario end to end (spec value or path to its JSON file).
+
+    ``reps`` overrides the spec's replication count (patching the spec, so
+    ``reps=R`` returns a :class:`~repro.gossip.base.ReplicatedResult` with
+    ``R`` rows even for a spec written with ``reps == 1``).
+    """
     if isinstance(spec, str):
         spec = load_scenario(spec)
+    if reps is not None:
+        spec = spec.patched({"reps": reps})
     return prepare_scenario(spec).execute()
 
 

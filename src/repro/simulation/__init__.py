@@ -17,6 +17,15 @@ running, completion queries), with two registered backends:
   informed counts so completion predicates are O(1).  It runs only
   *declarative* :class:`~repro.simulation.protocol.RoundPolicySpec`
   policies.
+* ``"batch"`` — :class:`~repro.simulation.batch_engine.BatchEngine`: runs
+  ``reps`` replications of one declarative scenario as a single numpy
+  computation (knowledge as an ``(n, reps, words)`` uint64 bitplane
+  tensor; one independent numpy Generator per replication, seeded
+  ``derive_seed(seed, "rep", r)``).  Driven through
+  :meth:`~repro.simulation.batch_engine.BatchEngine.run_batch` with a
+  :class:`~repro.simulation.protocol.BatchPolicySpec`; replication ``r``
+  is bit-for-bit the sequential numpy-mode fast-backend run with the same
+  seed label.
 
 The capability contract
 -----------------------
@@ -82,6 +91,7 @@ from .dynamics import (
     apply_event,
     apply_events,
 )
+from .batch_engine import BatchEngine
 from .engine import ExchangePolicy, GossipEngine, NodeView, PendingExchange
 from .fast_engine import FastEngine
 from .faults import (
@@ -95,6 +105,8 @@ from .messages import KnowledgeState, Rumor
 from .metrics import SimulationMetrics
 from .protocol import (
     ENGINE_BACKENDS,
+    BatchCapability,
+    BatchPolicySpec,
     EngineProtocol,
     EngineSelectionError,
     PolicyCapability,
@@ -105,11 +117,21 @@ from .protocol import (
     resolve_backend,
     set_default_backend,
 )
-from .rng import derive_seed, make_rng, spawn_rngs
+from .rng import (
+    derive_seed,
+    make_numpy_rng,
+    make_rng,
+    replication_rngs,
+    replication_seed,
+    spawn_rngs,
+)
 from .tracing import EventTrace, TraceEvent
 
 __all__ = [
     "ENGINE_BACKENDS",
+    "BatchCapability",
+    "BatchEngine",
+    "BatchPolicySpec",
     "ComposedDynamics",
     "EngineProtocol",
     "EngineSelectionError",
@@ -137,10 +159,13 @@ __all__ = [
     "compile_fault_plan",
     "create_engine",
     "derive_seed",
+    "make_numpy_rng",
     "make_rng",
     "random_crash_plan",
     "random_edge_drop_plan",
     "register_engine",
+    "replication_rngs",
+    "replication_seed",
     "resolve_backend",
     "set_default_backend",
     "spawn_rngs",

@@ -36,6 +36,7 @@ from .dynamics import FaultState, TopologyDynamics, apply_events
 from .messages import Rumor
 from .metrics import SimulationMetrics
 from .protocol import RoundPolicySpec, register_engine
+from .rng import degrees_array, is_numpy_generator, uniform_slot_offsets
 
 __all__ = ["FastEngine"]
 
@@ -143,6 +144,9 @@ class FastEngine:
         # are folded into the label-keyed counter below at re-snapshot time.
         self._slot_counts: list[int] = [0] * len(idx.indices)
         self._folded_activations: Counter = Counter()
+        # Cached numpy degree vector for the numpy sampling mode (a policy
+        # whose rng is a numpy Generator); rebuilt after structural resyncs.
+        self._np_degrees = None
 
     # ------------------------------------------------------------------
     # Seeding knowledge
@@ -419,23 +423,14 @@ class FastEngine:
         if events_only:
             removed = severed_pairs
         else:
-            removed = (self._directed_pairs(old) - self._directed_pairs(new)) | severed_pairs
+            removed = (old.directed_pairs() - new.directed_pairs()) | severed_pairs
         if removed:
             self._drop_pending_over(removed)
         self._idx = new
         self._slot_counts = [0] * len(new.indices)
         self._lb_ready = False
+        self._np_degrees = None
         self._graph_version = self.graph.version
-
-    @staticmethod
-    def _directed_pairs(idx) -> set[tuple[int, int]]:
-        """All directed (node, neighbour) index pairs of a CSR snapshot."""
-        indptr, indices = idx.indptr, idx.indices
-        return {
-            (i, indices[slot])
-            for i in range(idx.num_nodes)
-            for slot in range(indptr[i], indptr[i + 1])
-        }
 
     def _drop_pending_over(self, removed: set[tuple[int, int]]) -> None:
         """Drop in-flight exchanges travelling over removed directed pairs."""
@@ -554,7 +549,20 @@ class FastEngine:
         blocking = self.blocking
         gate = policy.gate
         uniform = policy.select == "uniform-random"
-        randrange = policy.rng.randrange if uniform else None
+        offsets = None
+        randrange = None
+        if uniform:
+            if is_numpy_generator(policy.rng):
+                # Numpy sampling mode: one uniform vector per round — every
+                # node consumes a draw whether or not it acts, which is the
+                # contract that lets the batch backend reproduce this run
+                # column-for-column (see repro.simulation.rng).
+                if self._np_degrees is None or len(self._np_degrees) != idx.num_nodes:
+                    self._np_degrees = degrees_array(indptr)
+                u = policy.rng.random(idx.num_nodes)
+                offsets = uniform_slot_offsets(u, self._np_degrees).tolist()
+            else:
+                randrange = policy.rng.randrange
         cursors = self._cursors
         crashed = self._crashed_idx
         round_base = self.round
@@ -579,7 +587,7 @@ class FastEngine:
             if not degree:
                 continue
             if uniform:
-                slot = start + randrange(degree)
+                slot = start + (offsets[i] if randrange is None else randrange(degree))
             else:
                 cursor = cursors[i]
                 slot = start + cursor % degree

@@ -13,6 +13,14 @@ The simulation layer exposes one abstract surface — :class:`EngineProtocol`
   *declarative* policies (:class:`RoundPolicySpec`) so the whole round can
   run as one tight loop with no per-node Python callback dispatch, and it
   maintains informed counts incrementally so completion predicates are O(1).
+* ``"batch"`` — :class:`~repro.simulation.batch_engine.BatchEngine`, which
+  runs ``reps`` independent replications of one declarative scenario as a
+  single numpy computation (knowledge as an ``(n, reps, words)`` uint64
+  bitplane tensor, one vectorized round for all replications at once).  It
+  accepts :class:`BatchPolicySpec` policies and exposes :meth:`run_batch`
+  (the :class:`BatchCapability` surface) instead of ``run``; replication
+  ``r`` reproduces, bit for bit, the sequential numpy-mode ``FastEngine``
+  run whose policy rng is seeded ``derive_seed(seed, "rep", r)``.
 
 The capability contract
 -----------------------
@@ -34,12 +42,15 @@ needs:
 Backend selection
 -----------------
 :func:`resolve_backend` maps the user-facing ``engine=`` knob
-(``"reference"`` / ``"fast"`` / ``"auto"``) to a concrete backend name:
-``"auto"`` picks ``"fast"`` exactly when the capability is
+(``"reference"`` / ``"fast"`` / ``"batch"`` / ``"auto"``) to a concrete
+backend name: ``"auto"`` picks ``"fast"`` exactly when the capability is
 ``UNIFORM_RANDOM`` and no event trace was requested, and falls back to
-``"reference"`` otherwise.  Requesting ``"fast"`` for a callback-only
-algorithm raises :class:`EngineSelectionError` rather than silently
-degrading.
+``"reference"`` otherwise.  When a replication count is given
+(``reps=``), ``"auto"`` resolves to ``"batch"`` instead, ``"fast"``
+selects the sequential numpy-mode loop (the batch backend's parity
+oracle), and ``"reference"`` is rejected — it has no numpy sampling mode.
+Requesting ``"fast"``/``"batch"`` for a callback-only algorithm raises
+:class:`EngineSelectionError` rather than silently degrading.
 """
 
 from __future__ import annotations
@@ -53,9 +64,12 @@ from typing import Any, Optional, Protocol, runtime_checkable
 from ..graphs.weighted_graph import NodeId, WeightedGraph
 from .messages import Rumor
 from .metrics import SimulationMetrics
+from .rng import is_numpy_generator
 
 __all__ = [
     "ENGINE_BACKENDS",
+    "BatchCapability",
+    "BatchPolicySpec",
     "EngineProtocol",
     "EngineSelectionError",
     "PolicyCapability",
@@ -103,12 +117,16 @@ class RoundPolicySpec:
         the two backends' random streams aligned.
     rng:
         The random stream for ``"uniform-random"`` selection.  Must be
-        supplied for uniform specs; ignored for round-robin.
+        supplied for uniform specs; ignored for round-robin.  Either a
+        ``random.Random`` (the classic mode, both backends) or a
+        ``numpy.random.Generator`` (the numpy sampling mode: one uniform
+        vector drawn per round, fast backend only — see
+        :mod:`repro.simulation.rng`).
     """
 
     select: str
     gate: str = "all"
-    rng: Optional[random.Random] = None
+    rng: Optional[Any] = None
 
     _SELECTS = ("uniform-random", "round-robin")
     _GATES = ("all", "informed-only", "uninformed-only")
@@ -131,6 +149,12 @@ class RoundPolicySpec:
         """
         gate = self.gate
         if self.select == "uniform-random":
+            if is_numpy_generator(self.rng):
+                raise TypeError(
+                    "numpy-mode policies (a numpy Generator rng) draw one uniform "
+                    "vector per round and only run on the fast/batch backends; "
+                    "the reference engine needs a random.Random rng"
+                )
             choice = self.rng.choice
 
             def policy(view: Any) -> Optional[NodeId]:
@@ -157,6 +181,75 @@ class RoundPolicySpec:
                 return choice
 
         return policy
+
+
+@dataclass(frozen=True, eq=False)
+class BatchPolicySpec:
+    """Declarative per-round policy for a batched (multi-replication) run.
+
+    The batched analogue of :class:`RoundPolicySpec`: same ``select`` /
+    ``gate`` vocabulary, but ``uniform-random`` selection draws from one
+    independent ``numpy.random.Generator`` **per replication** instead of a
+    single shared ``random.Random``.  Replication ``r``'s generator must be
+    seeded ``derive_seed(seed, "rep", r)``
+    (:func:`repro.simulation.rng.replication_rngs` builds the tuple), which
+    is the parity contract tying batched column ``r`` to its sequential
+    numpy-mode :class:`~repro.simulation.fast_engine.FastEngine` twin.
+
+    Attributes
+    ----------
+    select:
+        ``"uniform-random"`` or ``"round-robin"`` (same meaning as on
+        :class:`RoundPolicySpec`; round-robin cursors are tracked per
+        (node, replication) pair and need no generators).
+    gate:
+        ``"all"`` / ``"informed-only"`` / ``"uninformed-only"``, applied
+        per replication column.
+    rngs:
+        One numpy Generator per replication for ``"uniform-random"``;
+        must be empty for round-robin.
+    """
+
+    select: str
+    gate: str = "all"
+    rngs: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.select not in RoundPolicySpec._SELECTS:
+            raise ValueError(
+                f"unknown selection rule {self.select!r}; choose from {RoundPolicySpec._SELECTS}"
+            )
+        if self.gate not in RoundPolicySpec._GATES:
+            raise ValueError(f"unknown gate {self.gate!r}; choose from {RoundPolicySpec._GATES}")
+        if self.select == "uniform-random":
+            if not self.rngs:
+                raise ValueError("uniform-random batch selection requires per-replication rngs")
+            if not all(is_numpy_generator(rng) for rng in self.rngs):
+                raise ValueError("batch policies draw with numpy Generators (one per replication)")
+        elif self.rngs:
+            raise ValueError("round-robin batch selection is deterministic; drop the rngs")
+
+
+@runtime_checkable
+class BatchCapability(Protocol):
+    """The extra surface a backend offers when it can run replications batched.
+
+    A batch-capable engine simulates ``reps`` independent replications of
+    one scenario in lockstep and returns one
+    :class:`~repro.simulation.metrics.SimulationMetrics` per replication,
+    each frozen at that replication's own completion round.
+    """
+
+    reps: int
+
+    def run_batch(
+        self,
+        policy: "BatchPolicySpec",
+        stop_mask: Callable[[Any], Any],
+        max_rounds: int = 1_000_000,
+    ) -> list[SimulationMetrics]:
+        """Run all replications until each satisfies ``stop_mask``."""
+        ...
 
 
 @runtime_checkable
@@ -264,14 +357,42 @@ def resolve_backend(
     engine: str = "auto",
     capability: PolicyCapability = PolicyCapability.ARBITRARY_CALLBACK,
     trace: Any = None,
+    reps: Optional[int] = None,
 ) -> str:
     """Map an ``engine=`` request to a concrete backend name.
 
     ``"auto"`` picks ``"fast"`` when the algorithm's capability allows it
     and no event trace is requested, and ``"reference"`` otherwise — unless
-    :func:`set_default_backend` pinned the preference.  Explicit requests
-    that cannot be satisfied raise :class:`EngineSelectionError`.
+    :func:`set_default_backend` pinned the preference.  With a replication
+    count (``reps`` is not ``None``) ``"auto"`` resolves to ``"batch"``
+    (the vectorized multi-replication backend), ``"fast"`` means the
+    sequential numpy-mode replication loop, and ``"reference"`` is rejected
+    because it has no numpy sampling mode.  Explicit requests that cannot
+    be satisfied raise :class:`EngineSelectionError`.
     """
+    if reps is not None:
+        if capability is PolicyCapability.ARBITRARY_CALLBACK:
+            raise EngineSelectionError(
+                "replicated runs (reps=) are vectorized over declarative "
+                "(uniform-random / round-robin) policies; this algorithm needs an "
+                "arbitrary callback and must be repeated one run at a time"
+            )
+        if trace is not None:
+            raise EngineSelectionError("replicated runs do not support event traces")
+        if engine in ("auto", "batch"):
+            if "batch" not in ENGINE_BACKENDS:
+                raise EngineSelectionError("the batch backend is not registered")
+            return "batch"
+        if engine == "fast":
+            return "fast"
+        if engine == "reference":
+            raise EngineSelectionError(
+                "the reference backend has no numpy sampling mode; replicated runs "
+                "need engine='batch' (vectorized) or engine='fast' (sequential loop)"
+            )
+        raise EngineSelectionError(
+            f"unknown engine {engine!r}; choose from {available_backends() + ['auto']}"
+        )
     if engine == "auto":
         if _DEFAULT_BACKEND == "reference":
             return "reference"
@@ -281,6 +402,11 @@ def resolve_backend(
     if engine not in ENGINE_BACKENDS:
         raise EngineSelectionError(
             f"unknown engine {engine!r}; choose from {available_backends() + ['auto']}"
+        )
+    if engine == "batch":
+        raise EngineSelectionError(
+            "the batch backend runs replicated scenarios; pass a replication count "
+            "(reps=) along with engine='batch'"
         )
     if engine == "fast":
         if capability is PolicyCapability.ARBITRARY_CALLBACK:
@@ -301,7 +427,8 @@ def create_engine(
     blocking: bool = False,
     trace: Any = None,
     dynamics: Any = None,
-) -> tuple[EngineProtocol, str]:
+    reps: Optional[int] = None,
+) -> tuple[Any, str]:
     """Instantiate the backend selected by ``engine`` for ``graph``.
 
     Returns ``(engine_instance, backend_name)`` so callers can record which
@@ -309,11 +436,17 @@ def create_engine(
 
     ``dynamics`` is an optional
     :class:`~repro.simulation.dynamics.TopologyDynamics` applied by the
-    engine at the start of every round; both backends support it with
-    identical semantics, so it never constrains backend selection.
+    engine at the start of every round; every backend supports it with
+    identical semantics, so it never constrains backend selection.  With a
+    replication count (``reps``) the resolved backend is ``"batch"`` — a
+    :class:`BatchCapability` engine driven through ``run_batch`` — or
+    ``"fast"``, in which case the caller owns the sequential replication
+    loop and this function returns a single-replication engine.
     """
-    backend = resolve_backend(engine, capability=capability, trace=trace)
+    backend = resolve_backend(engine, capability=capability, trace=trace, reps=reps)
     cls = ENGINE_BACKENDS[backend]
+    if backend == "batch":
+        return cls(graph, reps=reps, blocking=blocking, dynamics=dynamics), backend
     if backend == "fast":
         return cls(graph, blocking=blocking, dynamics=dynamics), backend
     return cls(graph, blocking=blocking, trace=trace, dynamics=dynamics), backend

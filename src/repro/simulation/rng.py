@@ -6,14 +6,44 @@ module provides :func:`make_rng` and :func:`spawn_rngs` so that a single
 experiment seed deterministically derives independent per-node / per-phase
 streams — re-running an experiment with the same seed reproduces every
 decision bit-for-bit.
+
+The numpy sampling mode
+-----------------------
+Replicated (multi-seed) runs use a second RNG family: per-replication
+``numpy.random.Generator`` streams created by :func:`make_numpy_rng` /
+:func:`replication_rngs` from :func:`derive_seed` labels.  Replication ``r``
+of a run seeded ``s`` always draws from the generator seeded
+``derive_seed(s, "rep", r)`` — that label scheme is the parity contract
+between the vectorized :class:`~repro.simulation.batch_engine.BatchEngine`
+and sequential numpy-mode :class:`~repro.simulation.fast_engine.FastEngine`
+runs.  Under the numpy mode an engine draws **one uniform vector per round**
+(one float per node, gated-out nodes discard theirs) and maps each float to
+a neighbour slot with :func:`uniform_slot_offsets`; both engines share that
+helper, so a batched column and its sequential twin consume identical
+streams and make identical choices bit for bit.
 """
 
 from __future__ import annotations
 
 import random
 from collections.abc import Hashable, Iterable
+from typing import Any
 
-__all__ = ["make_rng", "spawn_rngs", "derive_seed"]
+try:  # numpy is a hard dependency of the package, but degrade loudly.
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the library
+    _np = None
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "derive_seed",
+    "make_numpy_rng",
+    "replication_seed",
+    "replication_rngs",
+    "is_numpy_generator",
+    "uniform_slot_offsets",
+]
 
 _MIX_CONSTANT = 0x9E3779B97F4A7C15  # golden-ratio constant for seed mixing
 
@@ -50,3 +80,73 @@ def make_rng(seed: int, *components: Hashable) -> random.Random:
 def spawn_rngs(seed: int, labels: Iterable[Hashable]) -> dict[Hashable, random.Random]:
     """Return one independent RNG per label, all derived from ``seed``."""
     return {label: make_rng(seed, label) for label in labels}
+
+
+# ----------------------------------------------------------------------
+# The numpy sampling mode (replicated runs)
+# ----------------------------------------------------------------------
+def _require_numpy() -> Any:
+    """Return the numpy module or raise a clear error if it is missing."""
+    if _np is None:  # pragma: no cover - numpy ships with the library
+        raise RuntimeError(
+            "the numpy sampling mode (batched replications, numpy-mode FastEngine "
+            "runs) requires numpy, which is not installed"
+        )
+    return _np
+
+
+def make_numpy_rng(seed: int, *components: Hashable) -> Any:
+    """Return a ``numpy.random.Generator`` seeded from ``seed`` and labels.
+
+    Uses numpy's default bit generator (PCG64) seeded with
+    :func:`derive_seed`, so numpy streams follow the same label-derivation
+    discipline as the ``random.Random`` family.
+    """
+    np = _require_numpy()
+    return np.random.default_rng(derive_seed(seed, *components) if components else seed)
+
+
+def replication_seed(seed: int, rep: int) -> int:
+    """The derived seed of replication ``rep``: ``derive_seed(seed, "rep", rep)``.
+
+    This label scheme is load-bearing: a batched run's column ``r`` and the
+    sequential numpy-mode run of replication ``r`` both seed their neighbour
+    draws from exactly this value, which is what makes them bit-identical.
+    """
+    return derive_seed(seed, "rep", rep)
+
+
+def replication_rngs(seed: int, reps: int) -> list:
+    """One independent numpy Generator per replication, in replication order."""
+    np = _require_numpy()
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    return [np.random.default_rng(replication_seed(seed, rep)) for rep in range(reps)]
+
+
+def is_numpy_generator(rng: Any) -> bool:
+    """Whether ``rng`` is a numpy Generator (selects the numpy sampling mode)."""
+    return _np is not None and isinstance(rng, _np.random.Generator)
+
+
+def degrees_array(indptr: Any) -> Any:
+    """Per-node degrees (``int64`` array) from a CSR ``indptr`` sequence."""
+    np = _require_numpy()
+    return np.diff(np.asarray(indptr, dtype=np.int64))
+
+
+def uniform_slot_offsets(u: Any, degrees: Any) -> Any:
+    """Map uniform [0, 1) draws to neighbour-slot offsets, ``floor(u * degree)``.
+
+    ``u`` and ``degrees`` broadcast, so the same expression serves the
+    sequential path (``u`` of shape ``(n,)``) and the batched path (``u`` of
+    shape ``(n, reps)`` against ``degrees[:, None]``) — elementwise float64
+    multiplication is shape-independent, which is what keeps the two paths
+    bit-identical.  Offsets are clamped to ``degree - 1`` to guard the
+    (rounding-only) edge where ``u * degree`` lands exactly on ``degree``;
+    zero-degree positions yield a negative sentinel and must be masked out
+    by the caller before indexing.
+    """
+    np = _require_numpy()
+    offsets = (u * degrees).astype(np.int64)
+    return np.minimum(offsets, degrees - 1)

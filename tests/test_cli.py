@@ -70,6 +70,36 @@ class TestCommands:
                  "--dynamics", "latency-drift"]
             )
 
+    def test_run_command_with_reps_batches_replications(self, capsys):
+        exit_code = main(
+            ["run", "--algorithm", "push-pull", "--graph", "clique", "--nodes", "12",
+             "--seed", "1", "--reps", "6"]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "engine     : batch" in captured
+        assert "reps       : 6" in captured
+        assert "time_min" not in captured  # aggregate line is inline, not raw keys
+        assert "stdev" in captured
+
+    def test_run_scenario_file_accepts_reps_override(self, capsys, tmp_path):
+        from repro.scenario import dump_scenario, load_named_scenario
+
+        path = tmp_path / "baseline.json"
+        dump_scenario(load_named_scenario("baseline-pushpull-er64").patched({"graph.n": 24}), str(path))
+        exit_code = main(["run", "--scenario", str(path), "--reps", "4"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "reps       : 4" in captured
+        assert "engine     : batch" in captured
+
+    def test_run_command_rejects_reference_engine_with_reps(self):
+        with pytest.raises(SystemExit, match="numpy sampling mode"):
+            main(
+                ["run", "--algorithm", "push-pull", "--graph", "clique", "--nodes", "10",
+                 "--engine", "reference", "--reps", "4"]
+            )
+
     def test_conductance_command(self, capsys):
         exit_code = main(["conductance", "--graph", "erdos-renyi", "--nodes", "10", "--seed", "2"])
         captured = capsys.readouterr().out
@@ -80,3 +110,41 @@ class TestCommands:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestScenarioValidateErrors:
+    """`scenario validate` must fail loudly, naming the file and the field."""
+
+    def test_malformed_json_exits_nonzero_and_names_file(self, capsys, tmp_path):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{this is not json", encoding="utf-8")
+        exit_code = main(["scenario", "validate", str(broken)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert str(broken) in captured.err
+        assert "not valid JSON" in captured.err
+
+    def test_invalid_field_exits_nonzero_and_names_field(self, capsys, tmp_path):
+        from repro.scenario import load_named_scenario
+
+        bad = tmp_path / "bad-family.json"
+        text = load_named_scenario("baseline-pushpull-er64").to_json()
+        bad.write_text(text.replace('"erdos-renyi"', '"torus"'), encoding="utf-8")
+        exit_code = main(["scenario", "validate", str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert str(bad) in captured.err
+        assert "graph.family" in captured.err
+
+    def test_valid_files_still_pass_alongside_invalid_ones(self, capsys, tmp_path):
+        from repro.scenario import dump_scenario, load_named_scenario
+
+        good = tmp_path / "good.json"
+        dump_scenario(load_named_scenario("baseline-pushpull-er64"), str(good))
+        broken = tmp_path / "broken.json"
+        broken.write_text("[]", encoding="utf-8")
+        exit_code = main(["scenario", "validate", str(good), str(broken)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert f"{good}: ok" in captured.out
+        assert str(broken) in captured.err

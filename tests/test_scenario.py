@@ -63,7 +63,7 @@ class TestRoundTrip:
         payload = json.loads(_small_spec().to_json())
         assert set(payload) == {
             "name", "algorithm", "task", "graph", "seed", "engine",
-            "source_index", "max_rounds", "dynamics", "faults", "schema",
+            "source_index", "max_rounds", "reps", "dynamics", "faults", "schema",
         }
         assert set(payload["graph"]) == {"family", "n", "latency"}
 
