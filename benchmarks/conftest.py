@@ -2,7 +2,7 @@
 
 Set the environment variable ``REPRO_BENCH_QUICK=1`` to run every experiment
 with a reduced sweep (useful for smoke-testing the harness), and
-``REPRO_BENCH_ENGINE={auto,fast,reference}`` to steer which simulation
+``REPRO_BENCH_ENGINE={auto,fast,reference,edge}`` to steer which simulation
 backend ``engine="auto"`` resolves to inside the experiments (default
 ``auto``; applied via :func:`repro.simulation.set_default_backend` for the
 duration of each measured run).  ``REPRO_BENCH_WORKERS={serial,auto,N}``
@@ -29,7 +29,7 @@ def quick_mode() -> bool:
 def engine_backend() -> str:
     """The simulation backend benchmarks should request (REPRO_BENCH_ENGINE)."""
     backend = os.environ.get("REPRO_BENCH_ENGINE", "auto")
-    allowed = {"auto", "fast", "reference"}
+    allowed = {"auto", "fast", "reference", "edge"}
     if backend not in allowed:
         raise pytest.UsageError(f"REPRO_BENCH_ENGINE must be one of {sorted(allowed)}, got {backend!r}")
     return backend

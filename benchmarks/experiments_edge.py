@@ -1,0 +1,127 @@
+"""E21 — edge-vectorized round kernel: million-node single-run gossip in seconds.
+
+The edge backend's promise is *single-run throughput at scale*: one
+trajectory's round loop vectorized across the whole edge set, where the
+fast backend sweeps nodes in Python.  E21 builds one ER graph (mean degree
+8) per size, runs push-pull one-to-all dissemination on both backends, and
+reports rounds/sec plus edge-throughput (undirected edges × rounds / wall).
+The fast oracle runs — and the parity contract is cross-checked bit for
+bit — on every size up to ``_FAST_CAP``; above it the edge backend runs
+alone (that is the point: the 10^6-node row completes end-to-end in
+seconds, where the per-node sweep would take minutes).
+
+The headline row (ER-10^6) carries the acceptance targets: the run
+completes end-to-end, and at the largest overlapping size (10^5) the edge
+kernel clears ≥ 5× the fast backend's rounds/sec.  The measured rates land
+in ``BENCH_e21.json`` at the repository root via
+:func:`benchmarks.registry.record_bench`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Optional
+
+from repro.analysis import ResultTable
+from repro.graphs import weighted_erdos_renyi
+from repro.simulation import EdgeEngine, FastEngine, RoundPolicySpec
+from repro.simulation.rng import make_numpy_rng
+
+__all__ = ["experiment_e21_edge_kernel"]
+
+_SEED = 21
+_MEAN_DEGREE = 8.0
+_SIZES = (10_000, 100_000, 1_000_000)
+_SIZES_QUICK = (1_000, 4_000)
+#: Largest size the fast oracle runs at (and parity is checked at): the
+#: per-node Python sweep costs minutes beyond it, which is what E21 exists
+#: to demonstrate, not to wait for.
+_FAST_CAP = 100_000
+
+
+def _single_run(engine_cls, graph, seed: int):
+    """One seeded push-pull dissemination run; returns (metrics, wall)."""
+    engine = engine_cls(graph)
+    rumor = engine.seed_rumor(graph.nodes()[0])
+    spec = RoundPolicySpec(
+        select="uniform-random", gate="all", rng=make_numpy_rng(seed, "rep", 0)
+    )
+    started = _time.perf_counter()
+    metrics = engine.run(spec, lambda eng: eng.dissemination_complete(rumor))
+    return metrics, _time.perf_counter() - started
+
+
+def experiment_e21_edge_kernel(quick: bool = False) -> ResultTable:
+    """E21: single-run throughput of the edge kernel vs the fast backend.
+
+    Every row is one graph size: build time, the edge backend's rounds/sec
+    and edge-throughput, the fast backend's rounds/sec (up to the oracle
+    cap), their ratio, and a ``parity`` column — ``bit-for-bit`` when the
+    two backends' full metrics (per-edge activation counters included)
+    matched exactly, ``n/a`` where the oracle did not run.
+    """
+    table = ResultTable(title="E21: edge-vectorized round kernel — single-run rounds/sec vs fast")
+    sizes = _SIZES_QUICK if quick else _SIZES
+    parity_all = True
+    headline: dict = {}
+    speedup_at_cap: Optional[float] = None
+    for n in sizes:
+        built = _time.perf_counter()
+        graph = weighted_erdos_renyi(n, _MEAN_DEGREE / n, seed=_SEED)
+        build_wall = _time.perf_counter() - built
+        edge_metrics, edge_wall = _single_run(EdgeEngine, graph, _SEED)
+        rounds = edge_metrics.rounds
+        edge_rate = rounds / edge_wall
+        fast_rate = speedup = None
+        parity = "n/a"
+        if n <= _FAST_CAP:
+            fast_metrics, fast_wall = _single_run(FastEngine, graph, _SEED)
+            fast_rate = round(fast_metrics.rounds / fast_wall, 1)
+            speedup = round(edge_rate * fast_wall / fast_metrics.rounds, 1)
+            matched = (
+                edge_metrics.as_dict() == fast_metrics.as_dict()
+                and edge_metrics.edge_activations == fast_metrics.edge_activations
+            )
+            parity = "bit-for-bit" if matched else "MISMATCH"
+            parity_all = parity_all and matched
+            speedup_at_cap = speedup
+        row = dict(
+            topology=f"er-{n}",
+            n=n,
+            edges=graph.num_edges,
+            rounds=rounds,
+            edge_rounds_per_sec=round(edge_rate, 1),
+            edges_per_sec=round(rounds * graph.num_edges / edge_wall),
+            fast_rounds_per_sec=fast_rate,
+            speedup=speedup,
+            parity=parity,
+            edge_wall_seconds=round(edge_wall, 3),
+            build_seconds=round(build_wall, 3),
+        )
+        table.add_row(**row)
+        headline = row
+    table.add_note("one ER graph (mean degree 8) per size; push-pull one-to-all dissemination,")
+    table.add_note("numpy draws seeded ('rep', 0) on both backends.  edges_per_sec = undirected")
+    table.add_note("edges x rounds / wall.  The fast oracle (and the bit-for-bit parity check,")
+    table.add_note(f"per-edge activation counters included) runs up to n={_FAST_CAP}; the larger")
+    table.add_note("rows are the edge backend's reason to exist")
+    # Imported lazily: the registry imports this module at load time.
+    from .registry import record_bench
+
+    record_bench(
+        "E21",
+        {
+            "quick": quick,
+            "engine": "edge-vs-fast-single-run",
+            "parity": parity_all,
+            "topology": headline.get("topology"),
+            "n": headline.get("n"),
+            "rounds": headline.get("rounds"),
+            "edge_rounds_per_sec": headline.get("edge_rounds_per_sec"),
+            "edges_per_sec": headline.get("edges_per_sec"),
+            "edge_wall_seconds": headline.get("edge_wall_seconds"),
+            "build_seconds": headline.get("build_seconds"),
+            "speedup_at_fast_cap": speedup_at_cap,
+        },
+    )
+    return table

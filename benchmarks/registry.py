@@ -1,4 +1,4 @@
-"""Registry mapping experiment ids (E1..E20) to their implementations.
+"""Registry mapping experiment ids (E1..E21) to their implementations.
 
 Both the pytest-benchmark modules and the CLI (``repro-gossip experiment E7``)
 dispatch through :func:`run_experiment`.  Every experiment returns a
@@ -6,7 +6,7 @@ dispatch through :func:`run_experiment`.  Every experiment returns a
 
 Perf-trajectory records
 -----------------------
-Speed-comparison experiments (E17, E20) additionally persist a small
+Speed-comparison experiments (E17, E20, E21) additionally persist a small
 machine-readable summary — headline rates, the engine knob, and the git
 SHA — via :func:`record_bench`, which writes ``BENCH_<id>.json`` at the
 repository root.  CI uploads these files as artifacts, so the measured
@@ -41,6 +41,7 @@ from .experiments_lower_bounds import (
     experiment_e6_lb_tradeoff,
 )
 from .experiments_batch import experiment_e20_batch_replication
+from .experiments_edge import experiment_e21_edge_kernel
 from .experiments_dynamics import experiment_e19_dynamics
 from .experiments_sweeps import experiment_e18_parallel_sweep
 from .experiments_upper_bounds import (
@@ -77,6 +78,7 @@ EXPERIMENTS: dict[str, tuple[str, ExperimentFunction]] = {
     "E18": ("Harness: parallel sweep orchestrator scaling", experiment_e18_parallel_sweep),
     "E19": ("Topology dynamics: churn x latency drift on both engines", experiment_e19_dynamics),
     "E20": ("Batch replication: vectorized multi-seed engine vs scalar loop", experiment_e20_batch_replication),
+    "E21": ("Edge kernel: edge-vectorized single runs vs the fast backend", experiment_e21_edge_kernel),
 }
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

@@ -47,7 +47,7 @@ from .scenario import (
     prepare_scenario,
 )
 from .gossip.base import ReplicatedResult
-from .simulation.protocol import EngineSelectionError
+from .simulation.protocol import EngineSelectionError, SimulationError
 from .graphs import WeightedGraph
 
 __all__ = ["main", "build_graph"]
@@ -187,7 +187,7 @@ def _command_run(args: argparse.Namespace) -> int:
         result = prepared.execute()
     except EngineSelectionError as exc:
         raise SystemExit(f"--engine {spec.engine}: {exc}")
-    except GraphError as exc:
+    except (GraphError, SimulationError) as exc:
         raise SystemExit(str(exc))
     print(f"scenario   : {spec.name}")
     print(f"graph      : {description}")
@@ -340,10 +340,11 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--engine",
         default="auto",
-        choices=["auto", "fast", "reference", "batch"],
+        choices=["auto", "fast", "reference", "batch", "edge"],
         help="simulation backend: 'fast' (bitset engine, declarative policies only), "
         "'reference' (callback engine), 'batch' (vectorized multi-replication engine; "
-        "combine with --reps), or 'auto' (fast when the algorithm allows it, "
+        "combine with --reps), 'edge' (edge-vectorized single-run engine for large "
+        "graphs), or 'auto' (fast when the algorithm allows it, edge from 100k nodes, "
         "batch when --reps asks for replications)",
     )
     run_parser.add_argument(

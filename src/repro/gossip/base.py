@@ -35,7 +35,7 @@ from ..simulation.protocol import (
     create_engine,
     resolve_backend,
 )
-from ..simulation.rng import make_numpy_rng, replication_rngs
+from ..simulation.rng import make_numpy_rng, make_rng, replication_rngs
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from ..scenario import ScenarioSpec
@@ -45,11 +45,32 @@ __all__ = [
     "DisseminationResult",
     "ReplicatedResult",
     "GossipAlgorithm",
+    "declarative_policy_spec",
     "engine_run_details",
     "require_connected",
     "seed_engine",
     "task_stop_condition",
 ]
+
+
+def declarative_policy_spec(
+    backend: str, select: str, gate: str, seed: int, label: str
+) -> RoundPolicySpec:
+    """Build the :class:`RoundPolicySpec` for a declarative run on ``backend``.
+
+    The edge backend draws one uniform vector per round from a numpy
+    Generator, so its uniform-random policies take the rng seeded
+    ``derive_seed(seed, "rep", 0)`` — the label under which a single edge
+    run is, bit for bit, replication 0 of the batched form (and of the
+    sequential numpy-mode fast loop).  Every other backend keeps the
+    classic per-label ``random.Random`` stream; round-robin selection is
+    deterministic and needs no rng anywhere.
+    """
+    if select != "uniform-random":
+        return RoundPolicySpec(select=select, gate=gate)
+    if backend == "edge":
+        return RoundPolicySpec(select=select, gate=gate, rng=make_numpy_rng(seed, "rep", 0))
+    return RoundPolicySpec(select=select, gate=gate, rng=make_rng(seed, label))
 
 
 def engine_run_details(

@@ -14,11 +14,12 @@ from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
 from ..simulation.dynamics import TopologyDynamics
-from ..simulation.protocol import PolicyCapability, RoundPolicySpec, create_engine
+from ..simulation.protocol import PolicyCapability, create_engine
 from .base import (
     DisseminationResult,
     GossipAlgorithm,
     Task,
+    declarative_policy_spec,
     engine_run_details,
     require_connected,
     seed_engine,
@@ -71,7 +72,7 @@ class FloodingGossip(GossipAlgorithm):
         eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
         select, gate = self.batch_policy()
-        spec = RoundPolicySpec(select=select, gate=gate)
+        spec = declarative_policy_spec(backend, select, gate, seed, "flooding")
         metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,

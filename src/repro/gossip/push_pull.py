@@ -22,12 +22,12 @@ from typing import Optional
 
 from ..graphs.weighted_graph import NodeId, WeightedGraph
 from ..simulation.dynamics import TopologyDynamics
-from ..simulation.protocol import PolicyCapability, RoundPolicySpec, create_engine
-from ..simulation.rng import make_rng
+from ..simulation.protocol import PolicyCapability, create_engine
 from .base import (
     DisseminationResult,
     GossipAlgorithm,
     Task,
+    declarative_policy_spec,
     engine_run_details,
     require_connected,
     seed_engine,
@@ -78,7 +78,7 @@ class PushPullGossip(GossipAlgorithm):
         eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
         select, gate = self.batch_policy()
-        spec = RoundPolicySpec(select=select, gate=gate, rng=make_rng(seed, "push-pull"))
+        spec = declarative_policy_spec(backend, select, gate, seed, "push-pull")
         metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,
@@ -142,7 +142,7 @@ class _DirectionalGossip(GossipAlgorithm):
         eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
         select, gate = self.batch_policy()
-        spec = RoundPolicySpec(select=select, gate=gate, rng=make_rng(seed, self.direction))
+        spec = declarative_policy_spec(backend, select, gate, seed, self.direction)
         metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
         return DisseminationResult(
             algorithm=self.name,

@@ -16,10 +16,13 @@ from collections.abc import Callable, Sequence
 from typing import Optional
 
 import networkx as nx
+import numpy as np
 
+from .indexed import CSRGraph
 from .weighted_graph import GraphError, WeightedGraph
 
 __all__ = [
+    "CSR_AUTO_THRESHOLD",
     "LatencyModel",
     "uniform_latency",
     "constant_latency",
@@ -34,9 +37,11 @@ __all__ = [
     "grid_graph",
     "binary_tree",
     "erdos_renyi",
+    "erdos_renyi_csr",
     "random_regular_expander",
     "random_geometric",
     "barabasi_albert",
+    "barabasi_albert_csr",
     "dumbbell",
     "weighted_clique",
     "weighted_expander",
@@ -46,6 +51,12 @@ __all__ = [
     "two_cluster_slow_bridge",
     "layered_ring",
 ]
+
+#: Node count from which the ``weighted_*`` ER/BA constructors switch to the
+#: direct-to-CSR build path automatically (``csr=None``).  Matches the edge
+#: backend's auto threshold: graphs big enough to want the edge engine are
+#: big enough that the dict-of-dicts build dominates setup time.
+CSR_AUTO_THRESHOLD = 100_000
 
 # A latency model maps (rng, u, v) -> positive integer latency.
 LatencyModel = Callable[[random.Random, int, int], int]
@@ -343,6 +354,175 @@ def layered_ring(layers: int, layer_size: int, intra_latency: int = 1, inter_lat
 
 
 # ----------------------------------------------------------------------
+# Direct-to-CSR builders
+# ----------------------------------------------------------------------
+def _csr_from_edge_stream(
+    n: int, u: "np.ndarray", v: "np.ndarray", latencies: "np.ndarray"
+) -> CSRGraph:
+    """Assemble a :class:`CSRGraph` from an undirected edge stream.
+
+    Reproduces dict insertion order exactly: edge ``i`` of the stream
+    contributes the directed slots ``u→v`` and ``v→u`` at "time" ``i``, and
+    a stable argsort by source node lays each node's slice out in stream
+    order — precisely the neighbour order ``WeightedGraph.add_edge`` calls
+    in the same sequence would produce.  The stream must be free of
+    duplicates and self-loops (the samplers guarantee this by
+    construction).
+    """
+    m = len(u)
+    src = np.empty(2 * m, dtype=np.int64)
+    dst = np.empty(2 * m, dtype=np.int64)
+    lat = np.empty(2 * m, dtype=np.int64)
+    src[0::2] = u
+    dst[0::2] = v
+    src[1::2] = v
+    dst[1::2] = u
+    lat[0::2] = latencies
+    lat[1::2] = latencies
+    order = np.argsort(src, kind="stable")
+    counts = np.bincount(src, minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return CSRGraph(range(n), indptr, dst[order], lat[order])
+
+
+def _edge_stream_latencies(
+    u: "np.ndarray", v: "np.ndarray", model: Optional[LatencyModel], seed: int
+) -> "np.ndarray":
+    """Latencies for an edge stream: vectorized for the default model.
+
+    With ``model=None`` the default uniform ``[1, 16]`` latencies come from
+    one numpy draw (its own seed stream); an explicit model is honoured by
+    calling it per edge with the classic ``random.Random(seed)``, trading
+    build speed for the model abstraction.
+    """
+    if model is None:
+        rng = np.random.default_rng([seed, 0x1A7E4C7])
+        return rng.integers(1, 17, size=len(u), dtype=np.int64)
+    py_rng = random.Random(seed)
+    return np.fromiter(
+        (model(py_rng, a, b) for a, b in zip(u.tolist(), v.tolist())),
+        dtype=np.int64,
+        count=len(u),
+    )
+
+
+def _er_edge_stream(
+    n: int, p: float, seed: int, ensure_connected: bool = True
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized ``G(n, p)`` edge sample as ``(u, v)`` arrays with ``u < v``.
+
+    Samples the edge *count* from the exact binomial, then that many
+    distinct pair codes uniformly (draw-and-dedup; collisions are rare at
+    sparse ``p``), and decodes codes to row-major ``(u, v)`` pairs.  The
+    optional Hamiltonian backbone over a random permutation mirrors
+    :func:`erdos_renyi`'s ``ensure_connected`` behaviour.
+    """
+    rng = np.random.default_rng(seed)
+    total = n * (n - 1) // 2
+    m = int(rng.binomial(total, p)) if total > 0 and p > 0.0 else 0
+    # Draw-and-dedup via sort+mask (np.unique is several times slower).
+    codes = np.empty(0, dtype=np.int64)
+    while codes.size < m:
+        extra = rng.integers(0, total, size=m - codes.size, dtype=np.int64)
+        merged = np.sort(np.concatenate([codes, extra]), kind="stable")
+        keep = np.empty(len(merged), dtype=bool)
+        keep[0] = True
+        np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+        codes = merged[keep]
+    # Decode pair code c = u*n - u*(u+1)/2 + (v-u-1): invert the row start
+    # with a float sqrt, then fix the ±1 the rounding can introduce.
+    nn = 2 * n - 1
+    u = np.floor((nn - np.sqrt(nn * nn - 8.0 * codes.astype(np.float64))) / 2.0).astype(np.int64)
+    u = np.clip(u, 0, max(n - 2, 0))
+    start = u * n - u * (u + 1) // 2
+    u -= codes < start
+    start = u * n - u * (u + 1) // 2
+    nxt = (u + 1) * n - (u + 1) * (u + 2) // 2
+    u += codes >= nxt
+    start = u * n - u * (u + 1) // 2
+    v = codes - start + u + 1
+    if ensure_connected and n > 1:
+        perm = rng.permutation(n).astype(np.int64)
+        a = np.minimum(perm[:-1], perm[1:])
+        b = np.maximum(perm[:-1], perm[1:])
+        backbone = a * n - a * (a + 1) // 2 + (b - a - 1)
+        # Membership against the (sorted) sampled codes via searchsorted —
+        # np.isin re-sorts and is far slower on this scale.
+        pos = np.searchsorted(codes, backbone)
+        present = np.zeros(len(backbone), dtype=bool)
+        in_range = pos < codes.size
+        present[in_range] = codes[pos[in_range]] == backbone[in_range]
+        u = np.concatenate([u, a[~present]])
+        v = np.concatenate([v, b[~present]])
+    return u, v
+
+
+def _ba_edge_stream(n: int, m: int, seed: int) -> tuple["np.ndarray", "np.ndarray"]:
+    """Barabási–Albert preferential-attachment edge stream.
+
+    The classic repeated-nodes construction: each new source attaches to
+    ``m`` distinct nodes drawn uniformly from the multiset of all previous
+    edge endpoints.  Sequential by nature, but collecting flat edge arrays
+    instead of dict adjacency keeps the build linear in ``n·m`` with small
+    constants.
+    """
+    rng = random.Random(seed)
+    us: list[int] = []
+    vs: list[int] = []
+    targets = list(range(m))
+    repeated: list[int] = []
+    for source in range(m, n):
+        us.extend([source] * m)
+        vs.extend(targets)
+        repeated.extend(targets)
+        repeated.extend([source] * m)
+        chosen: dict[int, None] = {}
+        while len(chosen) < m:
+            chosen[repeated[rng.randrange(len(repeated))]] = None
+        targets = list(chosen)
+    return np.asarray(us, dtype=np.int64), np.asarray(vs, dtype=np.int64)
+
+
+def erdos_renyi_csr(
+    n: int,
+    p: float,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    ensure_connected: bool = True,
+) -> CSRGraph:
+    """Erdős–Rényi graph built straight into CSR arrays, skipping the dicts.
+
+    The sampler is a vectorized realization of the same ``G(n, p)`` (plus
+    connectivity backbone) distribution as :func:`erdos_renyi` — the
+    *stream* differs from the dict path's ``random.Random`` pair sweep,
+    which costs Θ(n²) draws and is unusable at 10^6 nodes.  Latencies
+    follow :func:`_edge_stream_latencies`.
+    """
+    if n < 1:
+        raise GraphError("n must be >= 1")
+    if not 0.0 <= p <= 1.0:
+        raise GraphError("p must be in [0, 1]")
+    u, v = _er_edge_stream(n, p, seed, ensure_connected=ensure_connected)
+    return _csr_from_edge_stream(n, u, v, _edge_stream_latencies(u, v, model, seed))
+
+
+def barabasi_albert_csr(
+    n: int, m: int = 2, model: Optional[LatencyModel] = None, seed: int = 0
+) -> CSRGraph:
+    """Barabási–Albert graph built straight into CSR arrays.
+
+    Same preferential-attachment process as :func:`barabasi_albert` (its
+    own seed stream, not bit-identical to the networkx realization), with
+    latencies per :func:`_edge_stream_latencies`.
+    """
+    if n <= m:
+        raise GraphError("n must exceed m")
+    u, v = _ba_edge_stream(n, m, seed)
+    return _csr_from_edge_stream(n, u, v, _edge_stream_latencies(u, v, model, seed))
+
+
+# ----------------------------------------------------------------------
 # Weighted convenience constructors
 # ----------------------------------------------------------------------
 def weighted_clique(n: int, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
@@ -360,11 +540,48 @@ def weighted_grid(rows: int, cols: int, model: Optional[LatencyModel] = None, se
     return assign_latencies(grid_graph(rows, cols), model or uniform_latency(), seed=seed)
 
 
-def weighted_erdos_renyi(n: int, p: float, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
-    """Erdős–Rényi graph with latencies drawn from ``model``."""
-    return assign_latencies(erdos_renyi(n, p, seed=seed), model or uniform_latency(), seed=seed)
+def weighted_erdos_renyi(
+    n: int,
+    p: float,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    csr: Optional[bool] = None,
+) -> WeightedGraph:
+    """Erdős–Rényi graph with latencies drawn from ``model``.
+
+    ``csr=True`` returns a :class:`~repro.graphs.indexed.CSRGraph`: below
+    :data:`CSR_AUTO_THRESHOLD` nodes it repackages the dict-path build (so
+    the realization is bit-identical to ``csr=False`` — the equality the
+    generator tests pin), from the threshold up it switches to the
+    vectorized :func:`erdos_renyi_csr` sampler.  ``csr=None`` (default)
+    picks the CSR path automatically at ``n >= CSR_AUTO_THRESHOLD``.
+    """
+    if csr is None:
+        csr = n >= CSR_AUTO_THRESHOLD
+    if csr and n >= CSR_AUTO_THRESHOLD:
+        return erdos_renyi_csr(n, p, model, seed=seed)
+    graph = assign_latencies(erdos_renyi(n, p, seed=seed), model or uniform_latency(), seed=seed)
+    return CSRGraph.from_weighted(graph) if csr else graph
 
 
-def weighted_barabasi_albert(n: int, m: int = 2, model: Optional[LatencyModel] = None, seed: int = 0) -> WeightedGraph:
-    """Barabási–Albert graph with latencies drawn from ``model``."""
-    return assign_latencies(barabasi_albert(n, m, seed=seed), model or uniform_latency(), seed=seed)
+def weighted_barabasi_albert(
+    n: int,
+    m: int = 2,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    csr: Optional[bool] = None,
+) -> WeightedGraph:
+    """Barabási–Albert graph with latencies drawn from ``model``.
+
+    ``csr`` behaves as in :func:`weighted_erdos_renyi`: ``True`` returns a
+    :class:`~repro.graphs.indexed.CSRGraph` (bit-identical repackaging of
+    the dict path below :data:`CSR_AUTO_THRESHOLD`, the vectorized
+    :func:`barabasi_albert_csr` sampler from it up), ``None`` auto-selects
+    by size.
+    """
+    if csr is None:
+        csr = n >= CSR_AUTO_THRESHOLD
+    if csr and n >= CSR_AUTO_THRESHOLD:
+        return barabasi_albert_csr(n, m, model, seed=seed)
+    graph = assign_latencies(barabasi_albert(n, m, seed=seed), model or uniform_latency(), seed=seed)
+    return CSRGraph.from_weighted(graph) if csr else graph

@@ -4,49 +4,62 @@
 hashable node labels — convenient to build and mutate, but slow to traverse
 millions of times from a simulation hot loop.  :class:`IndexedGraph` is the
 complementary read-only core: nodes are renumbered to contiguous integers
-``0..n-1`` and adjacency is laid out CSR-style in three flat arrays
+``0..n-1`` and adjacency is laid out CSR-style in three flat numpy arrays
 
 * ``indptr`` — ``indptr[i]:indptr[i+1]`` is node ``i``'s slice of slots,
 * ``indices`` — the neighbour index stored in each slot,
 * ``latencies`` — the latency of the edge stored in each slot,
 
 so that ``degree``, ``neighbors`` and ``latency`` are array reads with no
-hashing.  Neighbour order within a node's slice matches
-``WeightedGraph.neighbors`` (insertion order), which is what lets the fast
-simulation backend reproduce the reference engine's seeded decisions
-bit-for-bit.
+hashing, and the vectorized backends (batch, edge) can consume the arrays
+directly with zero conversion cost.  Neighbour order within a node's slice
+matches ``WeightedGraph.neighbors`` (insertion order), which is what lets
+the fast simulation backend reproduce the reference engine's seeded
+decisions bit-for-bit.
 
 Instances are built once per graph *version* and cached on the graph via
 :meth:`WeightedGraph.indexed`; any mutation of the source graph bumps its
 version and invalidates the cache.  An :class:`IndexedGraph` must therefore
 never be mutated — every attribute is build-once.
+
+Large graphs can skip the dict representation entirely:
+:meth:`IndexedGraph.from_csr` wraps prebuilt flat arrays (see the
+direct-to-CSR generators in :mod:`repro.graphs.generators`) without ever
+materialising per-node dicts.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
+
+import numpy as np
+
+from .weighted_graph import GraphError, WeightedGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
-    from .weighted_graph import NodeId, WeightedGraph
+    from .weighted_graph import NodeId
 
-__all__ = ["IndexedGraph"]
+__all__ = ["CSRGraph", "IndexedGraph"]
 
 
 class IndexedGraph:
     """Immutable CSR snapshot of a :class:`WeightedGraph`.
 
     Build via :meth:`WeightedGraph.indexed` (cached) rather than directly so
-    repeated lookups share one snapshot per graph version.
+    repeated lookups share one snapshot per graph version.  ``indptr``,
+    ``indices``, ``latencies`` and ``slot_edge_id`` are ``int64`` numpy
+    arrays; scalar reads (``indptr[i]``) behave like the historical Python
+    lists, so per-node call sites need no shim.
     """
 
     __slots__ = (
         "labels",
-        "index",
         "indptr",
         "indices",
         "latencies",
-        "slot_edge_id",
         "num_edges",
+        "_slot_edge_id",
+        "_index",
         "_neighbor_labels",
         "_slot_lookup",
     )
@@ -72,14 +85,77 @@ class IndexedGraph:
                 slot_edge_id.append(edge_id)
             indptr.append(len(indices))
         self.labels = labels
-        self.index = index
-        self.indptr = indptr
-        self.indices = indices
-        self.latencies = latencies
-        self.slot_edge_id = slot_edge_id
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self.latencies = np.asarray(latencies, dtype=np.int64)
+        self._slot_edge_id: Optional["np.ndarray"] = np.asarray(slot_edge_id, dtype=np.int64)
         self.num_edges = len(edge_ids)
-        self._neighbor_labels = neighbor_labels
+        self._index: Optional[dict["NodeId", int]] = index
+        self._neighbor_labels: Optional[list[tuple["NodeId", ...]]] = neighbor_labels
         self._slot_lookup: Optional[list[dict[int, int]]] = None
+
+    @classmethod
+    def from_csr(
+        cls,
+        labels: Sequence["NodeId"],
+        indptr: "np.ndarray",
+        indices: "np.ndarray",
+        latencies: "np.ndarray",
+    ) -> "IndexedGraph":
+        """Wrap prebuilt CSR arrays without round-tripping through dicts.
+
+        ``slot_edge_id`` is reconstructed (lazily, on first access) so
+        undirected edge ids follow the same first-appearance order the
+        dict-based constructor produces (``setdefault`` over slots in CSR
+        order), keeping edge-activation accounting identical between the
+        two build paths.  The label->index dict and the per-node
+        neighbour-label tuples are likewise lazy — a million-node run that
+        never queries by label never pays for them.  The arrays must
+        describe a symmetric adjacency without self-loops, so every
+        undirected edge occupies exactly two slots (``num_edges`` is
+        ``len(indices) // 2``); the lazy edge-id build verifies this.
+        """
+        self = object.__new__(cls)
+        self.labels = list(labels)
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.latencies = np.ascontiguousarray(latencies, dtype=np.int64)
+        self.num_edges = int(len(self.indices)) // 2
+        self._slot_edge_id = None
+        self._index = None
+        self._neighbor_labels = None
+        self._slot_lookup = None
+        return self
+
+    @property
+    def slot_edge_id(self) -> "np.ndarray":
+        """Per-slot undirected edge id, in first-appearance (CSR) order.
+
+        Built lazily for CSR-direct snapshots: pairing the two slots of
+        each undirected edge with one stable argsort over canonical keys is
+        much cheaper than a full ``np.unique``, and runs that never track
+        edge activations skip it entirely.
+        """
+        if self._slot_edge_id is None:
+            src = np.repeat(
+                np.arange(len(self.labels), dtype=np.int64), np.diff(self.indptr)
+            )
+            keys = (np.minimum(src, self.indices) << 32) | np.maximum(src, self.indices)
+            order = np.argsort(keys, kind="stable")
+            first = order[0::2]
+            second = order[1::2]
+            if len(first) != len(second) or not np.array_equal(keys[first], keys[second]):
+                raise ValueError(
+                    "CSR arrays are not a symmetric loop-free adjacency: every "
+                    "undirected edge must occupy exactly two slots"
+                )
+            edge_id = np.empty(len(first), dtype=np.int64)
+            edge_id[np.argsort(first, kind="stable")] = np.arange(len(first), dtype=np.int64)
+            slot_edge_id = np.empty(len(keys), dtype=np.int64)
+            slot_edge_id[first] = edge_id
+            slot_edge_id[second] = edge_id
+            self._slot_edge_id = slot_edge_id
+        return self._slot_edge_id
 
     # ------------------------------------------------------------------
     # Size
@@ -92,6 +168,13 @@ class IndexedGraph:
     # ------------------------------------------------------------------
     # Index <-> label translation
     # ------------------------------------------------------------------
+    @property
+    def index(self) -> dict["NodeId", int]:
+        """The label -> contiguous-index dict (built lazily for CSR builds)."""
+        if self._index is None:
+            self._index = {label: i for i, label in enumerate(self.labels)}
+        return self._index
+
     def index_of(self, label: "NodeId") -> int:
         """Return the contiguous integer index of a node label."""
         return self.index[label]
@@ -105,15 +188,15 @@ class IndexedGraph:
     # ------------------------------------------------------------------
     def degree(self, i: int) -> int:
         """Degree of node index ``i``."""
-        return self.indptr[i + 1] - self.indptr[i]
+        return int(self.indptr[i + 1] - self.indptr[i])
 
     def neighbor_slice(self, i: int) -> tuple[int, int]:
         """The ``[start, end)`` slot range of node index ``i``."""
-        return self.indptr[i], self.indptr[i + 1]
+        return int(self.indptr[i]), int(self.indptr[i + 1])
 
     def neighbors(self, i: int) -> list[int]:
         """Neighbour indices of node index ``i`` (a fresh list)."""
-        return self.indices[self.indptr[i] : self.indptr[i + 1]]
+        return self.indices[self.indptr[i] : self.indptr[i + 1]].tolist()
 
     def neighbor_labels(self, label: "NodeId") -> tuple["NodeId", ...]:
         """The cached neighbour labels of ``label``.
@@ -122,6 +205,13 @@ class IndexedGraph:
         snapshot without a caller accidentally corrupting it.  Order matches
         ``WeightedGraph.neighbors``.
         """
+        if self._neighbor_labels is None:
+            labels = self.labels
+            indptr, indices = self.indptr.tolist(), self.indices.tolist()
+            self._neighbor_labels = [
+                tuple(labels[j] for j in indices[indptr[i] : indptr[i + 1]])
+                for i in range(self.num_nodes)
+            ]
         return self._neighbor_labels[self.index[label]]
 
     def slot_of(self, i: int, j: int) -> int:
@@ -133,16 +223,16 @@ class IndexedGraph:
         addresses slots directly.
         """
         if self._slot_lookup is None:
-            lookup: list[dict[int, int]] = []
-            for u in range(self.num_nodes):
-                start, end = self.indptr[u], self.indptr[u + 1]
-                lookup.append({self.indices[s]: s for s in range(start, end)})
-            self._slot_lookup = lookup
+            indptr, indices = self.indptr.tolist(), self.indices.tolist()
+            self._slot_lookup = [
+                {indices[s]: s for s in range(indptr[u], indptr[u + 1])}
+                for u in range(self.num_nodes)
+            ]
         return self._slot_lookup[i][j]
 
     def latency_between(self, i: int, j: int) -> int:
         """Latency of the edge between node indices ``i`` and ``j``."""
-        return self.latencies[self.slot_of(i, j)]
+        return int(self.latencies[self.slot_of(i, j)])
 
     def directed_pairs(self) -> set[tuple[int, int]]:
         """All directed (node, neighbour) index pairs of this snapshot.
@@ -151,12 +241,200 @@ class IndexedGraph:
         a topology resync removed; sharing the builder keeps their
         lost-exchange accounting aligned by construction.
         """
-        indptr, indices = self.indptr, self.indices
-        return {
-            (i, indices[slot])
-            for i in range(self.num_nodes)
-            for slot in range(indptr[i], indptr[i + 1])
-        }
+        src = np.repeat(
+            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
+        )
+        return set(zip(src.tolist(), self.indices.tolist()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"
+
+
+class CSRGraph(WeightedGraph):
+    """A :class:`WeightedGraph` born as CSR arrays — the direct-to-CSR path.
+
+    The dict-of-dicts representation costs minutes and gigabytes to build at
+    10^6 nodes, yet the vectorized simulation backends only ever read the
+    :class:`IndexedGraph` arrays.  ``CSRGraph`` therefore starts life as a
+    prebuilt CSR snapshot and *lazily* materialises the per-node dicts: every
+    inherited ``WeightedGraph`` method keeps working (``_adj`` is a property
+    that builds the dicts on first touch, preserving CSR slot order as the
+    insertion order so a re-derived snapshot is bit-identical), while the
+    hot queries the engines and algorithms actually issue — ``indexed()``,
+    ``num_nodes``, ``nodes()``, ``degree``, ``is_connected`` — are served
+    straight from the arrays.  Mutation works too (dynamics scenarios
+    materialise, then behave exactly like a dict-built graph), it just
+    forfeits the lazy savings.
+    """
+
+    def __init__(
+        self,
+        labels: Sequence["NodeId"],
+        indptr: "np.ndarray",
+        indices: "np.ndarray",
+        latencies: "np.ndarray",
+    ) -> None:
+        snapshot = IndexedGraph.from_csr(labels, indptr, indices, latencies)
+        self._snapshot = snapshot
+        self._adj_dict: Optional[dict] = None
+        self._version = 0
+        self._indexed_cache = (0, snapshot)
+
+    @classmethod
+    def from_weighted(cls, graph: WeightedGraph) -> "CSRGraph":
+        """Repackage a dict-built graph as a ``CSRGraph`` (same snapshot)."""
+        idx = graph.indexed()
+        return cls(idx.labels, idx.indptr, idx.indices, idx.latencies)
+
+    # ------------------------------------------------------------------
+    # Lazy dict materialisation
+    # ------------------------------------------------------------------
+    @property
+    def _adj(self) -> dict:
+        if self._adj_dict is None:
+            snap = self._snapshot
+            labels = snap.labels
+            indptr = snap.indptr.tolist()
+            indices = snap.indices.tolist()
+            lats = snap.latencies.tolist()
+            self._adj_dict = {
+                labels[i]: {
+                    labels[indices[s]]: lats[s]
+                    for s in range(indptr[i], indptr[i + 1])
+                }
+                for i in range(len(labels))
+            }
+        return self._adj_dict
+
+    @_adj.setter
+    def _adj(self, value: dict) -> None:
+        self._adj_dict = value
+
+    def _fresh(self) -> bool:
+        """Whether the CSR snapshot still describes the graph (never mutated)."""
+        return self._version == 0
+
+    # ------------------------------------------------------------------
+    # CSR-served fast paths (fall back to the dict once mutated)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        if not self._fresh():
+            return super().num_nodes
+        return self._snapshot.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        if not self._fresh():
+            return super().num_edges
+        return self._snapshot.num_edges
+
+    def nodes(self) -> list["NodeId"]:
+        if not self._fresh():
+            return super().nodes()
+        return list(self._snapshot.labels)
+
+    def has_node(self, node: "NodeId") -> bool:
+        if not self._fresh():
+            return super().has_node(node)
+        return node in self._snapshot.index
+
+    def degree(self, node: "NodeId") -> int:
+        if not self._fresh():
+            return super().degree(node)
+        i = self._snapshot.index.get(node)
+        if i is None:
+            raise GraphError(f"node {node!r} does not exist")
+        return self._snapshot.degree(i)
+
+    def neighbors(self, node: "NodeId") -> list["NodeId"]:
+        if not self._fresh():
+            return super().neighbors(node)
+        snap = self._snapshot
+        i = snap.index.get(node)
+        if i is None:
+            raise GraphError(f"node {node!r} does not exist")
+        return [snap.labels[j] for j in snap.neighbors(i)]
+
+    def has_edge(self, u: "NodeId", v: "NodeId") -> bool:
+        if not self._fresh():
+            return super().has_edge(u, v)
+        snap = self._snapshot
+        i, j = snap.index.get(u), snap.index.get(v)
+        if i is None or j is None:
+            return False
+        try:
+            snap.slot_of(i, j)
+        except KeyError:
+            return False
+        return True
+
+    def latency(self, u: "NodeId", v: "NodeId") -> int:
+        if not self._fresh():
+            return super().latency(u, v)
+        snap = self._snapshot
+        i, j = snap.index.get(u), snap.index.get(v)
+        if i is not None and j is not None:
+            try:
+                return snap.latency_between(i, j)
+            except KeyError:
+                pass
+        raise GraphError(f"edge ({u!r}, {v!r}) does not exist")
+
+    def max_degree(self) -> int:
+        if not self._fresh():
+            return super().max_degree()
+        indptr = self._snapshot.indptr
+        if len(indptr) < 2:
+            return 0
+        return int(np.diff(indptr).max())
+
+    def total_volume(self) -> int:
+        if not self._fresh():
+            return super().total_volume()
+        return int(len(self._snapshot.indices))
+
+    def max_latency(self) -> int:
+        if not self._fresh():
+            return super().max_latency()
+        lats = self._snapshot.latencies
+        return int(lats.max()) if lats.size else 1
+
+    def min_latency(self) -> int:
+        if not self._fresh():
+            return super().min_latency()
+        lats = self._snapshot.latencies
+        return int(lats.min()) if lats.size else 1
+
+    def is_connected(self) -> bool:
+        """Vectorized frontier BFS over the CSR arrays (dict path if mutated)."""
+        if not self._fresh():
+            return super().is_connected()
+        snap = self._snapshot
+        n = snap.num_nodes
+        if n == 0:
+            return False
+        indptr, indices = snap.indptr, snap.indices
+        visited = np.zeros(n, dtype=bool)
+        visited[0] = True
+        frontier = np.array([0], dtype=np.int64)
+        reached = 1
+        while frontier.size:
+            starts = indptr[frontier]
+            counts = (indptr[frontier + 1] - starts).astype(np.int64)
+            total = int(counts.sum())
+            if total == 0:
+                break
+            offsets = np.repeat(np.cumsum(counts) - counts, counts)
+            slots = np.repeat(starts, counts) + (
+                np.arange(total, dtype=np.int64) - offsets
+            )
+            nbrs = indices[slots]
+            fresh = np.unique(nbrs[~visited[nbrs]])
+            visited[fresh] = True
+            reached += int(fresh.size)
+            frontier = fresh
+        return reached == n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CSRGraph(n={self.num_nodes}, m={self.num_edges}, lmax={self.max_latency()})"

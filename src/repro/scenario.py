@@ -155,7 +155,7 @@ DYNAMICS_KINDS = ("markov-churn", "latency-drift", "bridge-flap")
 
 TASKS = ("one-to-all", "all-to-all")
 
-ENGINES = ("auto", "fast", "reference", "batch")
+ENGINES = ("auto", "fast", "reference", "batch", "edge")
 
 # algorithm name -> (factory taking a Task, tasks the algorithm solves).
 ALGORITHMS: dict[str, tuple[Any, tuple[str, ...]]] = {
@@ -340,6 +340,12 @@ class ScenarioSpec:
                 "the reference engine has no numpy sampling mode; replicated scenarios "
                 "(reps > 1) need engine 'batch' (vectorized), 'fast' (sequential "
                 "numpy-mode loop), or 'auto'"
+            )
+        if self.reps > 1 and self.engine == "edge":
+            raise ScenarioError(
+                "the edge engine vectorizes a single run across the edge set and has "
+                "no replication axis; replicated scenarios (reps > 1) need engine "
+                "'batch' (vectorized), 'fast' (sequential numpy-mode loop), or 'auto'"
             )
         self.graph.validate()
         for part in self.dynamics:

@@ -26,6 +26,17 @@ running, completion queries), with two registered backends:
   :class:`~repro.simulation.protocol.BatchPolicySpec`; replication ``r``
   is bit-for-bit the sequential numpy-mode fast-backend run with the same
   seed label.
+* ``"edge"`` — :class:`~repro.simulation.edge_engine.EdgeEngine`:
+  vectorizes a *single* run across the whole edge set (the transpose of
+  the batch backend's replication axis) — one numpy draw vector, one
+  latency-argsort, and one bitwise scatter per round over a flat
+  ``(n, words)`` uint64 knowledge bitplane.  Runs the same declarative
+  :class:`~repro.simulation.protocol.RoundPolicySpec` surface as the fast
+  backend and is bit-for-bit the numpy-mode fast run seeded
+  ``derive_seed(seed, "rep", 0)``; ``"auto"`` prefers it from
+  :data:`~repro.simulation.protocol.EDGE_AUTO_NODE_THRESHOLD` nodes up.
+  Its up-front memory guard raises
+  :class:`~repro.simulation.protocol.SimulationError` instead of OOM-ing.
 
 The capability contract
 -----------------------
@@ -68,6 +79,8 @@ Modules
   policy specs, and the backend registry,
 * :mod:`~repro.simulation.engine` — the reference round/exchange engine,
 * :mod:`~repro.simulation.fast_engine` — the bitset fast backend,
+* :mod:`~repro.simulation.edge_engine` — the edge-vectorized single-run
+  backend,
 * :mod:`~repro.simulation.dynamics` — topology-dynamics events, schedules,
   and the shared applier,
 * :mod:`~repro.simulation.messages` — rumors and per-node knowledge,
@@ -92,6 +105,7 @@ from .dynamics import (
     apply_events,
 )
 from .batch_engine import BatchEngine
+from .edge_engine import EdgeEngine
 from .engine import ExchangePolicy, GossipEngine, NodeView, PendingExchange
 from .fast_engine import FastEngine
 from .faults import (
@@ -105,12 +119,14 @@ from .messages import KnowledgeState, Rumor
 from .metrics import SimulationMetrics
 from .protocol import (
     ENGINE_BACKENDS,
+    EDGE_AUTO_NODE_THRESHOLD,
     BatchCapability,
     BatchPolicySpec,
     EngineProtocol,
     EngineSelectionError,
     PolicyCapability,
     RoundPolicySpec,
+    SimulationError,
     available_backends,
     create_engine,
     register_engine,
@@ -129,10 +145,12 @@ from .tracing import EventTrace, TraceEvent
 
 __all__ = [
     "ENGINE_BACKENDS",
+    "EDGE_AUTO_NODE_THRESHOLD",
     "BatchCapability",
     "BatchEngine",
     "BatchPolicySpec",
     "ComposedDynamics",
+    "EdgeEngine",
     "EngineProtocol",
     "EngineSelectionError",
     "EventTrace",
@@ -149,6 +167,7 @@ __all__ = [
     "RoundPolicySpec",
     "Rumor",
     "ScheduleDynamics",
+    "SimulationError",
     "SimulationMetrics",
     "TopologyDynamics",
     "TopologyEvent",

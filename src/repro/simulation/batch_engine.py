@@ -388,7 +388,7 @@ class BatchEngine:
             if iu is not None and iv is not None:
                 severed_pairs.add((iu, iv))
                 severed_pairs.add((iv, iu))
-        if new.indptr == old.indptr and new.indices == old.indices:
+        if np.array_equal(new.indptr, old.indptr) and np.array_equal(new.indices, old.indices):
             # Latency-only change (e.g. drift): slots line up one-to-one.
             if severed_pairs:
                 self._drop_pending_over(severed_pairs)
@@ -495,7 +495,11 @@ class BatchEngine:
         """Canonical (repr-sorted) label pair per edge id of a CSR snapshot."""
         keys: list[Optional[tuple[str, str]]] = [None] * idx.num_edges
         reprs = [repr(label) for label in idx.labels]
-        indptr, indices, slot_edge_id = idx.indptr, idx.indices, idx.slot_edge_id
+        indptr, indices, slot_edge_id = (
+            idx.indptr.tolist(),
+            idx.indices.tolist(),
+            idx.slot_edge_id.tolist(),
+        )
         for i in range(idx.num_nodes):
             for slot in range(indptr[i], indptr[i + 1]):
                 j = indices[slot]

@@ -31,6 +31,8 @@ from collections import Counter
 from collections.abc import Callable
 from typing import Any, Optional
 
+import numpy as np
+
 from ..graphs.weighted_graph import GraphError, NodeId, WeightedGraph
 from .dynamics import FaultState, TopologyDynamics, apply_events
 from .messages import Rumor
@@ -107,6 +109,7 @@ class FastEngine:
         self.round = 0
         idx = graph.indexed()
         self._idx = idx
+        self._set_csr_lists(idx)
         self._graph_version = graph.version
         n = idx.num_nodes
         # Per-node state, indexed by contiguous node id.
@@ -147,6 +150,17 @@ class FastEngine:
         # Cached numpy degree vector for the numpy sampling mode (a policy
         # whose rng is a numpy Generator); rebuilt after structural resyncs.
         self._np_degrees = None
+
+    def _set_csr_lists(self, idx) -> None:
+        """Cache Python-list views of the CSR arrays for the scalar sweep.
+
+        The per-node loop indexes one element at a time, where list reads
+        beat numpy scalar reads by a wide margin; the lists are refreshed on
+        every re-snapshot so they always mirror ``self._idx``.
+        """
+        self._indptr_l = idx.indptr.tolist()
+        self._indices_l = idx.indices.tolist()
+        self._latencies_l = idx.latencies.tolist()
 
     # ------------------------------------------------------------------
     # Seeding knowledge
@@ -276,7 +290,7 @@ class FastEngine:
         """Build neighbour masks and missing counts from the current state."""
         idx = self._idx
         n = idx.num_nodes
-        indptr, indices = idx.indptr, idx.indices
+        indptr, indices = idx.indptr.tolist(), idx.indices.tolist()
         masks = []
         missing = []
         done = 0
@@ -400,7 +414,7 @@ class FastEngine:
             if iu is not None and iv is not None:
                 severed_pairs.add((iu, iv))
                 severed_pairs.add((iv, iu))
-        if new.indptr == old.indptr and new.indices == old.indices:
+        if np.array_equal(new.indptr, old.indptr) and np.array_equal(new.indices, old.indices):
             # Identical edge structure (e.g. drift re-emitting set-latency
             # every round): slots line up one-to-one, so activation counters
             # and neighbour masks stay valid — only severed-and-restored
@@ -408,6 +422,7 @@ class FastEngine:
             if severed_pairs:
                 self._drop_pending_over(severed_pairs)
             self._idx = new
+            self._set_csr_lists(new)
             self._graph_version = self.graph.version
             return
         self._fold_slot_counts(old)
@@ -427,6 +442,7 @@ class FastEngine:
         if removed:
             self._drop_pending_over(removed)
         self._idx = new
+        self._set_csr_lists(new)
         self._slot_counts = [0] * len(new.indices)
         self._lb_ready = False
         self._np_degrees = None
@@ -454,7 +470,7 @@ class FastEngine:
         """Fold a retiring snapshot's per-slot activation counts away."""
         counter = self._folded_activations
         reprs: Optional[list[str]] = None
-        indptr, indices = idx.indptr, idx.indices
+        indptr, indices = idx.indptr.tolist(), idx.indices.tolist()
         slot_counts = self._slot_counts
         for i in range(idx.num_nodes):
             for slot in range(indptr[i], indptr[i + 1]):
@@ -485,9 +501,8 @@ class FastEngine:
         self._initiate_slot(i, slot)
 
     def _initiate_slot(self, i: int, slot: int) -> None:
-        idx = self._idx
-        j = idx.indices[slot]
-        completes_at = self.round + idx.latencies[slot]
+        j = self._indices_l[slot]
+        completes_at = self.round + self._latencies_l[slot]
         self._due.setdefault(completes_at, []).append((i, j, self._know[i], self._know[j]))
         self._outstanding[i] += 1
         self._slot_counts[slot] += 1
@@ -539,9 +554,9 @@ class FastEngine:
         self._deliver_due_exchanges()
 
         idx = self._idx
-        indptr = idx.indptr
-        indices = idx.indices
-        latencies = idx.latencies
+        indptr = self._indptr_l
+        indices = self._indices_l
+        latencies = self._latencies_l
         know = self._know
         outstanding = self._outstanding
         slot_counts = self._slot_counts
@@ -646,7 +661,7 @@ class FastEngine:
         counter.clear()
         counter.update(self._folded_activations)
         reprs: Optional[list[str]] = None
-        indptr, indices = idx.indptr, idx.indices
+        indptr, indices = idx.indptr.tolist(), idx.indices.tolist()
         slot_counts = self._slot_counts
         for i in range(idx.num_nodes):
             for slot in range(indptr[i], indptr[i + 1]):

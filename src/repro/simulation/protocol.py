@@ -21,6 +21,17 @@ The simulation layer exposes one abstract surface — :class:`EngineProtocol`
   (the :class:`BatchCapability` surface) instead of ``run``; replication
   ``r`` reproduces, bit for bit, the sequential numpy-mode ``FastEngine``
   run whose policy rng is seeded ``derive_seed(seed, "rep", r)``.
+* ``"edge"`` — :class:`~repro.simulation.edge_engine.EdgeEngine`, which
+  vectorizes a *single* run across the whole edge set (the complement of
+  the batch backend's across-replications axis): one numpy draw vector and
+  one latency-argsort per round, knowledge as a flat ``(n, words)`` uint64
+  bitplane.  It runs the same declarative :class:`RoundPolicySpec` surface
+  as the fast backend but requires a numpy Generator rng for uniform
+  selection, and reproduces, bit for bit, the numpy-mode fast run whose
+  rng is seeded ``derive_seed(seed, "rep", 0)`` — i.e. replication 0 of
+  the batched form.  Built for large-n single trajectories (10^6-node
+  runs in seconds); ``"auto"`` prefers it from
+  :data:`EDGE_AUTO_NODE_THRESHOLD` nodes upward.
 
 The capability contract
 -----------------------
@@ -68,12 +79,14 @@ from .rng import is_numpy_generator
 
 __all__ = [
     "ENGINE_BACKENDS",
+    "EDGE_AUTO_NODE_THRESHOLD",
     "BatchCapability",
     "BatchPolicySpec",
     "EngineProtocol",
     "EngineSelectionError",
     "PolicyCapability",
     "RoundPolicySpec",
+    "SimulationError",
     "available_backends",
     "create_engine",
     "register_engine",
@@ -84,6 +97,21 @@ __all__ = [
 
 class EngineSelectionError(ValueError):
     """Raised when an ``engine=`` request cannot be satisfied."""
+
+
+class SimulationError(RuntimeError):
+    """Raised when a backend refuses a run it cannot execute safely.
+
+    The guard-rail error for resource limits — most prominently the edge
+    backend's up-front memory estimate, which raises this (with the
+    estimate in the message) instead of letting an oversized request OOM.
+    """
+
+
+#: Node count from which ``engine="auto"`` prefers the edge backend for
+#: declarative single runs: below it the fast backend's per-node sweep is
+#: cheap enough that its lower constant factors win.
+EDGE_AUTO_NODE_THRESHOLD = 100_000
 
 
 class PolicyCapability(enum.Enum):
@@ -339,14 +367,16 @@ def set_default_backend(engine: str) -> str:
     ``"reference"`` forces every auto-resolved run onto the reference
     backend; ``"fast"`` prefers the fast backend where the capability
     allows it (callback-only algorithms still fall back to reference —
-    the preference is a steering knob, not a hard request); ``"auto"``
-    restores the built-in rule.  Explicit ``engine=`` arguments on
-    individual runs are unaffected.
+    the preference is a steering knob, not a hard request); ``"edge"``
+    prefers the edge backend for declarative single runs regardless of
+    graph size; ``"auto"`` restores the built-in rule (fast below
+    :data:`EDGE_AUTO_NODE_THRESHOLD` nodes, edge at or above it).
+    Explicit ``engine=`` arguments on individual runs are unaffected.
     """
     global _DEFAULT_BACKEND
-    if engine not in ("auto", "fast", "reference"):
+    if engine not in ("auto", "fast", "reference", "edge"):
         raise EngineSelectionError(
-            f"default backend must be 'auto', 'fast', or 'reference', got {engine!r}"
+            f"default backend must be 'auto', 'fast', 'edge', or 'reference', got {engine!r}"
         )
     previous = _DEFAULT_BACKEND
     _DEFAULT_BACKEND = engine
@@ -358,17 +388,22 @@ def resolve_backend(
     capability: PolicyCapability = PolicyCapability.ARBITRARY_CALLBACK,
     trace: Any = None,
     reps: Optional[int] = None,
+    num_nodes: Optional[int] = None,
 ) -> str:
     """Map an ``engine=`` request to a concrete backend name.
 
     ``"auto"`` picks ``"fast"`` when the algorithm's capability allows it
     and no event trace is requested, and ``"reference"`` otherwise — unless
-    :func:`set_default_backend` pinned the preference.  With a replication
-    count (``reps`` is not ``None``) ``"auto"`` resolves to ``"batch"``
-    (the vectorized multi-replication backend), ``"fast"`` means the
-    sequential numpy-mode replication loop, and ``"reference"`` is rejected
-    because it has no numpy sampling mode.  Explicit requests that cannot
-    be satisfied raise :class:`EngineSelectionError`.
+    :func:`set_default_backend` pinned the preference, or ``num_nodes`` is
+    at least :data:`EDGE_AUTO_NODE_THRESHOLD`, in which case the
+    edge-vectorized backend takes over the declarative single-run case.
+    With a replication count (``reps`` is not ``None``) ``"auto"`` resolves
+    to ``"batch"`` (the vectorized multi-replication backend), ``"fast"``
+    means the sequential numpy-mode replication loop, and ``"reference"``
+    and ``"edge"`` are rejected — the former has no numpy sampling mode,
+    the latter vectorizes a single run and has no replication axis.
+    Explicit requests that cannot be satisfied raise
+    :class:`EngineSelectionError`.
     """
     if reps is not None:
         if capability is PolicyCapability.ARBITRARY_CALLBACK:
@@ -390,14 +425,26 @@ def resolve_backend(
                 "the reference backend has no numpy sampling mode; replicated runs "
                 "need engine='batch' (vectorized) or engine='fast' (sequential loop)"
             )
+        if engine == "edge":
+            raise EngineSelectionError(
+                "the edge backend vectorizes a single run across the edge set and "
+                "has no replication axis; replicated runs need engine='batch' "
+                "(vectorized over replications) or engine='fast' (sequential loop)"
+            )
         raise EngineSelectionError(
             f"unknown engine {engine!r}; choose from {available_backends() + ['auto']}"
         )
     if engine == "auto":
         if _DEFAULT_BACKEND == "reference":
             return "reference"
-        if capability is PolicyCapability.UNIFORM_RANDOM and trace is None and "fast" in ENGINE_BACKENDS:
-            return "fast"
+        if capability is PolicyCapability.UNIFORM_RANDOM and trace is None:
+            if "edge" in ENGINE_BACKENDS and (
+                _DEFAULT_BACKEND == "edge"
+                or (num_nodes is not None and num_nodes >= EDGE_AUTO_NODE_THRESHOLD)
+            ):
+                return "edge"
+            if "fast" in ENGINE_BACKENDS:
+                return "fast"
         return "reference"
     if engine not in ENGINE_BACKENDS:
         raise EngineSelectionError(
@@ -408,15 +455,17 @@ def resolve_backend(
             "the batch backend runs replicated scenarios; pass a replication count "
             "(reps=) along with engine='batch'"
         )
-    if engine == "fast":
+    if engine in ("fast", "edge"):
         if capability is PolicyCapability.ARBITRARY_CALLBACK:
             raise EngineSelectionError(
-                "the fast backend only runs declarative (uniform-random / round-robin) "
-                "policies; this algorithm needs an arbitrary callback — use "
-                "engine='reference' or 'auto'"
+                f"the {engine} backend only runs declarative (uniform-random / "
+                "round-robin) policies; this algorithm needs an arbitrary callback "
+                "— use engine='reference' or 'auto'"
             )
         if trace is not None:
-            raise EngineSelectionError("the fast backend does not support event traces")
+            raise EngineSelectionError(
+                f"the {engine} backend does not support event traces"
+            )
     return engine
 
 
@@ -443,10 +492,16 @@ def create_engine(
     ``"fast"``, in which case the caller owns the sequential replication
     loop and this function returns a single-replication engine.
     """
-    backend = resolve_backend(engine, capability=capability, trace=trace, reps=reps)
+    backend = resolve_backend(
+        engine,
+        capability=capability,
+        trace=trace,
+        reps=reps,
+        num_nodes=graph.num_nodes,
+    )
     cls = ENGINE_BACKENDS[backend]
     if backend == "batch":
         return cls(graph, reps=reps, blocking=blocking, dynamics=dynamics), backend
-    if backend == "fast":
+    if backend in ("fast", "edge"):
         return cls(graph, blocking=blocking, dynamics=dynamics), backend
     return cls(graph, blocking=blocking, trace=trace, dynamics=dynamics), backend

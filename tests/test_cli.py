@@ -100,6 +100,29 @@ class TestCommands:
                  "--engine", "reference", "--reps", "4"]
             )
 
+    def test_run_command_rejects_edge_engine_with_reps(self):
+        with pytest.raises(SystemExit, match="no replication axis"):
+            main(
+                ["run", "--algorithm", "push-pull", "--graph", "clique", "--nodes", "10",
+                 "--engine", "edge", "--reps", "4"]
+            )
+
+    def test_run_command_edge_memory_guard_exits_cleanly(self, monkeypatch):
+        from repro.simulation import edge_engine
+
+        monkeypatch.setattr(
+            edge_engine.EdgeEngine,
+            "_estimate_bytes",
+            lambda self, words=1: {
+                "knowledge": 1 << 40, "csr": 0, "pipeline": 0, "total": 1 << 40
+            },
+        )
+        with pytest.raises(SystemExit, match="edge backend refuses"):
+            main(
+                ["run", "--algorithm", "push-pull", "--graph", "erdos-renyi",
+                 "--nodes", "16", "--seed", "0", "--engine", "edge"]
+            )
+
     def test_conductance_command(self, capsys):
         exit_code = main(["conductance", "--graph", "erdos-renyi", "--nodes", "10", "--seed", "2"])
         captured = capsys.readouterr().out

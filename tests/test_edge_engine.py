@@ -1,0 +1,223 @@
+"""Edge-vectorized engine: parity, dispatch, memory guard, golden replay.
+
+The load-bearing contract: a single run on ``engine="edge"`` is
+**bit-for-bit equal** to the sequential numpy-mode fast-engine run whose
+neighbour draws are seeded ``derive_seed(seed, "rep", 0)`` — i.e.
+replication 0 of the batched form.  These tests assert it over the whole
+bundled scenario library (dynamics, faults, and flooding included), pin
+the suppressed/lost metric columns on the crash and churn scenarios,
+replay golden flooding fixtures on the edge backend, and cover the
+dispatch surface (auto-selection from the node-count threshold, the
+replication rejection) and the up-front memory guard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import weighted_erdos_renyi
+from repro.scenario import (
+    ScenarioError,
+    ScenarioSpec,
+    library_scenario_names,
+    load_named_scenario,
+    run_scenario,
+)
+from repro.simulation import (
+    EDGE_AUTO_NODE_THRESHOLD,
+    EdgeEngine,
+    EngineSelectionError,
+    FastEngine,
+    PolicyCapability,
+    RoundPolicySpec,
+    SimulationError,
+    resolve_backend,
+    set_default_backend,
+)
+from repro.simulation.golden import capture_golden_trace
+from repro.simulation.rng import make_numpy_rng
+
+LIBRARY = library_scenario_names()
+GOLDEN_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden")
+
+
+def trajectory(result):
+    """The bit-for-bit comparison key of one run."""
+    return (result.rounds_simulated, result.time, result.metrics.as_dict())
+
+
+def edge_and_oracle(spec: ScenarioSpec):
+    """The same scenario on the edge backend and the numpy-rep-0 oracle.
+
+    The batch backend's replication 0 is the committed numpy-mode anchor
+    (itself verified against the sequential fast loop in
+    ``test_batch_engine``), and ``engine="batch"`` is the one spec shape
+    whose ``reps == 1`` run still uses the ``("rep", 0)`` seed label.
+    """
+    edge = run_scenario(spec.patched({"engine": "edge"}))
+    oracle = run_scenario(spec.patched({"engine": "batch"})).results[0]
+    return edge, oracle
+
+
+# ----------------------------------------------------------------------
+# The parity contract, over the whole bundled library
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", LIBRARY)
+def test_edge_matches_numpy_rep0_per_library_scenario(name):
+    edge, oracle = edge_and_oracle(load_named_scenario(name))
+    assert trajectory(edge) == trajectory(oracle)
+    assert edge.metrics.edge_activations == oracle.metrics.edge_activations
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    name=st.sampled_from(LIBRARY),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_edge_run_matches_numpy_rep0_exactly(name, seed):
+    edge, oracle = edge_and_oracle(load_named_scenario(name).patched({"seed": seed}))
+    assert trajectory(edge) == trajectory(oracle)
+
+
+# ----------------------------------------------------------------------
+# Engine-level parity: gates, blocking, multi-word planes
+# ----------------------------------------------------------------------
+def engine_pair(graph, blocking=False):
+    return EdgeEngine(graph.copy(), blocking=blocking), FastEngine(graph.copy(), blocking=blocking)
+
+
+def numpy_spec(gate, seed):
+    return RoundPolicySpec(select="uniform-random", gate=gate, rng=make_numpy_rng(seed, "rep", 0))
+
+
+@pytest.mark.parametrize("gate", ["all", "informed-only", "uninformed-only"])
+@pytest.mark.parametrize("blocking", [False, True])
+def test_edge_step_stream_matches_fast_numpy_mode(gate, blocking):
+    graph = weighted_erdos_renyi(40, 0.2, seed=9)
+    source = graph.nodes()[0]
+    edge, fast = engine_pair(graph, blocking=blocking)
+    rumor_e = edge.seed_rumor(source)
+    rumor_f = fast.seed_rumor(source)
+    metrics_e = edge.run(numpy_spec(gate, 5), lambda e: e.dissemination_complete(rumor_e))
+    metrics_f = fast.run(numpy_spec(gate, 5), lambda e: e.dissemination_complete(rumor_f))
+    assert metrics_e.as_dict() == metrics_f.as_dict()
+    assert metrics_e.edge_activations == metrics_f.edge_activations
+
+
+def test_edge_all_to_all_parity_beyond_64_rumors_multi_word_planes():
+    # 80 rumors force a second uint64 knowledge word, exercising the
+    # generic multi-word gather/merge/popcount paths on both sides.
+    graph = weighted_erdos_renyi(80, 0.15, seed=2)
+    edge, fast = engine_pair(graph)
+    edge.seed_all_rumors()
+    fast.seed_all_rumors()
+    metrics_e = edge.run(numpy_spec("all", 3), lambda e: e.all_to_all_complete())
+    metrics_f = fast.run(numpy_spec("all", 3), lambda e: e.all_to_all_complete())
+    assert metrics_e.as_dict() == metrics_f.as_dict()
+    assert metrics_e.max_payload_size > 64  # really multi-word
+
+
+def test_edge_local_broadcast_parity():
+    graph = weighted_erdos_renyi(36, 0.2, seed=4)
+    edge, fast = engine_pair(graph)
+    edge.seed_all_rumors()
+    fast.seed_all_rumors()
+    metrics_e = edge.run(numpy_spec("all", 7), lambda e: e.local_broadcast_complete())
+    metrics_f = fast.run(numpy_spec("all", 7), lambda e: e.local_broadcast_complete())
+    assert metrics_e.as_dict() == metrics_f.as_dict()
+
+
+# ----------------------------------------------------------------------
+# Suppressed / lost accounting on the fault and churn scenarios
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["crash-pushpull-er48", "churn-crash-pushpull-er48"])
+def test_edge_suppressed_and_lost_columns_match_oracle(name):
+    edge, oracle = edge_and_oracle(load_named_scenario(name))
+    assert edge.metrics.suppressed_exchanges == oracle.metrics.suppressed_exchanges
+    assert edge.metrics.lost_exchanges == oracle.metrics.lost_exchanges
+    if name == "crash-pushpull-er48":
+        assert edge.metrics.suppressed_exchanges > 0  # the scenario actually suppresses
+
+
+# ----------------------------------------------------------------------
+# Golden-trace replay (flooding is round-robin: rng-mode independent,
+# so the committed reference fixtures replay bit-for-bit on this backend)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("topology", ["er24", "path16"])
+def test_edge_engine_replays_flooding_fixture(topology):
+    path = os.path.join(GOLDEN_DIR, f"flooding__{topology}.json")
+    with open(path, "r", encoding="utf-8") as handle:
+        fixture = json.load(handle)
+    assert capture_golden_trace("flooding", topology, backend="edge") == fixture
+
+
+# ----------------------------------------------------------------------
+# Dispatch and validation
+# ----------------------------------------------------------------------
+def test_resolve_backend_edge_routing():
+    uniform = PolicyCapability.UNIFORM_RANDOM
+    assert resolve_backend("edge", uniform) == "edge"
+    assert resolve_backend("auto", uniform, num_nodes=EDGE_AUTO_NODE_THRESHOLD) == "edge"
+    assert resolve_backend("auto", uniform, num_nodes=EDGE_AUTO_NODE_THRESHOLD - 1) == "fast"
+    assert resolve_backend("auto", uniform) == "fast"
+    with pytest.raises(EngineSelectionError, match="no replication axis"):
+        resolve_backend("edge", uniform, reps=4)
+    with pytest.raises(EngineSelectionError, match="declarative"):
+        resolve_backend("edge", PolicyCapability.ARBITRARY_CALLBACK)
+    with pytest.raises(EngineSelectionError, match="event traces"):
+        resolve_backend("edge", uniform, trace=object())
+
+
+def test_set_default_backend_pins_edge_for_auto():
+    uniform = PolicyCapability.UNIFORM_RANDOM
+    set_default_backend("edge")
+    try:
+        assert resolve_backend("auto", uniform, num_nodes=10) == "edge"
+    finally:
+        set_default_backend("auto")
+    assert resolve_backend("auto", uniform, num_nodes=10) == "fast"
+
+
+def test_scenario_rejects_replicated_edge_runs():
+    with pytest.raises(ScenarioError, match="no replication axis"):
+        ScenarioSpec(name="bad", algorithm="push-pull", engine="edge", reps=4).validate()
+
+
+def test_edge_engine_rejects_python_random_for_uniform_selection():
+    graph = weighted_erdos_renyi(16, 0.4, seed=1)
+    engine = EdgeEngine(graph)
+    engine.seed_rumor(graph.nodes()[0])
+    import random
+
+    spec = RoundPolicySpec(select="uniform-random", gate="all", rng=random.Random(0))
+    with pytest.raises(TypeError, match="numpy Generator"):
+        engine.step(spec)
+    with pytest.raises(TypeError, match="declarative"):
+        engine.step(object())
+
+
+# ----------------------------------------------------------------------
+# Memory guard
+# ----------------------------------------------------------------------
+def test_memory_guard_refuses_construction_beyond_limit():
+    graph = weighted_erdos_renyi(64, 0.3, seed=1)
+    with pytest.raises(SimulationError, match="edge backend refuses"):
+        EdgeEngine(graph, memory_limit=1024)
+
+
+def test_memory_guard_blocks_all_to_all_growth_with_estimate():
+    graph = weighted_erdos_renyi(200, 0.2, seed=3)
+    engine = EdgeEngine(graph)
+    # Tighten the budget so the single-rumor plane fits exactly but the
+    # all-to-all growth (n^2/8 bytes of knowledge) cannot.
+    engine._memory_limit = engine._estimate_bytes(words=1)["total"]
+    with pytest.raises(SimulationError, match="memory limit") as excinfo:
+        engine.seed_all_rumors()
+    assert "GiB" in str(excinfo.value)  # the estimate is in the message
+    # The guarded engine is still usable at its current size.
+    rumor = engine.seed_rumor(graph.nodes()[0])
+    engine.run(numpy_spec("all", 1), lambda e: e.dissemination_complete(rumor))

@@ -122,7 +122,7 @@ def test_fast_rejected_for_callback_algorithms():
 
 
 def test_registry_lists_both_backends():
-    assert available_backends() == ["batch", "fast", "reference"]
+    assert available_backends() == ["batch", "edge", "fast", "reference"]
     for backend in ("fast", "reference"):
         engine, name = create_engine(_ring(), backend, capability=PolicyCapability.UNIFORM_RANDOM)
         assert name == backend

@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.graphs import (
+    CSRGraph,
     GraphError,
+    WeightedGraph,
     assign_latencies,
     barabasi_albert,
+    barabasi_albert_csr,
+    erdos_renyi_csr,
     bimodal_latency,
     binary_tree,
     clique,
@@ -25,12 +30,14 @@ from repro.graphs import (
     star,
     two_cluster_slow_bridge,
     uniform_latency,
+    weighted_barabasi_albert,
     weighted_clique,
     weighted_erdos_renyi,
     weighted_expander,
     weighted_grid,
     weighted_diameter,
 )
+from repro.graphs.generators import _csr_from_edge_stream
 
 
 class TestBasicTopologies:
@@ -186,3 +193,95 @@ class TestWeightedConvenience:
     def test_weighted_erdos_renyi(self):
         graph = weighted_erdos_renyi(20, 0.3, seed=1)
         assert graph.is_connected()
+
+
+class TestCSRGenerators:
+    """The direct-to-CSR builders and their small-n equality contract."""
+
+    INDEXED_ARRAYS = ("indptr", "indices", "latencies", "slot_edge_id")
+
+    @pytest.mark.parametrize(
+        ("factory", "kwargs"),
+        [
+            (weighted_erdos_renyi, {"n": 60, "p": 0.12}),
+            (weighted_barabasi_albert, {"n": 60, "m": 3}),
+        ],
+    )
+    def test_csr_flag_is_bit_identical_below_threshold(self, factory, kwargs):
+        # Below CSR_AUTO_THRESHOLD, csr=True repackages the dict-path
+        # realization: same graph AND the same CSR arrays slot for slot.
+        dict_graph = factory(seed=7, csr=False, **kwargs)
+        csr_graph = factory(seed=7, csr=True, **kwargs)
+        assert isinstance(csr_graph, CSRGraph)
+        assert csr_graph == dict_graph
+        dict_idx, csr_idx = dict_graph.indexed(), csr_graph.indexed()
+        for attr in self.INDEXED_ARRAYS:
+            assert np.array_equal(getattr(dict_idx, attr), getattr(csr_idx, attr)), attr
+
+    def test_edge_stream_assembly_matches_add_edge_order(self):
+        # The stream assembler's stable argsort reproduces dict insertion
+        # order exactly: building from the same (u, v, latency) sequence
+        # via add_edge yields identical IndexedGraph arrays.
+        rng = np.random.default_rng(11)
+        n = 30
+        pairs = {(int(a), int(b)) for a, b in rng.integers(0, n, size=(120, 2)) if a != b}
+        u = np.asarray([min(a, b) for a, b in sorted(pairs)], dtype=np.int64)
+        v = np.asarray([max(a, b) for a, b in sorted(pairs)], dtype=np.int64)
+        # Canonicalizing may create duplicates ((2,5) from both (2,5),(5,2)).
+        seen = set()
+        keep = []
+        for i, (a, b) in enumerate(zip(u.tolist(), v.tolist())):
+            if (a, b) not in seen:
+                seen.add((a, b))
+                keep.append(i)
+        u, v = u[keep], v[keep]
+        lat = rng.integers(1, 17, size=len(u), dtype=np.int64)
+        streamed = _csr_from_edge_stream(n, u, v, lat)
+        reference = WeightedGraph()
+        for node in range(n):
+            reference.add_node(node)
+        for a, b, w in zip(u.tolist(), v.tolist(), lat.tolist()):
+            reference.add_edge(a, b, w)
+        assert streamed == reference
+        ref_idx, csr_idx = reference.indexed(), streamed.indexed()
+        for attr in self.INDEXED_ARRAYS:
+            assert np.array_equal(getattr(ref_idx, attr), getattr(csr_idx, attr)), attr
+
+    def test_erdos_renyi_csr_realization_is_sane(self):
+        n = 4000
+        graph = erdos_renyi_csr(n, 8.0 / n, seed=3)
+        assert graph.num_nodes == n
+        assert graph.is_connected()
+        # Edge count is near the binomial mean (backbone adds a few).
+        assert 0.8 * 4 * n <= graph.num_edges <= 1.3 * 4 * n
+        idx = graph.indexed()
+        assert not np.any(idx.indices == np.repeat(np.arange(n), np.diff(idx.indptr)))
+        assert idx.latencies.min() >= 1 and idx.latencies.max() <= 16
+        again = erdos_renyi_csr(n, 8.0 / n, seed=3)
+        assert np.array_equal(idx.indices, again.indexed().indices)
+
+    def test_erdos_renyi_csr_without_backbone_can_disconnect(self):
+        graph = erdos_renyi_csr(400, 0.001, seed=1, ensure_connected=False)
+        assert not graph.is_connected()
+
+    def test_barabasi_albert_csr_realization_is_sane(self):
+        n, m = 3000, 2
+        graph = barabasi_albert_csr(n, m=m, seed=5)
+        assert graph.num_nodes == n
+        assert graph.num_edges == m * (n - m)
+        assert graph.is_connected()
+        # Preferential attachment produces hubs far above the mean degree.
+        assert graph.max_degree() > 10 * (2 * graph.num_edges) / n
+
+    def test_csr_builders_honour_explicit_latency_model(self):
+        graph = erdos_renyi_csr(200, 0.05, model=constant_latency(3), seed=2)
+        idx = graph.indexed()
+        assert np.all(idx.latencies == 3)
+
+    def test_csr_builders_validate_arguments(self):
+        with pytest.raises(GraphError):
+            erdos_renyi_csr(0, 0.5)
+        with pytest.raises(GraphError):
+            erdos_renyi_csr(10, 1.5)
+        with pytest.raises(GraphError):
+            barabasi_albert_csr(3, m=3)

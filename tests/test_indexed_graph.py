@@ -2,9 +2,10 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.graphs import IndexedGraph, WeightedGraph, weighted_erdos_renyi
+from repro.graphs import CSRGraph, GraphError, IndexedGraph, WeightedGraph, weighted_erdos_renyi
 
 
 @pytest.fixture
@@ -98,3 +99,100 @@ class TestCaching:
     def test_direct_construction(self, labeled_graph):
         direct = IndexedGraph(labeled_graph)
         assert direct.num_nodes == labeled_graph.num_nodes
+
+
+class TestLazySlotEdgeId:
+    def test_from_csr_defers_and_matches_dict_build(self):
+        graph = weighted_erdos_renyi(40, 0.15, seed=2)
+        idx = graph.indexed()
+        direct = IndexedGraph.from_csr(idx.labels, idx.indptr, idx.indices, idx.latencies)
+        assert direct._slot_edge_id is None  # deferred until first access
+        assert direct.num_edges == idx.num_edges
+        # The pairing-based lazy build reproduces the dict constructor's
+        # first-appearance edge-id order exactly.
+        assert np.array_equal(direct.slot_edge_id, idx.slot_edge_id)
+        assert direct._slot_edge_id is not None  # memoized
+
+    def test_lazy_build_rejects_asymmetric_arrays(self):
+        broken = IndexedGraph.from_csr(
+            [0, 1],
+            np.array([0, 1, 1], dtype=np.int64),
+            np.array([1], dtype=np.int64),  # directed 0->1 with no mirror slot
+            np.array([1], dtype=np.int64),
+        )
+        with pytest.raises(ValueError, match="symmetric"):
+            broken.slot_edge_id
+
+
+class TestCSRGraph:
+    @pytest.fixture
+    def pair(self):
+        dict_graph = weighted_erdos_renyi(36, 0.18, seed=4)
+        return dict_graph, CSRGraph.from_weighted(dict_graph)
+
+    def test_reads_match_dict_graph(self, pair):
+        dict_graph, csr_graph = pair
+        assert csr_graph.num_nodes == dict_graph.num_nodes
+        assert csr_graph.num_edges == dict_graph.num_edges
+        assert csr_graph.nodes() == dict_graph.nodes()
+        assert csr_graph.max_degree() == dict_graph.max_degree()
+        assert csr_graph.total_volume() == dict_graph.total_volume()
+        assert csr_graph.max_latency() == dict_graph.max_latency()
+        assert csr_graph.min_latency() == dict_graph.min_latency()
+        assert csr_graph.is_connected() == dict_graph.is_connected()
+        for node in dict_graph.nodes():
+            assert csr_graph.has_node(node)
+            assert csr_graph.degree(node) == dict_graph.degree(node)
+            assert csr_graph.neighbors(node) == dict_graph.neighbors(node)
+            for nbr in dict_graph.neighbors(node):
+                assert csr_graph.has_edge(node, nbr)
+                assert csr_graph.latency(node, nbr) == dict_graph.latency(node, nbr)
+        assert not csr_graph.has_node("ghost")
+        assert not csr_graph.has_edge(0, "ghost")
+        with pytest.raises(GraphError):
+            csr_graph.degree("ghost")
+        missing = next(
+            (u, v)
+            for u in dict_graph.nodes()
+            for v in dict_graph.nodes()
+            if u != v and not dict_graph.has_edge(u, v)
+        )
+        with pytest.raises(GraphError):
+            csr_graph.latency(*missing)
+        assert csr_graph == dict_graph  # materializes the dicts; still equal
+
+    def test_indexed_snapshot_is_prebuilt_and_bit_identical(self, pair):
+        dict_graph, csr_graph = pair
+        snapshot = csr_graph.indexed()
+        assert snapshot is csr_graph.indexed()  # cached, no rebuild
+        reference = dict_graph.indexed()
+        assert snapshot.labels == reference.labels
+        for attr in ("indptr", "indices", "latencies", "slot_edge_id"):
+            assert np.array_equal(getattr(snapshot, attr), getattr(reference, attr)), attr
+
+    def test_vectorized_bfs_detects_disconnection(self):
+        parts = WeightedGraph()
+        parts.add_edge(0, 1, 1)
+        parts.add_edge(2, 3, 1)
+        split = CSRGraph.from_weighted(parts)
+        assert not split.is_connected()
+        assert not parts.is_connected()
+
+    def test_mutation_materialises_then_behaves_like_dict_graph(self, pair):
+        dict_graph, csr_graph = pair
+        u, v = next(
+            (a, b)
+            for a in dict_graph.nodes()
+            for b in dict_graph.nodes()
+            if a != b and not dict_graph.has_edge(a, b)
+        )
+        csr_graph.add_edge(u, v, 9)
+        dict_graph.add_edge(u, v, 9)
+        assert csr_graph.version > 0  # snapshot no longer fresh
+        assert csr_graph == dict_graph
+        assert csr_graph.num_edges == dict_graph.num_edges
+        assert csr_graph.latency(u, v) == 9
+        assert csr_graph.is_connected() == dict_graph.is_connected()
+        after, reference = csr_graph.indexed(), dict_graph.indexed()
+        for attr in ("indptr", "indices", "latencies", "slot_edge_id"):
+            assert np.array_equal(getattr(after, attr), getattr(reference, attr)), attr
