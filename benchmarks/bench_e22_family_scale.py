@@ -1,0 +1,42 @@
+"""E22 — direct-to-CSR families: million-node builds + SIR push-pull at scale.
+
+Every family (Watts–Strogatz, configuration-model, Kronecker) must build
+its largest graph within the 30-second acceptance budget and run the SIR
+protocol end-to-end on the edge backend, reproducing the numpy-mode
+fast-engine trajectory bit for bit on every size the oracle runs at (the
+``parity`` column, SIR epidemic stats included).  The quick smoke shrinks
+the sizes; the build budget then only guards against pathological
+regressions.
+"""
+
+from __future__ import annotations
+
+
+def test_e22_family_scale(run_experiment_benchmark, quick_mode):
+    table = run_experiment_benchmark("E22")
+    rows = list(table)
+    assert rows, "E22 produced no rows"
+    families = {row["family"] for row in rows}
+    assert families == {"watts-strogatz", "configuration-model", "kronecker"}, (
+        f"E22 missed a family: {sorted(families)}"
+    )
+    # Parity: every size the fast oracle ran at matched bit for bit.
+    checked = [row for row in rows if row["fast_rounds_per_sec"] is not None]
+    assert checked, "E22 never ran the fast oracle"
+    for row in checked:
+        assert row["parity"] == "bit-for-bit", (
+            f"edge/fast mismatch on {row['topology']}: {row['parity']}"
+        )
+    for family in sorted(families):
+        headline = max((row for row in rows if row["family"] == family), key=lambda r: r["n"])
+        # The SIR run completed end-to-end: the epidemic reached everyone
+        # before dying out (forget_after is sized for that).
+        assert headline["rounds"] > 0
+        assert headline["complete"], f"{headline['topology']}: SIR epidemic died out"
+        assert headline["ever_informed"] == headline["n"]
+        # Build budget: 30 s for the 10^6-node CSR build is the acceptance
+        # target; the quick smoke's tiny builds get the same bound, which
+        # there only guards against pathological regressions.
+        assert headline["build_seconds"] < 30.0, (
+            f"{headline['topology']}: build took {headline['build_seconds']}s (budget 30s)"
+        )

@@ -12,7 +12,7 @@ The CLI exposes four things:
   scenario files (schema + round-trip),
 * ``conductance`` — print the weighted-conductance profile of a generated
   graph,
-* ``experiment`` — regenerate one of the experiments (E1 .. E20) and print
+* ``experiment`` — regenerate one of the experiments (E1 .. E22) and print
   its table; the same code paths the benchmark suite uses.  Sweeps built on
   :class:`repro.analysis.Experiment` honour ``--workers``,
   ``--checkpoint-dir``, and ``--resume``.
@@ -56,11 +56,12 @@ _DYNAMICS = ("static", "markov-churn", "latency-drift", "bridge-flap", "churn-dr
 
 # The flat `run` flags are a thin veneer over the scenario registries; the
 # canonical tables live in repro.scenario so files and flags can never
-# drift apart.  (The flat surface offers the all-to-all algorithms only;
-# push/pull one-to-all variants are reachable through scenario files.)
+# drift apart.  (The flat surface offers the all-to-all algorithms plus
+# sir-push-pull, which is one-to-all by construction; the plain push/pull
+# one-to-all variants are reachable through scenario files.)
 _GRAPH_BUILDERS = GRAPH_FAMILIES
 _LATENCY_MODELS = LATENCY_MODELS
-_ALGORITHMS = ("flooding", "pattern", "push-pull", "spanner", "unified")
+_ALGORITHMS = ("flooding", "pattern", "push-pull", "sir-push-pull", "spanner", "unified")
 
 
 def build_graph(family: str, n: int, latency_model: str, seed: int) -> WeightedGraph:
@@ -114,11 +115,15 @@ def _scenario_from_flags(args: argparse.Namespace) -> ScenarioSpec:
     spec = ScenarioSpec(
         name=f"cli-{args.algorithm}-{args.graph}",
         algorithm=args.algorithm,
-        task="all-to-all",
+        # sir-push-pull tracks a single rumor's infection wave, so it is
+        # one-to-all by construction; every other flat-surface algorithm
+        # solves the all-to-all task.
+        task="one-to-all" if args.algorithm == "sir-push-pull" else "all-to-all",
         graph=GraphSpec(family=args.graph, n=args.nodes, latency=args.latency),
         seed=args.seed if args.seed is not None else 0,
         engine=args.engine or "auto",
         reps=args.reps if args.reps is not None else 1,
+        forget_after=args.forget_after,
         dynamics=tuple(dynamics),
         faults=faults,
     )
@@ -145,6 +150,7 @@ _FLAT_RUN_CONFLICT_DESTS = (
     "crash_round",
     "drop_fraction",
     "drop_round",
+    "forget_after",
 )
 
 
@@ -357,6 +363,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "executed as one vectorized batch computation unless --engine overrides it",
     )
     run_parser.add_argument(
+        "--forget-after",
+        type=int,
+        default=None,
+        metavar="K",
+        help="for --algorithm sir-push-pull: rounds a node stays infectious after "
+        "learning the rumor before it forgets it (default: the protocol's own "
+        "default; rejected for other algorithms)",
+    )
+    run_parser.add_argument(
         "--dynamics",
         default="static",
         choices=list(_DYNAMICS),
@@ -443,7 +458,7 @@ def _build_parser() -> argparse.ArgumentParser:
     cond_parser.add_argument("--seed", type=int, default=0)
     cond_parser.set_defaults(handler=_command_conductance)
 
-    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E20)")
+    exp_parser = subparsers.add_parser("experiment", help="regenerate a paper experiment (E1..E22)")
     exp_parser.add_argument("experiment", help="experiment id, e.g. E1")
     exp_parser.add_argument("--quick", action="store_true", help="reduced sweep for a fast smoke run")
     exp_parser.add_argument(

@@ -28,6 +28,7 @@ from .local_broadcast import DTGLocalBroadcast, RandomizedLocalBroadcast
 from .pattern_broadcast import PatternBroadcast, execute_pattern, pattern_schedule
 from .push_pull import PullGossip, PushGossip, PushPullGossip, run_push_pull
 from .rr_broadcast import RRBroadcastResult, rr_broadcast
+from .sir_push_pull import SirPushPull, run_sir_push_pull
 from .spanner_broadcast import SpannerBroadcast, spanner_broadcast_attempt
 from .termination import (
     BroadcastPrimitive,
@@ -54,6 +55,7 @@ __all__ = [
     "PushPullGossip",
     "ReplicatedResult",
     "RRBroadcastResult",
+    "SirPushPull",
     "SpannerBroadcast",
     "Task",
     "TerminationOutcome",
@@ -69,6 +71,7 @@ __all__ = [
     "rr_broadcast",
     "run_flooding",
     "run_push_pull",
+    "run_sir_push_pull",
     "seed_engine",
     "task_stop_condition",
     "spanner_broadcast_attempt",

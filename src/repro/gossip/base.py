@@ -54,7 +54,12 @@ __all__ = [
 
 
 def declarative_policy_spec(
-    backend: str, select: str, gate: str, seed: int, label: str
+    backend: str,
+    select: str,
+    gate: str,
+    seed: int,
+    label: str,
+    options: Optional[dict] = None,
 ) -> RoundPolicySpec:
     """Build the :class:`RoundPolicySpec` for a declarative run on ``backend``.
 
@@ -64,13 +69,17 @@ def declarative_policy_spec(
     run is, bit for bit, replication 0 of the batched form (and of the
     sequential numpy-mode fast loop).  Every other backend keeps the
     classic per-label ``random.Random`` stream; round-robin selection is
-    deterministic and needs no rng anywhere.
+    deterministic and needs no rng anywhere.  ``options`` carries extra
+    gate parameters (the SIR gate's ``forget_after``).
     """
+    opts = options or {}
     if select != "uniform-random":
-        return RoundPolicySpec(select=select, gate=gate)
+        return RoundPolicySpec(select=select, gate=gate, **opts)
     if backend == "edge":
-        return RoundPolicySpec(select=select, gate=gate, rng=make_numpy_rng(seed, "rep", 0))
-    return RoundPolicySpec(select=select, gate=gate, rng=make_rng(seed, label))
+        return RoundPolicySpec(
+            select=select, gate=gate, rng=make_numpy_rng(seed, "rep", 0), **opts
+        )
+    return RoundPolicySpec(select=select, gate=gate, rng=make_rng(seed, label), **opts)
 
 
 def engine_run_details(
@@ -344,6 +353,41 @@ class GossipAlgorithm(abc.ABC):
             "declarative algorithm (push/pull/push-pull/flooding)"
         )
 
+    def _policy_options(self) -> dict:
+        """Extra keyword options for the declarative policy specs.
+
+        Gates that need parameters beyond ``(select, gate)`` contribute
+        them here — the SIR protocol's ``forget_after`` — and they are
+        spliced into both the single-run :class:`RoundPolicySpec` and the
+        replicated :class:`BatchPolicySpec`, keeping the two forms in
+        lockstep.
+        """
+        return {}
+
+    def _single_stop_condition(self, rumor):
+        """The single-run stop predicate (default: the task's completion)."""
+        return task_stop_condition(self.task, rumor)
+
+    def _single_complete(self, eng) -> bool:
+        """Whether a stopped single run reached the task goal.
+
+        The default tasks only stop on completion; protocols with an
+        alternative terminal state (SIR die-out) override this.
+        """
+        return True
+
+    def _batch_stop_mask(self, rumor):
+        """The per-replication stop mask (default: the task's completion)."""
+        if self.task is Task.ONE_TO_ALL:
+            return lambda eng: eng.dissemination_complete_mask(rumor)
+        return lambda eng: eng.all_to_all_complete_mask()
+
+    def _finalize_single(self, eng, result: "DisseminationResult") -> None:
+        """Post-run hook for algorithm-specific detail annotation."""
+
+    def _finalize_batch(self, eng, results: list["DisseminationResult"]) -> None:
+        """Post-run hook over the per-replication rows of a batch run."""
+
     def run(
         self,
         graph: Optional[WeightedGraph] = None,
@@ -514,11 +558,11 @@ class GossipAlgorithm(abc.ABC):
             rumor = seed_engine(eng, self.task, work, source)
             if self.task is Task.ONE_TO_ALL:
                 eng.track_curve(rumor)
-                stop_mask = lambda e: e.dissemination_complete_mask(rumor)  # noqa: E731
-            else:
-                stop_mask = lambda e: e.all_to_all_complete_mask()  # noqa: E731
+            stop_mask = self._batch_stop_mask(rumor)
             rngs = tuple(replication_rngs(seed, reps)) if select == "uniform-random" else ()
-            policy = BatchPolicySpec(select=select, gate=gate, rngs=rngs)
+            policy = BatchPolicySpec(
+                select=select, gate=gate, rngs=rngs, **self._policy_options()
+            )
             per_rep_metrics = eng.run_batch(policy, stop_mask, max_rounds=max_rounds)
             for rep, metrics in enumerate(per_rep_metrics):
                 details = engine_run_details(backend, dynamics, metrics)
@@ -536,6 +580,7 @@ class GossipAlgorithm(abc.ABC):
                         details=details,
                     )
                 )
+            self._finalize_batch(eng, results)
         else:  # "fast": the sequential numpy-mode loop (the parity oracle)
             for rep in range(reps):
                 work = graph.copy() if dynamics is not None else graph
@@ -543,29 +588,32 @@ class GossipAlgorithm(abc.ABC):
                 rumor = seed_engine(eng, self.task, work, source)
                 if select == "uniform-random":
                     spec = RoundPolicySpec(
-                        select=select, gate=gate, rng=make_numpy_rng(seed, "rep", rep)
+                        select=select,
+                        gate=gate,
+                        rng=make_numpy_rng(seed, "rep", rep),
+                        **self._policy_options(),
                     )
                 else:
-                    spec = RoundPolicySpec(select=select, gate=gate)
+                    spec = RoundPolicySpec(select=select, gate=gate, **self._policy_options())
                 metrics = eng.run(
                     spec,
-                    stop_condition=task_stop_condition(self.task, rumor),
+                    stop_condition=self._single_stop_condition(rumor),
                     max_rounds=max_rounds,
                 )
                 details = engine_run_details(backend, dynamics, metrics)
                 details["rep"] = rep
                 details["sampling"] = "numpy"
-                results.append(
-                    DisseminationResult(
-                        algorithm=self.name,
-                        task=self.task,
-                        time=metrics.total_time,
-                        rounds_simulated=metrics.rounds,
-                        complete=True,
-                        metrics=metrics,
-                        details=details,
-                    )
+                result = DisseminationResult(
+                    algorithm=self.name,
+                    task=self.task,
+                    time=metrics.total_time,
+                    rounds_simulated=metrics.rounds,
+                    complete=self._single_complete(eng),
+                    metrics=metrics,
+                    details=details,
                 )
+                self._finalize_single(eng, result)
+                results.append(result)
         details: dict[str, Any] = {"engine": backend, "reps": reps}
         if dynamics is not None:
             details["dynamics"] = str(dynamics)

@@ -78,17 +78,23 @@ class PushPullGossip(GossipAlgorithm):
         eng, backend = create_engine(graph, engine, capability=self.capability, dynamics=dynamics)
         rumor = seed_engine(eng, self.task, graph, source)
         select, gate = self.batch_policy()
-        spec = declarative_policy_spec(backend, select, gate, seed, "push-pull")
-        metrics = eng.run(spec, stop_condition=task_stop_condition(self.task, rumor), max_rounds=max_rounds)
-        return DisseminationResult(
+        spec = declarative_policy_spec(
+            backend, select, gate, seed, self.name, options=self._policy_options()
+        )
+        metrics = eng.run(
+            spec, stop_condition=self._single_stop_condition(rumor), max_rounds=max_rounds
+        )
+        result = DisseminationResult(
             algorithm=self.name,
             task=self.task,
             time=metrics.total_time,
             rounds_simulated=metrics.rounds,
-            complete=True,
+            complete=self._single_complete(eng),
             metrics=metrics,
             details=engine_run_details(backend, dynamics, metrics),
         )
+        self._finalize_single(eng, result)
+        return result
 
 
 class _DirectionalGossip(GossipAlgorithm):

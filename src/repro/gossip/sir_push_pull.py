@@ -1,0 +1,112 @@
+"""SIR-style push-pull: informed nodes forget the rumor after k rounds.
+
+Epidemic variant of the random phone call in the spirit of the SEIR / ICC
+outbreak models in PAPERS.md: a node that learns the rumor is *infectious*
+for ``forget_after`` rounds, then *recovers* — it forgets the rumor, stops
+initiating exchanges, and ignores every later delivery.  Susceptible nodes
+keep gossiping (the pull side), so the dynamics are the classical push-pull
+wave with a trailing recovery edge.
+
+Unlike plain push-pull the rumor can die out before reaching everyone, so a
+run has two terminal states and stops at whichever comes first:
+
+* **complete** — every survivor was infected at some point
+  (``sir_ever_complete``), or
+* **died out** — no survivor is still infectious and no infectious payload
+  is in flight (``sir_quiescent``); the result reports ``complete=False``
+  and ``details["died_out"]=True``.
+
+Termination is guaranteed either way: each of the ``n`` nodes is infected
+at most once, so infectious activity must cease within ``forget_after``
+rounds of the last infection.
+
+The protocol is declarative — the ``"sir"`` gate plus a ``forget_after``
+parameter on the policy spec — so it runs bit-for-bit identically on the
+fast (numpy sampling mode), edge, and batch backends.  The reference
+engine cannot run it: recovery needs per-node state that only the
+vectorized backends keep.  The protocol solves one-to-all only (a single
+rumor; the recovery bookkeeping is per node, not per rumor).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs.weighted_graph import NodeId, WeightedGraph
+from ..simulation.dynamics import TopologyDynamics
+from ..simulation.protocol import PolicyCapability
+from .base import DisseminationResult, Task
+from .push_pull import PushPullGossip
+
+__all__ = ["SirPushPull", "run_sir_push_pull"]
+
+
+class SirPushPull(PushPullGossip):
+    """Push-pull where informed nodes recover after ``forget_after`` rounds.
+
+    Parameters
+    ----------
+    forget_after:
+        Number of rounds a node stays infectious after first learning the
+        rumor (an int >= 1).  Small values make die-out likely on sparse
+        graphs; large values approach plain push-pull.
+    """
+
+    capability = PolicyCapability.UNIFORM_RANDOM
+    supports_dynamics = True
+
+    def __init__(self, forget_after: int = 8) -> None:
+        if (
+            not isinstance(forget_after, int)
+            or isinstance(forget_after, bool)
+            or forget_after < 1
+        ):
+            raise ValueError(f"forget_after must be an int >= 1, got {forget_after!r}")
+        super().__init__(task=Task.ONE_TO_ALL)
+        self.name = "sir-push-pull"
+        self.forget_after = forget_after
+
+    def batch_policy(self) -> tuple[str, str]:
+        """Declarative policy: uniform neighbour choice behind the SIR gate."""
+        return "uniform-random", "sir"
+
+    def _policy_options(self) -> dict:
+        return {"forget_after": self.forget_after}
+
+    def _single_stop_condition(self, rumor):
+        return lambda eng: eng.sir_ever_complete() or eng.sir_quiescent()
+
+    def _single_complete(self, eng) -> bool:
+        return eng.sir_ever_complete()
+
+    def _batch_stop_mask(self, rumor):
+        return lambda eng: eng.sir_ever_complete_mask() | eng.sir_quiescent_mask()
+
+    def _finalize_single(self, eng, result: DisseminationResult) -> None:
+        result.details["forget_after"] = self.forget_after
+        result.details["died_out"] = not result.complete
+        result.details.update(eng.sir_stats())
+
+    def _finalize_batch(self, eng, results: list[DisseminationResult]) -> None:
+        ever = eng.sir_ever_complete_mask()
+        stats = eng.sir_stats()
+        for rep, result in enumerate(results):
+            result.complete = bool(ever[rep])
+            result.details["forget_after"] = self.forget_after
+            result.details["died_out"] = not result.complete
+            result.details.update(stats[rep])
+
+
+def run_sir_push_pull(
+    graph: WeightedGraph,
+    source: Optional[NodeId] = None,
+    seed: int = 0,
+    forget_after: int = 8,
+    max_rounds: int = 1_000_000,
+    engine: str = "auto",
+    dynamics: Optional[TopologyDynamics] = None,
+) -> DisseminationResult:
+    """Convenience wrapper: run SIR push-pull once and return the result."""
+    return SirPushPull(forget_after=forget_after).run(
+        graph, source=source, seed=seed, max_rounds=max_rounds, engine=engine, dynamics=dynamics
+    )

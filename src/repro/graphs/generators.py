@@ -18,6 +18,7 @@ from typing import Optional
 import networkx as nx
 import numpy as np
 
+from ..simulation.rng import derive_seed
 from .indexed import CSRGraph
 from .weighted_graph import GraphError, WeightedGraph
 
@@ -42,12 +43,21 @@ __all__ = [
     "random_geometric",
     "barabasi_albert",
     "barabasi_albert_csr",
+    "watts_strogatz",
+    "watts_strogatz_csr",
+    "configuration_model",
+    "configuration_model_csr",
+    "kronecker",
+    "kronecker_csr",
     "dumbbell",
     "weighted_clique",
     "weighted_expander",
     "weighted_grid",
     "weighted_erdos_renyi",
     "weighted_barabasi_albert",
+    "weighted_watts_strogatz",
+    "weighted_configuration_model",
+    "weighted_kronecker",
     "two_cluster_slow_bridge",
     "layered_ring",
 ]
@@ -271,6 +281,8 @@ def random_geometric(n: int, radius: float, seed: int = 0, ensure_connected: boo
 
 def barabasi_albert(n: int, m: int = 2, seed: int = 0) -> WeightedGraph:
     """Barabási–Albert preferential-attachment graph with unit latencies."""
+    if m < 1:
+        raise GraphError("barabasi-albert attachment count m must be >= 1 (m=0 builds an edgeless graph)")
     if n <= m:
         raise GraphError("n must exceed m")
     nx_graph = nx.barabasi_albert_graph(n, m, seed=seed)
@@ -370,16 +382,28 @@ def _csr_from_edge_stream(
     construction).
     """
     m = len(u)
-    src = np.empty(2 * m, dtype=np.int64)
-    dst = np.empty(2 * m, dtype=np.int64)
-    lat = np.empty(2 * m, dtype=np.int64)
+    slots = 2 * m
+    src = np.empty(slots, dtype=np.int64)
+    dst = np.empty(slots, dtype=np.int64)
+    lat = np.empty(slots, dtype=np.int64)
     src[0::2] = u
     dst[0::2] = v
     src[1::2] = v
     dst[1::2] = u
     lat[0::2] = latencies
     lat[1::2] = latencies
-    order = np.argsort(src, kind="stable")
+    # Stable sort by source node.  A direct np.sort of the packed
+    # (src, time) key is an order of magnitude faster than
+    # np.argsort(kind="stable") at 10^7 slots, and since every key is
+    # unique the sorted low bits *are* the stable permutation.
+    shift = max(1, slots - 1).bit_length()
+    if slots and n - 1 <= (2**62 - 1) >> shift:
+        key = src << shift
+        key += np.arange(slots, dtype=np.int64)
+        key.sort()
+        order = key & ((1 << shift) - 1)
+    else:  # pragma: no cover — n * slots beyond any practical size
+        order = np.argsort(src, kind="stable")
     counts = np.bincount(src, minlength=n)
     indptr = np.zeros(n + 1, dtype=np.int64)
     np.cumsum(counts, out=indptr[1:])
@@ -407,31 +431,17 @@ def _edge_stream_latencies(
     )
 
 
-def _er_edge_stream(
-    n: int, p: float, seed: int, ensure_connected: bool = True
-) -> tuple["np.ndarray", "np.ndarray"]:
-    """Vectorized ``G(n, p)`` edge sample as ``(u, v)`` arrays with ``u < v``.
+def _pair_codes(a: "np.ndarray", b: "np.ndarray", n: int) -> "np.ndarray":
+    """Row-major pair code ``a*n - a*(a+1)/2 + (b-a-1)`` for canonical ``a < b``."""
+    return a * n - a * (a + 1) // 2 + (b - a - 1)
 
-    Samples the edge *count* from the exact binomial, then that many
-    distinct pair codes uniformly (draw-and-dedup; collisions are rare at
-    sparse ``p``), and decodes codes to row-major ``(u, v)`` pairs.  The
-    optional Hamiltonian backbone over a random permutation mirrors
-    :func:`erdos_renyi`'s ``ensure_connected`` behaviour.
+
+def _decode_pair_codes(codes: "np.ndarray", n: int) -> tuple["np.ndarray", "np.ndarray"]:
+    """Invert :func:`_pair_codes`: sorted-or-not codes back to ``(u, v)``, ``u < v``.
+
+    Inverts the row start with a float sqrt, then fixes the ±1 the rounding
+    can introduce.
     """
-    rng = np.random.default_rng(seed)
-    total = n * (n - 1) // 2
-    m = int(rng.binomial(total, p)) if total > 0 and p > 0.0 else 0
-    # Draw-and-dedup via sort+mask (np.unique is several times slower).
-    codes = np.empty(0, dtype=np.int64)
-    while codes.size < m:
-        extra = rng.integers(0, total, size=m - codes.size, dtype=np.int64)
-        merged = np.sort(np.concatenate([codes, extra]), kind="stable")
-        keep = np.empty(len(merged), dtype=bool)
-        keep[0] = True
-        np.not_equal(merged[1:], merged[:-1], out=keep[1:])
-        codes = merged[keep]
-    # Decode pair code c = u*n - u*(u+1)/2 + (v-u-1): invert the row start
-    # with a float sqrt, then fix the ±1 the rounding can introduce.
     nn = 2 * n - 1
     u = np.floor((nn - np.sqrt(nn * nn - 8.0 * codes.astype(np.float64))) / 2.0).astype(np.int64)
     u = np.clip(u, 0, max(n - 2, 0))
@@ -442,19 +452,83 @@ def _er_edge_stream(
     u += codes >= nxt
     start = u * n - u * (u + 1) // 2
     v = codes - start + u + 1
+    return u, v
+
+
+def _dedup_sorted(merged: "np.ndarray") -> "np.ndarray":
+    """First occurrence of each value in an already-sorted array (sort+diff idiom)."""
+    if merged.size == 0:
+        return merged
+    keep = np.empty(len(merged), dtype=bool)
+    keep[0] = True
+    np.not_equal(merged[1:], merged[:-1], out=keep[1:])
+    return merged[keep]
+
+
+def _distinct_codes(rng: "np.random.Generator", m: int, total: int) -> "np.ndarray":
+    """``m`` distinct codes drawn uniformly from ``[0, total)``, returned sorted.
+
+    Draw-and-dedup via sort+mask (np.unique is several times slower).  When
+    more than half the code space is requested, the rejection loop
+    degenerates into a coupon-collector crawl — so sample the *complement*
+    (``total - m`` codes) instead and invert: a uniform complement is a
+    uniform ``m``-subset, keeping the output distribution-equal.
+    """
+    if m >= total:
+        return np.arange(total, dtype=np.int64)
+    invert = m > total // 2
+    want = total - m if invert else m
+    codes = np.empty(0, dtype=np.int64)
+    while codes.size < want:
+        extra = rng.integers(0, total, size=want - codes.size, dtype=np.int64)
+        codes = _dedup_sorted(np.sort(np.concatenate([codes, extra]), kind="stable"))
+    if invert:
+        mask = np.ones(total, dtype=bool)
+        mask[codes] = False
+        codes = np.nonzero(mask)[0]
+    return codes
+
+
+def _backbone_missing(
+    codes: "np.ndarray", a: "np.ndarray", b: "np.ndarray", n: int
+) -> "np.ndarray":
+    """Mask of backbone edges ``(a, b)`` *absent* from the sorted ``codes``.
+
+    Membership via searchsorted — np.isin re-sorts and is far slower on
+    this scale.
+    """
+    backbone = _pair_codes(a, b, n)
+    pos = np.searchsorted(codes, backbone)
+    present = np.zeros(len(backbone), dtype=bool)
+    in_range = pos < codes.size
+    present[in_range] = codes[pos[in_range]] == backbone[in_range]
+    return ~present
+
+
+def _er_edge_stream(
+    n: int, p: float, seed: int, ensure_connected: bool = True
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized ``G(n, p)`` edge sample as ``(u, v)`` arrays with ``u < v``.
+
+    Samples the edge *count* from the exact binomial, then that many
+    distinct pair codes uniformly (draw-and-dedup at sparse ``p``,
+    complement sampling at dense ``p`` — see :func:`_distinct_codes`), and
+    decodes codes to row-major ``(u, v)`` pairs.  The optional Hamiltonian
+    backbone over a random permutation mirrors :func:`erdos_renyi`'s
+    ``ensure_connected`` behaviour.
+    """
+    rng = np.random.default_rng(seed)
+    total = n * (n - 1) // 2
+    m = int(rng.binomial(total, p)) if total > 0 and p > 0.0 else 0
+    codes = _distinct_codes(rng, m, total)
+    u, v = _decode_pair_codes(codes, n)
     if ensure_connected and n > 1:
         perm = rng.permutation(n).astype(np.int64)
         a = np.minimum(perm[:-1], perm[1:])
         b = np.maximum(perm[:-1], perm[1:])
-        backbone = a * n - a * (a + 1) // 2 + (b - a - 1)
-        # Membership against the (sorted) sampled codes via searchsorted —
-        # np.isin re-sorts and is far slower on this scale.
-        pos = np.searchsorted(codes, backbone)
-        present = np.zeros(len(backbone), dtype=bool)
-        in_range = pos < codes.size
-        present[in_range] = codes[pos[in_range]] == backbone[in_range]
-        u = np.concatenate([u, a[~present]])
-        v = np.concatenate([v, b[~present]])
+        missing = _backbone_missing(codes, a, b, n)
+        u = np.concatenate([u, a[missing]])
+        v = np.concatenate([v, b[missing]])
     return u, v
 
 
@@ -516,9 +590,366 @@ def barabasi_albert_csr(
     own seed stream, not bit-identical to the networkx realization), with
     latencies per :func:`_edge_stream_latencies`.
     """
+    if m < 1:
+        raise GraphError("barabasi-albert attachment count m must be >= 1 (m=0 builds an edgeless graph)")
     if n <= m:
         raise GraphError("n must exceed m")
     u, v = _ba_edge_stream(n, m, seed)
+    return _csr_from_edge_stream(n, u, v, _edge_stream_latencies(u, v, model, seed))
+
+
+# ----------------------------------------------------------------------
+# New CSR-first families: small-world, power-law, Kronecker (R-MAT)
+# ----------------------------------------------------------------------
+def _validate_watts_strogatz(n: int, k: int, rewire: float) -> None:
+    """Shared parameter validation for the Watts–Strogatz builders."""
+    if k < 2 or k % 2 != 0:
+        raise GraphError(f"watts-strogatz lattice degree k must be an even integer >= 2, got {k}")
+    if n <= k:
+        raise GraphError(f"watts-strogatz needs n > k, got n={n} k={k}")
+    if not 0.0 <= rewire <= 1.0:
+        raise GraphError(f"watts-strogatz rewire probability must be in [0, 1], got {rewire}")
+
+
+def _validate_configuration_model(n: int, gamma: float, min_degree: int) -> None:
+    """Shared parameter validation for the configuration-model builders."""
+    if gamma <= 1.0:
+        raise GraphError(f"configuration-model power-law exponent gamma must exceed 1, got {gamma}")
+    if min_degree < 1:
+        raise GraphError(f"configuration-model min_degree must be >= 1, got {min_degree}")
+    if n <= min_degree:
+        raise GraphError(f"configuration-model needs n > min_degree, got n={n} min_degree={min_degree}")
+
+
+def _validate_kronecker(n: int, edge_factor: int, a: float, b: float, c: float) -> None:
+    """Shared parameter validation for the Kronecker (R-MAT) builders."""
+    if n < 2:
+        raise GraphError("kronecker needs n >= 2")
+    if edge_factor < 1:
+        raise GraphError(f"kronecker edge_factor must be >= 1, got {edge_factor}")
+    for name, value in (("a", a), ("b", b), ("c", c)):
+        if not 0.0 < value < 1.0:
+            raise GraphError(f"kronecker initiator probability {name} must be in (0, 1), got {value}")
+    if a + b + c >= 1.0:
+        raise GraphError(
+            "kronecker initiator probabilities must satisfy a + b + c < 1 "
+            f"(d = 1 - a - b - c is the fourth quadrant), got a + b + c = {a + b + c}"
+        )
+
+
+def watts_strogatz(n: int, k: int = 6, rewire: float = 0.1, seed: int = 0) -> WeightedGraph:
+    """Watts–Strogatz small-world graph with unit latencies.
+
+    Ring lattice of degree ``k`` (each node linked to ``k/2`` neighbours on
+    either side) where every lattice edge is rewired to a uniform random
+    target with probability ``rewire``; a rewiring that would create a
+    self-loop or duplicate an existing edge keeps the lattice edge instead.
+    The base ring ``(i, i+1)`` is re-added where rewired away so the graph
+    stays connected — the same distribution-bending trade the ER builders
+    make with their Hamiltonian backbone.
+    """
+    _validate_watts_strogatz(n, k, rewire)
+    rng = random.Random(derive_seed(seed, "watts-strogatz"))
+    graph = WeightedGraph(range(n))
+    for j in range(1, k // 2 + 1):
+        for i in range(n):
+            if rng.random() < rewire:
+                target = rng.randrange(n)
+                if target != i and not graph.has_edge(i, target):
+                    graph.add_edge(i, target, 1)
+                    continue
+            target = (i + j) % n
+            if not graph.has_edge(i, target):
+                graph.add_edge(i, target, 1)
+    for i in range(n):
+        if not graph.has_edge(i, (i + 1) % n):
+            graph.add_edge(i, (i + 1) % n, 1)
+    return graph
+
+
+def _ws_edge_stream(
+    n: int, k: int, rewire: float, seed: int
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized Watts–Strogatz edge stream (its own seed stream).
+
+    Builds the full ring lattice as flat arrays, draws one rewire vector
+    and one proposal vector over all ``n·k/2`` lattice slots, and accepts a
+    proposal when it is not a self-loop, does not collide with any lattice
+    code, and is the first proposal for its pair code (sort+diff dedup).
+    Rejected proposals keep their lattice edge; ring edges rewired away are
+    re-appended so the stream stays connected.
+    """
+    rng = np.random.default_rng(derive_seed(seed, "watts-strogatz"))
+    half = k // 2
+    base = np.arange(n, dtype=np.int64)
+    u = np.tile(base, half)
+    v = (u + np.repeat(np.arange(1, half + 1, dtype=np.int64), n)) % n
+    lattice_sorted = np.sort(_pair_codes(np.minimum(u, v), np.maximum(u, v), n))
+    draws = rng.random(n * half)
+    proposals = rng.integers(0, n, size=n * half, dtype=np.int64)
+    ok = (draws < rewire) & (proposals != u)
+    cand_codes = _pair_codes(np.minimum(u, proposals), np.maximum(u, proposals), n)
+    pos = np.searchsorted(lattice_sorted, cand_codes)
+    in_range = pos < lattice_sorted.size
+    hit = np.zeros(n * half, dtype=bool)
+    hit[in_range] = lattice_sorted[pos[in_range]] == cand_codes[in_range]
+    ok &= ~hit
+    idx = np.nonzero(ok)[0]
+    order = np.argsort(cand_codes[idx], kind="stable")
+    sorted_codes = cand_codes[idx][order]
+    first = np.empty(len(sorted_codes), dtype=bool)
+    if len(sorted_codes):
+        first[0] = True
+        np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=first[1:])
+    accept = np.zeros(n * half, dtype=bool)
+    accept[idx[order[first]]] = True
+    v = np.where(accept, proposals, v)
+    final_codes = np.sort(_pair_codes(np.minimum(u, v), np.maximum(u, v), n))
+    ring_a = np.minimum(base, (base + 1) % n)
+    ring_b = np.maximum(base, (base + 1) % n)
+    missing = _backbone_missing(final_codes, ring_a, ring_b, n)
+    return np.concatenate([u, ring_a[missing]]), np.concatenate([v, ring_b[missing]])
+
+
+def watts_strogatz_csr(
+    n: int,
+    k: int = 6,
+    rewire: float = 0.1,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+) -> CSRGraph:
+    """Watts–Strogatz small-world graph built straight into CSR arrays.
+
+    Same lattice-plus-rewiring family as :func:`watts_strogatz` (its own
+    seed stream), with latencies per :func:`_edge_stream_latencies`.
+    """
+    _validate_watts_strogatz(n, k, rewire)
+    u, v = _ws_edge_stream(n, k, rewire, seed)
+    return _csr_from_edge_stream(n, u, v, _edge_stream_latencies(u, v, model, seed))
+
+
+def _power_law_degree_cap(n: int, min_degree: int) -> int:
+    """Structural degree cutoff ``~sqrt(n)`` used by the configuration model."""
+    return min(n - 1, max(min_degree, math.isqrt(max(n - 1, 1))))
+
+
+def configuration_model(
+    n: int,
+    gamma: float = 2.5,
+    min_degree: int = 2,
+    seed: int = 0,
+    ensure_connected: bool = True,
+) -> WeightedGraph:
+    """Power-law configuration-model graph with unit latencies.
+
+    Draws a degree sequence ``d ~ min_degree · U^(-1/(gamma-1))`` (inverse
+    CDF of a discrete Pareto) truncated at the ``~sqrt(n)`` structural
+    cutoff, matches stubs by a random shuffle, and drops self-loops and
+    multi-edges.  ``ensure_connected`` adds the same Hamiltonian backbone
+    as :func:`erdos_renyi`.
+    """
+    _validate_configuration_model(n, gamma, min_degree)
+    rng = random.Random(derive_seed(seed, "configuration-model"))
+    cap = _power_law_degree_cap(n, min_degree)
+    exponent = -1.0 / (gamma - 1.0)
+    degrees = [min(cap, int(min_degree * (1.0 - rng.random()) ** exponent)) for _ in range(n)]
+    stubs = [node for node, degree in enumerate(degrees) for _ in range(degree)]
+    if len(stubs) % 2:
+        stubs.pop()
+    rng.shuffle(stubs)
+    graph = WeightedGraph(range(n))
+    for a, b in zip(stubs[0::2], stubs[1::2]):
+        if a != b and not graph.has_edge(a, b):
+            graph.add_edge(a, b, 1)
+    if ensure_connected and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for a, b in zip(order, order[1:]):
+            if not graph.has_edge(a, b):
+                graph.add_edge(a, b, 1)
+    return graph
+
+
+def _cm_edge_stream(
+    n: int, gamma: float, min_degree: int, seed: int, ensure_connected: bool = True
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized configuration-model edge stream (its own seed stream).
+
+    One uniform vector turns into the whole degree sequence, one
+    permutation shuffles the stub multiset, and consecutive stubs pair
+    into candidate edges; self-loops are masked and multi-edges collapse
+    through the sort+diff dedup of their canonical pair codes.
+    """
+    rng = np.random.default_rng(derive_seed(seed, "configuration-model"))
+    cap = _power_law_degree_cap(n, min_degree)
+    draws = rng.random(n)
+    degrees = np.minimum(
+        cap, (min_degree * (1.0 - draws) ** (-1.0 / (gamma - 1.0))).astype(np.int64)
+    )
+    stubs = np.repeat(np.arange(n, dtype=np.int64), degrees)
+    if stubs.size % 2:
+        stubs = stubs[:-1]
+    stubs = rng.permutation(stubs)
+    su, sv = stubs[0::2], stubs[1::2]
+    loopless = su != sv
+    su, sv = su[loopless], sv[loopless]
+    codes = _dedup_sorted(np.sort(_pair_codes(np.minimum(su, sv), np.maximum(su, sv), n)))
+    u, v = _decode_pair_codes(codes, n)
+    if ensure_connected and n > 1:
+        perm = rng.permutation(n).astype(np.int64)
+        a = np.minimum(perm[:-1], perm[1:])
+        b = np.maximum(perm[:-1], perm[1:])
+        missing = _backbone_missing(codes, a, b, n)
+        u = np.concatenate([u, a[missing]])
+        v = np.concatenate([v, b[missing]])
+    return u, v
+
+
+def configuration_model_csr(
+    n: int,
+    gamma: float = 2.5,
+    min_degree: int = 2,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    ensure_connected: bool = True,
+) -> CSRGraph:
+    """Power-law configuration-model graph built straight into CSR arrays.
+
+    Same stub-matching family as :func:`configuration_model` (its own seed
+    stream), with latencies per :func:`_edge_stream_latencies`.
+    """
+    _validate_configuration_model(n, gamma, min_degree)
+    u, v = _cm_edge_stream(n, gamma, min_degree, seed, ensure_connected=ensure_connected)
+    return _csr_from_edge_stream(n, u, v, _edge_stream_latencies(u, v, model, seed))
+
+
+def kronecker(
+    n: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 0,
+    ensure_connected: bool = True,
+) -> WeightedGraph:
+    """Stochastic Kronecker (R-MAT) graph with unit latencies.
+
+    Each edge is sampled by descending ``ceil(log2 n)`` levels of the 2×2
+    initiator matrix ``[[a, b], [c, d]]`` (``d = 1 - a - b - c``), picking
+    one quadrant per level; samples landing outside ``[0, n)``, self-loops,
+    and duplicates are rejected until ``edge_factor·n`` edges accumulate
+    (or the attempt budget runs out — duplicates dominate long before
+    that on skewed initiators).  ``ensure_connected`` adds the Hamiltonian
+    backbone.
+    """
+    _validate_kronecker(n, edge_factor, a, b, c)
+    rng = random.Random(derive_seed(seed, "kronecker"))
+    levels = max(1, (n - 1).bit_length())
+    total = n * (n - 1) // 2
+    target = min(edge_factor * n, total)
+    graph = WeightedGraph(range(n))
+    added = 0
+    for _attempt in range(32 * target + 64):
+        if added >= target:
+            break
+        src = dst = 0
+        for _level in range(levels):
+            r = rng.random()
+            quadrant = (r >= a) + (r >= a + b) + (r >= a + b + c)
+            src = src * 2 + (quadrant >> 1)
+            dst = dst * 2 + (quadrant & 1)
+        if src >= n or dst >= n or src == dst or graph.has_edge(src, dst):
+            continue
+        graph.add_edge(src, dst, 1)
+        added += 1
+    if ensure_connected and n > 1:
+        order = list(range(n))
+        rng.shuffle(order)
+        for x, y in zip(order, order[1:]):
+            if not graph.has_edge(x, y):
+                graph.add_edge(x, y, 1)
+    return graph
+
+
+def _kronecker_edge_stream(
+    n: int,
+    edge_factor: int,
+    a: float,
+    b: float,
+    c: float,
+    seed: int,
+    ensure_connected: bool = True,
+) -> tuple["np.ndarray", "np.ndarray"]:
+    """Vectorized R-MAT edge stream (its own seed stream).
+
+    Every batch draws one uniform vector per level and accumulates the
+    quadrant bits of all edges at once; out-of-range endpoints and
+    self-loops are masked, duplicates collapse through the sort+diff dedup,
+    and batches repeat until the target edge count (or the round budget —
+    skewed initiators re-sample the same hot edges) is reached.
+    """
+    rng = np.random.default_rng(derive_seed(seed, "kronecker"))
+    levels = max(1, (n - 1).bit_length())
+    total = n * (n - 1) // 2
+    target = min(edge_factor * n, total)
+    codes = np.empty(0, dtype=np.int64)
+    for _round in range(64):
+        if codes.size >= target:
+            break
+        # A slim 1/8 margin over the shortfall: invalid/duplicate losses run
+        # a few percent at large n, so round one lands close to `target`
+        # instead of overshooting it by half (every realized edge costs
+        # downstream sort/gather/run time), and dup-heavy small graphs just
+        # take another pass — `need` re-grows the batch each round.
+        need = target - codes.size
+        size = need + need // 8 + 64
+        src = np.zeros(size, dtype=np.int64)
+        dst = np.zeros(size, dtype=np.int64)
+        for _level in range(levels):
+            # float32 draws: the quadrant thresholds are coarse, and halving
+            # the random-bit volume is what bounds the 10^6-node build time.
+            # Everything below is in-place (quadrants in int8) — the level
+            # loop touches size*levels elements and allocation churn here
+            # dominated the 10^6-node build before.
+            r = rng.random(size, dtype=np.float32)
+            quadrant = (r >= a).astype(np.int8)
+            quadrant += r >= a + b
+            quadrant += r >= a + b + c
+            src <<= 1
+            src += quadrant >> 1
+            dst <<= 1
+            dst += quadrant & 1
+        ok = (src < n) & (dst < n) & (src != dst)
+        extra = _pair_codes(np.minimum(src[ok], dst[ok]), np.maximum(src[ok], dst[ok]), n)
+        codes = _dedup_sorted(np.sort(np.concatenate([codes, extra]), kind="stable"))
+    u, v = _decode_pair_codes(codes, n)
+    if ensure_connected and n > 1:
+        perm = rng.permutation(n).astype(np.int64)
+        a_bb = np.minimum(perm[:-1], perm[1:])
+        b_bb = np.maximum(perm[:-1], perm[1:])
+        missing = _backbone_missing(codes, a_bb, b_bb, n)
+        u = np.concatenate([u, a_bb[missing]])
+        v = np.concatenate([v, b_bb[missing]])
+    return u, v
+
+
+def kronecker_csr(
+    n: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    ensure_connected: bool = True,
+) -> CSRGraph:
+    """Stochastic Kronecker (R-MAT) graph built straight into CSR arrays.
+
+    Same iterated initiator-matrix family as :func:`kronecker` (its own
+    seed stream), with latencies per :func:`_edge_stream_latencies`.
+    """
+    _validate_kronecker(n, edge_factor, a, b, c)
+    u, v = _kronecker_edge_stream(n, edge_factor, a, b, c, seed, ensure_connected=ensure_connected)
     return _csr_from_edge_stream(n, u, v, _edge_stream_latencies(u, v, model, seed))
 
 
@@ -584,4 +1015,82 @@ def weighted_barabasi_albert(
     if csr and n >= CSR_AUTO_THRESHOLD:
         return barabasi_albert_csr(n, m, model, seed=seed)
     graph = assign_latencies(barabasi_albert(n, m, seed=seed), model or uniform_latency(), seed=seed)
+    return CSRGraph.from_weighted(graph) if csr else graph
+
+
+def weighted_watts_strogatz(
+    n: int,
+    k: int = 6,
+    rewire: float = 0.1,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    csr: Optional[bool] = None,
+) -> WeightedGraph:
+    """Watts–Strogatz small-world graph with latencies drawn from ``model``.
+
+    ``csr`` behaves as in :func:`weighted_erdos_renyi`: ``True`` returns a
+    :class:`~repro.graphs.indexed.CSRGraph` (bit-identical repackaging of
+    the dict path below :data:`CSR_AUTO_THRESHOLD`, the vectorized
+    :func:`watts_strogatz_csr` sampler from it up), ``None`` auto-selects
+    by size.
+    """
+    if csr is None:
+        csr = n >= CSR_AUTO_THRESHOLD
+    if csr and n >= CSR_AUTO_THRESHOLD:
+        return watts_strogatz_csr(n, k, rewire, model, seed=seed)
+    graph = assign_latencies(watts_strogatz(n, k, rewire, seed=seed), model or uniform_latency(), seed=seed)
+    return CSRGraph.from_weighted(graph) if csr else graph
+
+
+def weighted_configuration_model(
+    n: int,
+    gamma: float = 2.5,
+    min_degree: int = 2,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    csr: Optional[bool] = None,
+) -> WeightedGraph:
+    """Power-law configuration-model graph with latencies drawn from ``model``.
+
+    ``csr`` behaves as in :func:`weighted_erdos_renyi`: ``True`` returns a
+    :class:`~repro.graphs.indexed.CSRGraph` (bit-identical repackaging of
+    the dict path below :data:`CSR_AUTO_THRESHOLD`, the vectorized
+    :func:`configuration_model_csr` sampler from it up), ``None``
+    auto-selects by size.
+    """
+    if csr is None:
+        csr = n >= CSR_AUTO_THRESHOLD
+    if csr and n >= CSR_AUTO_THRESHOLD:
+        return configuration_model_csr(n, gamma, min_degree, model, seed=seed)
+    graph = assign_latencies(
+        configuration_model(n, gamma, min_degree, seed=seed), model or uniform_latency(), seed=seed
+    )
+    return CSRGraph.from_weighted(graph) if csr else graph
+
+
+def weighted_kronecker(
+    n: int,
+    edge_factor: int = 8,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    model: Optional[LatencyModel] = None,
+    seed: int = 0,
+    csr: Optional[bool] = None,
+) -> WeightedGraph:
+    """Stochastic Kronecker (R-MAT) graph with latencies drawn from ``model``.
+
+    ``csr`` behaves as in :func:`weighted_erdos_renyi`: ``True`` returns a
+    :class:`~repro.graphs.indexed.CSRGraph` (bit-identical repackaging of
+    the dict path below :data:`CSR_AUTO_THRESHOLD`, the vectorized
+    :func:`kronecker_csr` sampler from it up), ``None`` auto-selects by
+    size.
+    """
+    if csr is None:
+        csr = n >= CSR_AUTO_THRESHOLD
+    if csr and n >= CSR_AUTO_THRESHOLD:
+        return kronecker_csr(n, edge_factor, a, b, c, model, seed=seed)
+    graph = assign_latencies(
+        kronecker(n, edge_factor, a, b, c, seed=seed), model or uniform_latency(), seed=seed
+    )
     return CSRGraph.from_weighted(graph) if csr else graph

@@ -60,6 +60,7 @@ from .gossip import (
     PullGossip,
     PushGossip,
     PushPullGossip,
+    SirPushPull,
     SpannerBroadcast,
     Task,
     UnifiedGossip,
@@ -73,9 +74,12 @@ from .graphs import (
     uniform_latency,
     weighted_barabasi_albert,
     weighted_clique,
+    weighted_configuration_model,
     weighted_erdos_renyi,
     weighted_expander,
     weighted_grid,
+    weighted_kronecker,
+    weighted_watts_strogatz,
 )
 from .graphs.dynamics import (
     compose_dynamics,
@@ -97,6 +101,7 @@ __all__ = [
     "ScenarioSpec",
     "PreparedScenario",
     "GRAPH_FAMILIES",
+    "FAMILY_PARAMS",
     "LATENCY_MODELS",
     "DYNAMICS_KINDS",
     "ALGORITHMS",
@@ -143,6 +148,51 @@ GRAPH_FAMILIES = {
     "slow-bridge": lambda n, model, seed: two_cluster_slow_bridge(
         max(2, n // 2), fast_latency=1, slow_latency=32, bridges=1
     ),
+    # CSR-first families: the builders stream edges straight into CSR above
+    # repro.graphs.generators.CSR_AUTO_THRESHOLD, so million-node specs
+    # build without ever materializing a python dict-of-dicts.  Their knobs
+    # are exposed through ``graph.params`` (validated per family by
+    # :data:`FAMILY_PARAMS`).
+    "watts-strogatz": lambda n, model, seed, **params: weighted_watts_strogatz(
+        n, model=model, seed=seed, **params
+    ),
+    "configuration-model": lambda n, model, seed, **params: weighted_configuration_model(
+        n, model=model, seed=seed, **params
+    ),
+    "kronecker": lambda n, model, seed, **params: weighted_kronecker(
+        n, model=model, seed=seed, **params
+    ),
+}
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+#: Per-family ``graph.params`` schema: family -> {param: (default,
+#: requirement text, predicate)}.  Families absent from the table take no
+#: parameters at all; :meth:`GraphSpec.validate` names the exact parameter
+#: that failed (or the unknown key) so a malformed spec is diagnosable
+#: without reading the builder's source.
+FAMILY_PARAMS: dict[str, dict[str, tuple[Any, str, Any]]] = {
+    "watts-strogatz": {
+        "k": (6, "an even integer >= 2", lambda v: _is_int(v) and v >= 2 and v % 2 == 0),
+        "rewire": (0.1, "a number in [0, 1]", lambda v: _is_number(v) and 0.0 <= v <= 1.0),
+    },
+    "configuration-model": {
+        "gamma": (2.5, "a number > 1", lambda v: _is_number(v) and v > 1.0),
+        "min_degree": (2, "an integer >= 1", lambda v: _is_int(v) and v >= 1),
+    },
+    "kronecker": {
+        "edge_factor": (8, "an integer >= 1", lambda v: _is_int(v) and v >= 1),
+        "a": (0.57, "a number in (0, 1)", lambda v: _is_number(v) and 0.0 < v < 1.0),
+        "b": (0.19, "a number in (0, 1)", lambda v: _is_number(v) and 0.0 < v < 1.0),
+        "c": (0.19, "a number in (0, 1)", lambda v: _is_number(v) and 0.0 < v < 1.0),
+    },
 }
 
 LATENCY_MODELS = {
@@ -166,11 +216,15 @@ ALGORITHMS: dict[str, tuple[Any, tuple[str, ...]]] = {
     "spanner": (lambda task: SpannerBroadcast(), ("all-to-all",)),
     "pattern": (lambda task: PatternBroadcast(), ("all-to-all",)),
     "unified": (lambda task: UnifiedGossip(), ("all-to-all",)),
+    # SIR push-pull forgets the rumor forget_after rounds after learning it;
+    # the spec's top-level ``forget_after`` field parameterizes the factory
+    # (see build_algorithm).  Single-rumor bookkeeping -> one-to-all only.
+    "sir-push-pull": (lambda task: SirPushPull(), ("one-to-all",)),
 }
 
 #: Algorithms that run on the engine event pipeline and therefore accept
 #: dynamics and fault schedules; the others precompute static structure.
-_DYNAMIC_ALGORITHMS = ("push-pull", "push", "pull", "flooding")
+_DYNAMIC_ALGORITHMS = ("push-pull", "push", "pull", "flooding", "sir-push-pull")
 
 
 # ----------------------------------------------------------------------
@@ -178,11 +232,21 @@ _DYNAMIC_ALGORITHMS = ("push-pull", "push", "pull", "flooding")
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class GraphSpec:
-    """Which network to build: a generator family, its size, its latencies."""
+    """Which network to build: a generator family, its size, its latencies.
+
+    ``params`` carries the family-specific generator knobs (``k`` /
+    ``rewire`` for watts-strogatz, ``gamma`` / ``min_degree`` for
+    configuration-model, ``edge_factor`` / ``a`` / ``b`` / ``c`` for
+    kronecker); omitted knobs take the builder defaults recorded in
+    :data:`FAMILY_PARAMS`.  Families without an entry there take no
+    parameters, and validation rejects unknown or ill-typed keys naming
+    the exact parameter that failed.
+    """
 
     family: str = "erdos-renyi"
     n: int = 64
     latency: str = "uniform"
+    params: dict[str, Any] = field(default_factory=dict)
 
     def validate(self) -> None:
         """Raise :class:`ScenarioError` on an invalid graph spec."""
@@ -201,6 +265,47 @@ class GraphSpec:
             )
         if not isinstance(self.n, int) or self.n < 2:
             raise ScenarioError(f"graph.n must be an integer >= 2, got {self.n!r}")
+        if not isinstance(self.params, dict):
+            raise ScenarioError(
+                f"graph.params must be a mapping of generator knobs, got {self.params!r}"
+            )
+        schema = FAMILY_PARAMS.get(self.family, {})
+        unknown = sorted(set(self.params) - set(schema))
+        if unknown:
+            vocabulary = (
+                f"this family takes {sorted(schema)}"
+                if schema
+                else "this family takes no parameters"
+            )
+            raise ScenarioError(
+                f"graph.params.{unknown[0]} is unknown for family {self.family!r}; {vocabulary}"
+            )
+        for name, (default, requirement, check) in schema.items():
+            if name in self.params and not check(self.params[name]):
+                raise ScenarioError(
+                    f"graph.params.{name} for family {self.family!r} must be "
+                    f"{requirement}, got {self.params[name]!r}"
+                )
+        # Cross-parameter constraints, still named after the culprit knob.
+        resolved = {name: self.params.get(name, spec[0]) for name, spec in schema.items()}
+        if self.family == "watts-strogatz" and self.n <= resolved["k"]:
+            raise ScenarioError(
+                f"graph.params.k must be < graph.n for family 'watts-strogatz', "
+                f"got k={resolved['k']} n={self.n}"
+            )
+        if self.family == "configuration-model" and self.n <= resolved["min_degree"]:
+            raise ScenarioError(
+                f"graph.params.min_degree must be < graph.n for family "
+                f"'configuration-model', got min_degree={resolved['min_degree']} n={self.n}"
+            )
+        if self.family == "kronecker":
+            total = resolved["a"] + resolved["b"] + resolved["c"]
+            if total >= 1.0:
+                raise ScenarioError(
+                    "graph.params.a/b/c for family 'kronecker' must satisfy "
+                    f"a + b + c < 1 (d = 1 - a - b - c is the fourth quadrant), "
+                    f"got a + b + c = {total}"
+                )
 
 
 @dataclass(frozen=True)
@@ -282,6 +387,11 @@ class ScenarioSpec:
     backend — executes as a
     :class:`~repro.gossip.base.ReplicatedResult`; ``reps == 1`` with any
     other engine is the classic single-run form.
+
+    ``forget_after`` parameterizes the ``sir-push-pull`` algorithm (how
+    many rounds an informed node stays infectious before forgetting the
+    rumor); ``null`` takes the protocol default, and any other algorithm
+    rejects the field.
     """
 
     name: str
@@ -293,6 +403,7 @@ class ScenarioSpec:
     source_index: Optional[int] = None
     max_rounds: int = 100_000
     reps: int = 1
+    forget_after: Optional[int] = None
     dynamics: tuple[DynamicsSpec, ...] = ()
     faults: Optional[FaultSpec] = None
     schema: int = SCENARIO_SCHEMA
@@ -329,6 +440,25 @@ class ScenarioSpec:
             raise ScenarioError(f"max_rounds must be an integer >= 1, got {self.max_rounds!r}")
         if not isinstance(self.reps, int) or self.reps < 1:
             raise ScenarioError(f"reps must be an integer >= 1, got {self.reps!r}")
+        if self.forget_after is not None:
+            if self.algorithm != "sir-push-pull":
+                raise ScenarioError(
+                    f"forget_after only applies to algorithm 'sir-push-pull', "
+                    f"not {self.algorithm!r}"
+                )
+            if (
+                not isinstance(self.forget_after, int)
+                or isinstance(self.forget_after, bool)
+                or self.forget_after < 1
+            ):
+                raise ScenarioError(
+                    f"forget_after must be an integer >= 1 or null, got {self.forget_after!r}"
+                )
+        if self.algorithm == "sir-push-pull" and self.engine == "reference":
+            raise ScenarioError(
+                "algorithm 'sir-push-pull' needs per-node recovery state that only "
+                "the fast/edge/batch backends keep; the reference engine cannot run it"
+            )
         if (self.reps > 1 or self.engine == "batch") and self.algorithm not in _DYNAMIC_ALGORITHMS:
             raise ScenarioError(
                 f"algorithm {self.algorithm!r} drives the engine through arbitrary "
@@ -478,10 +608,12 @@ def _merge_nested(target: dict, patch: Mapping[str, Any]) -> None:
 # Building the concrete run from a spec
 # ----------------------------------------------------------------------
 def build_graph(spec: ScenarioSpec) -> WeightedGraph:
-    """Build the spec's graph with its derived seed."""
+    """Build the spec's graph with its derived seed (and family params)."""
     spec.graph.validate()
     model = LATENCY_MODELS[spec.graph.latency]()
-    return GRAPH_FAMILIES[spec.graph.family](spec.graph.n, model, derive_seed(spec.seed, "graph"))
+    return GRAPH_FAMILIES[spec.graph.family](
+        spec.graph.n, model, derive_seed(spec.seed, "graph"), **spec.graph.params
+    )
 
 
 def build_dynamics(spec: ScenarioSpec, graph: WeightedGraph) -> Optional[TopologyDynamics]:
@@ -562,6 +694,12 @@ def build_fault_plan(
 
 def build_algorithm(spec: ScenarioSpec) -> GossipAlgorithm:
     """Instantiate the spec's algorithm for its task."""
+    if spec.algorithm == "sir-push-pull":
+        # The spec's top-level forget_after knob parameterizes the factory;
+        # null means the protocol default.
+        if spec.forget_after is not None:
+            return SirPushPull(forget_after=spec.forget_after)
+        return SirPushPull()
     factory, _tasks = ALGORITHMS[spec.algorithm]
     return factory(Task(spec.task))
 

@@ -187,6 +187,10 @@ class BatchEngine:
         # to arithmetic on small-bandwidth hosts).
         self._acting_buffer = np.empty((reps, n), dtype=bool)
         self._draw_buffer = np.zeros((reps, n))
+        # SIR recovery state, initialized lazily on first contact with the
+        # "sir" gate (a run_batch under it, or one of the sir_* masks).
+        self._sir_infected_at: Optional[np.ndarray] = None  # (n, reps) int64, -1 = never
+        self._sir_recovered: Optional[np.ndarray] = None  # (n, reps) bool
         # Optional per-round informed-count curve for one tracked rumor.
         self._curve_rumor: Optional[Rumor] = None
         self._curve: list[np.ndarray] = []
@@ -310,6 +314,92 @@ class BatchEngine:
         return satisfied[survivors].all(axis=0)
 
     # ------------------------------------------------------------------
+    # SIR recovery (the "sir" gate: informed nodes forget after k rounds)
+    # ------------------------------------------------------------------
+    def _sir_ensure(self) -> None:
+        """Initialize SIR state, marking currently-informed cells infected.
+
+        Mirrors the single-run backends: the seeded source is marked at the
+        current round (round 0 when the stop mask is first evaluated before
+        any step), identically in every replication column.
+        """
+        if self._sir_infected_at is not None:
+            return
+        know_any = (self._know != 0).any(axis=2)  # (n, reps)
+        self._sir_infected_at = np.where(know_any, self.round, -1).astype(np.int64)
+        self._sir_recovered = np.zeros(know_any.shape, dtype=bool)
+
+    def _sir_transition(self, forget_after: int) -> None:
+        """Vectorized post-delivery SIR transition across live replications.
+
+        Frozen (completed) replications are excluded — their columns stay
+        at the state the matching sequential run stopped in.  Expiry and
+        marking touch disjoint (node, rep) cells, so one pass suffices.
+        """
+        infected_at = self._sir_infected_at
+        recovered = self._sir_recovered
+        know_any = (self._know != 0).any(axis=2)
+        alive = ~recovered
+        if self._crashed_mask.any():
+            alive &= ~self._crashed_mask[:, None]
+        if not self._active.all():
+            alive &= self._active[None, :]
+        expire = alive & (infected_at >= 0) & (self.round - infected_at >= forget_after)
+        if expire.any():
+            recovered[expire] = True
+            self._know[expire] = 0
+            self._popcounts = None
+            self._informed_cache = None
+        mark = alive & (infected_at < 0) & know_any
+        infected_at[mark] = self.round
+
+    def sir_ever_complete_mask(self) -> np.ndarray:
+        """Per-replication: has every survivor been infected at some point?"""
+        self._sir_ensure()
+        ever = self._sir_infected_at >= 0
+        if self._crashed_mask.any():
+            ever = ever[~self._crashed_mask]
+        return ever.all(axis=0)
+
+    def sir_quiescent_mask(self) -> np.ndarray:
+        """Per-replication: has the rumor died out (no infected survivor,
+        no infectious payload in flight)?"""
+        self._sir_ensure()
+        know_any = (self._know != 0).any(axis=2)
+        if self._crashed_mask.any():
+            know_any = know_any[~self._crashed_mask]
+        quiescent = ~know_any.any(axis=0)
+        if quiescent.any() and self._due:
+            inflight = np.zeros(self.reps, dtype=bool)
+            for batches in self._due.values():
+                for entry in batches:
+                    rep_ids, payload_i, payload_j = entry[2], entry[3], entry[4]
+                    if payload_i.dtype == np.bool_:
+                        infectious = payload_i | payload_j
+                    else:
+                        infectious = (payload_i != 0) | (payload_j != 0)
+                    if infectious.any():
+                        inflight[rep_ids[infectious]] = True
+            quiescent &= ~inflight
+        return quiescent
+
+    def sir_stats(self) -> list[dict]:
+        """Per-replication survivor-side SIR tallies (frozen at completion)."""
+        self._sir_ensure()
+        survivors = ~self._crashed_mask
+        ever = (self._sir_infected_at >= 0)[survivors].sum(axis=0)
+        recovered = self._sir_recovered[survivors].sum(axis=0)
+        infected = (self._know != 0).any(axis=2)[survivors].sum(axis=0)
+        return [
+            {
+                "ever_informed": int(ever[rep]),
+                "recovered": int(recovered[rep]),
+                "infected": int(infected[rep]),
+            }
+            for rep in range(self.reps)
+        ]
+
+    # ------------------------------------------------------------------
     # Fault events (node-crash / edge-fault, via the shared applier)
     # ------------------------------------------------------------------
     def _on_crash(self, label: NodeId) -> None:
@@ -410,6 +500,11 @@ class BatchEngine:
                 self._outstanding = _pad(self._outstanding, 1)
             self._cursors = _pad(self._cursors, 1)
             self._crashed_mask = _pad(self._crashed_mask, 0)
+            if self._sir_infected_at is not None:
+                self._sir_infected_at = np.concatenate(
+                    [self._sir_infected_at, np.full((added, self.reps), -1, dtype=np.int64)]
+                )
+                self._sir_recovered = _pad(self._sir_recovered, 0)
         self._acting_cache = None
         if events_only:
             removed = severed_pairs
@@ -588,14 +683,27 @@ class BatchEngine:
         if self._popcounts is None:
             self._popcounts = np.bitwise_count(know).sum(axis=(0, 2), dtype=np.int64)
         before = self._popcounts
+        # Under SIR, recovered (node, rep) cells ignore the payload (the
+        # exchange still completes and is charged) — a recovered cell must
+        # never re-enter the knowledge tensor.
+        rec_flat = (
+            self._sir_recovered.reshape(-1) if self._sir_infected_at is not None else None
+        )
         if self._words == 1:
             flat = know.reshape(-1)
             if len(self._rumors) == 1:
                 # Single-rumor runs carry one-bit payloads, so the OR-merge
                 # degenerates to a duplicate-safe constant scatter.
                 one = np.uint64(1)
-                flat[(responders * self.reps + rep_ids)[payload_i != 0]] = one
-                flat[(initiators * self.reps + rep_ids)[payload_j != 0]] = one
+                lin_j = responders * self.reps + rep_ids
+                lin_i = initiators * self.reps + rep_ids
+                sel_j = payload_i != 0
+                sel_i = payload_j != 0
+                if rec_flat is not None:
+                    sel_j &= ~rec_flat[lin_j]
+                    sel_i &= ~rec_flat[lin_i]
+                flat[lin_j[sel_j]] = one
+                flat[lin_i[sel_i]] = one
                 sizes = (payload_i + payload_j).astype(np.int64)
             else:
                 np.bitwise_or.at(flat, responders * self.reps + rep_ids, payload_i)
@@ -654,17 +762,24 @@ class BatchEngine:
             self._popcounts = np.bitwise_count(know).sum(axis=(0, 2), dtype=np.int64)
         before = self._popcounts
         flat = know.reshape(-1)
+        rec_flat = (
+            self._sir_recovered.reshape(-1) if self._sir_infected_at is not None else None
+        )
         if len(self._rumors) == 1:
             one = np.uint64(1)
             if payload_i.dtype == np.bool_:
-                flat[lin_j[payload_i]] = one
-                flat[lin_i[payload_j]] = one
+                sel_j, sel_i = payload_i, payload_j
                 sizes = payload_i.astype(np.int64)
                 sizes += payload_j
             else:
-                flat[lin_j[payload_i != 0]] = one
-                flat[lin_i[payload_j != 0]] = one
+                sel_j = payload_i != 0
+                sel_i = payload_j != 0
                 sizes = (payload_i + payload_j).astype(np.int64)
+            if rec_flat is not None:
+                sel_j = sel_j & ~rec_flat[lin_j]
+                sel_i = sel_i & ~rec_flat[lin_i]
+            flat[lin_j[sel_j]] = one
+            flat[lin_i[sel_i]] = one
         else:
             np.bitwise_or.at(flat, lin_j, payload_i)
             np.bitwise_or.at(flat, lin_i, payload_j)
@@ -691,6 +806,8 @@ class BatchEngine:
         """
         self._begin_round()
         self._deliver_due_exchanges()
+        if policy.gate == "sir":
+            self._sir_transition(policy.forget_after)
 
         n = self._idx.num_nodes
         reps = self.reps
@@ -718,7 +835,12 @@ class BatchEngine:
                     self._outstanding if active_rows is None else self._outstanding[active_rows]
                 )
                 acting &= outstanding == 0
-            if policy.gate != "all":
+            if policy.gate == "sir":
+                recovered = self._sir_recovered.T
+                if active_rows is not None:
+                    recovered = recovered[active_rows]
+                acting &= ~recovered
+            elif policy.gate != "all":
                 informed = (self._know != 0).any(axis=2).T
                 if active_rows is not None:
                     informed = informed[active_rows]
@@ -841,6 +963,13 @@ class BatchEngine:
                 f"policy carries {len(policy.rngs)} replication rngs but the engine "
                 f"runs {self.reps} replications"
             )
+        if policy.gate == "sir":
+            if len(self._rumors) != 1:
+                raise ValueError(
+                    "the 'sir' gate runs single-rumor (one-to-all) tasks only; "
+                    f"{len(self._rumors)} rumors are seeded"
+                )
+            self._sir_ensure()
         self._lin_entries = self._lin_due and self._words == 1
         self._bool_payloads = self._lin_entries and len(self._rumors) == 1
         if self._curve_rumor is not None:

@@ -170,6 +170,10 @@ class EdgeEngine:
             np.zeros(self._indices.size, dtype=np.int64) if track_edge_activations else None
         )
         self._folded_activations: Counter = Counter()
+        # SIR recovery state, initialized lazily on first contact with the
+        # "sir" gate (a step under it, or one of the sir_* predicates).
+        self._sir_infected_at: Optional[np.ndarray] = None  # (n,) int64, -1 = never
+        self._sir_recovered: Optional[np.ndarray] = None  # (n,) bool
         # Memoized informed counts / popcount of the knowledge plane.
         self._informed_cache: Optional[tuple[int, int, int]] = None
         self._popcount: Optional[int] = None
@@ -367,6 +371,85 @@ class EdgeEngine:
         return bool(needed.all())
 
     # ------------------------------------------------------------------
+    # SIR recovery (the "sir" gate: informed nodes forget after k rounds)
+    # ------------------------------------------------------------------
+    def _sir_ensure(self) -> None:
+        """Initialize SIR state, marking currently-informed nodes infected.
+
+        Called by the sir_* predicates (evaluated before the first step, so
+        the seeded source is marked at round 0) and by :meth:`step` before
+        the round counter advances — both entry paths mark at the same
+        round, matching the fast backend.
+        """
+        if self._sir_infected_at is not None:
+            return
+        know_any = (self._know != 0).any(axis=1)
+        self._sir_infected_at = np.where(know_any, self.round, -1).astype(np.int64)
+        self._sir_recovered = np.zeros(self._idx.num_nodes, dtype=bool)
+
+    def _sir_transition(self, forget_after: int) -> None:
+        """Vectorized post-delivery SIR transition for the current round.
+
+        Expiry (infected survivors whose age reached ``forget_after``
+        recover and their knowledge rows are cleared) and marking (nodes
+        that first learned this round record the current round) touch
+        disjoint node sets, so one pass needs no ordering care.
+        """
+        infected_at = self._sir_infected_at
+        recovered = self._sir_recovered
+        know_any = (self._know != 0).any(axis=1)
+        alive = ~recovered
+        if self._crashed_mask.any():
+            alive &= ~self._crashed_mask
+        expire = alive & (infected_at >= 0) & (self.round - infected_at >= forget_after)
+        if expire.any():
+            recovered[expire] = True
+            self._know[expire] = 0
+            self._popcount = None
+            self._informed_cache = None
+        mark = alive & (infected_at < 0) & know_any
+        infected_at[mark] = self.round
+
+    def _sir_infected_survivors(self) -> int:
+        """Survivor-side count of currently infected (knowing) nodes."""
+        if not self._rumors:
+            return 0
+        if self._crashed_mask.any():
+            knowing = (self._know != 0).any(axis=1)
+            return int((knowing & ~self._crashed_mask).sum())
+        return self._informed_count(0)
+
+    def sir_ever_complete(self) -> bool:
+        """Whether every survivor has been infected at some point."""
+        self._sir_ensure()
+        ever = self._sir_infected_at >= 0
+        if self._crashed_mask.any():
+            return bool(ever[~self._crashed_mask].all())
+        return bool(ever.all())
+
+    def sir_quiescent(self) -> bool:
+        """Whether the rumor has died out: no infected survivor and no
+        infectious payload still in flight."""
+        self._sir_ensure()
+        if self._sir_infected_survivors():
+            return False
+        for batches in self._due.values():
+            for entry in batches:
+                if entry[2].any() or entry[3].any():
+                    return False
+        return True
+
+    def sir_stats(self) -> dict:
+        """Survivor-side SIR tallies: ever-infected, recovered, infected."""
+        self._sir_ensure()
+        survivors = ~self._crashed_mask
+        return {
+            "ever_informed": int((survivors & (self._sir_infected_at >= 0)).sum()),
+            "recovered": int((survivors & self._sir_recovered).sum()),
+            "infected": self._sir_infected_survivors(),
+        }
+
+    # ------------------------------------------------------------------
     # Fault events (node-crash / edge-fault, via the shared applier)
     # ------------------------------------------------------------------
     def _on_crash(self, label: NodeId) -> None:
@@ -468,6 +551,11 @@ class EdgeEngine:
                 self._outstanding = _pad(self._outstanding)
             self._cursors = _pad(self._cursors)
             self._crashed_mask = _pad(self._crashed_mask)
+            if self._sir_infected_at is not None:
+                self._sir_infected_at = np.concatenate(
+                    [self._sir_infected_at, np.full(added, -1, dtype=np.int64)]
+                )
+                self._sir_recovered = _pad(self._sir_recovered)
         if events_only:
             removed = severed_pairs
         else:
@@ -573,24 +661,45 @@ class EdgeEngine:
         if self._popcount is None:
             self._popcount = int(np.bitwise_count(know).sum())
         before = self._popcount
+        # Under SIR, recovered endpoints ignore the payload (the exchange
+        # still completes and is charged) — a recovered node must never
+        # re-enter the knowledge plane.
+        rec = self._sir_recovered if self._sir_infected_at is not None else None
         if self._words == 1:
             flat = know.reshape(-1)
             if len(self._rumors) == 1:
                 # Single-rumor runs carry one-bit payloads: the OR-merge
                 # degenerates to a duplicate-safe constant scatter.
                 one = np.uint64(1)
-                flat[responders[payload_i != 0]] = one
-                flat[initiators[payload_j != 0]] = one
+                sel_j = payload_i != 0
+                sel_i = payload_j != 0
+                if rec is not None:
+                    sel_j &= ~rec[responders]
+                    sel_i &= ~rec[initiators]
+                flat[responders[sel_j]] = one
+                flat[initiators[sel_i]] = one
                 sizes = (payload_i + payload_j).astype(np.int64)
             else:
-                np.bitwise_or.at(flat, responders, payload_i)
-                np.bitwise_or.at(flat, initiators, payload_j)
+                if rec is not None:
+                    keep_j = ~rec[responders]
+                    keep_i = ~rec[initiators]
+                    np.bitwise_or.at(flat, responders[keep_j], payload_i[keep_j])
+                    np.bitwise_or.at(flat, initiators[keep_i], payload_j[keep_i])
+                else:
+                    np.bitwise_or.at(flat, responders, payload_i)
+                    np.bitwise_or.at(flat, initiators, payload_j)
                 sizes = (np.bitwise_count(payload_i) + np.bitwise_count(payload_j)).astype(
                     np.int64
                 )
         else:
-            np.bitwise_or.at(know, (responders,), payload_i)
-            np.bitwise_or.at(know, (initiators,), payload_j)
+            if rec is not None:
+                keep_j = ~rec[responders]
+                keep_i = ~rec[initiators]
+                np.bitwise_or.at(know, (responders[keep_j],), payload_i[keep_j])
+                np.bitwise_or.at(know, (initiators[keep_i],), payload_j[keep_i])
+            else:
+                np.bitwise_or.at(know, (responders,), payload_i)
+                np.bitwise_or.at(know, (initiators,), payload_j)
             sizes = (
                 np.bitwise_count(payload_i).sum(axis=1, dtype=np.int64)
                 + np.bitwise_count(payload_j).sum(axis=1, dtype=np.int64)
@@ -627,8 +736,18 @@ class EdgeEngine:
                 "mode, seed label ('rep', 0)); a random.Random rng only drives "
                 "the scalar fast/reference backends"
             )
+        sir = policy.gate == "sir"
+        if sir:
+            if len(self._rumors) != 1:
+                raise ValueError(
+                    "the 'sir' gate runs single-rumor (one-to-all) tasks only; "
+                    f"{len(self._rumors)} rumors are seeded"
+                )
+            self._sir_ensure()
         self._begin_round()
         self._deliver_due_exchanges()
+        if sir:
+            self._sir_transition(policy.forget_after)
 
         n = self._idx.num_nodes
         degrees = self._degrees
@@ -645,7 +764,9 @@ class EdgeEngine:
         acting = ~self._crashed_mask if self._crashed_mask.any() else np.ones(n, dtype=bool)
         if self.blocking:
             acting = acting & (self._outstanding == 0)
-        if policy.gate != "all":
+        if policy.gate == "sir":
+            acting = acting & ~self._sir_recovered
+        elif policy.gate != "all":
             informed = (self._know != 0).any(axis=1)
             acting = acting & (informed if policy.gate == "informed-only" else ~informed)
         acting = acting & (degrees > 0)

@@ -140,6 +140,11 @@ class FastEngine:
         # _on_crash/_on_edge_fault before the CSR re-snapshot; their index
         # bookkeeping is parked here and replayed right after the resync.
         self._deferred_faults: list[tuple] = []
+        # SIR recovery state, initialized lazily on first contact with the
+        # "sir" gate (a step under it, or one of the sir_* predicates).
+        self._sir_infected_at: Optional[list[int]] = None  # -1 = never infected
+        self._sir_recovered: list[bool] = []
+        self._sir_ever = 0  # survivors ever infected
         # In-flight exchanges, batched by completion round.
         self._due: dict[int, list[tuple[int, int, int, int]]] = {}
         # Activation counts per directed CSR slot (materialized lazily).
@@ -309,6 +314,103 @@ class FastEngine:
         self._lb_ready = True
 
     # ------------------------------------------------------------------
+    # SIR recovery (the "sir" gate: informed nodes forget after k rounds)
+    # ------------------------------------------------------------------
+    def _sir_ensure(self) -> None:
+        """Initialize SIR state, marking currently-informed nodes infected.
+
+        Called both by the sir_* predicates (a run evaluates its stop
+        condition before the first step, at round 0 — the seeded source is
+        marked with ``infected_at=0``) and by :meth:`step` before the round
+        counter advances, so both entry paths mark at the same round.
+        """
+        if self._sir_infected_at is not None:
+            return
+        n = self._idx.num_nodes
+        infected_at = [-1] * n
+        ever = 0
+        round_ = self.round
+        crashed = self._crashed_idx
+        know = self._know
+        for i in range(n):
+            if know[i]:
+                infected_at[i] = round_
+                if i not in crashed:
+                    ever += 1
+        self._sir_infected_at = infected_at
+        self._sir_recovered = [False] * n
+        self._sir_ever = ever
+
+    def _sir_transition(self, forget_after: int) -> None:
+        """Apply the post-delivery SIR transition for the current round.
+
+        Expiry first (an infected survivor whose age reached
+        ``forget_after`` recovers: its knowledge is cleared and retired from
+        the informed counts, and it stops acting and learning), then marking
+        (a node that first learned the rumor this round records the current
+        round as its infection time).  The two branches are disjoint per
+        node — a node marked this round has age 0 < forget_after — so one
+        sweep handles both without ordering hazards.
+        """
+        round_ = self.round
+        infected_at = self._sir_infected_at
+        recovered = self._sir_recovered
+        know = self._know
+        crashed = self._crashed_idx
+        informed = self._informed_count
+        ever = self._sir_ever
+        for i in range(self._idx.num_nodes):
+            if recovered[i] or (crashed and i in crashed):
+                continue
+            t = infected_at[i]
+            if t >= 0:
+                if round_ - t >= forget_after:
+                    recovered[i] = True
+                    bits = know[i]
+                    know[i] = 0
+                    while bits:
+                        low = bits & -bits
+                        bits ^= low
+                        informed[low.bit_length() - 1] -= 1
+            elif know[i]:
+                infected_at[i] = round_
+                ever += 1
+        self._sir_ever = ever
+
+    def sir_ever_complete(self) -> bool:
+        """Whether every survivor has been infected at some point."""
+        self._sir_ensure()
+        return self._sir_ever == self._idx.num_nodes - len(self._crashed_idx)
+
+    def sir_quiescent(self) -> bool:
+        """Whether the rumor has died out: no infected survivor and no
+        infectious payload still in flight."""
+        self._sir_ensure()
+        if self._informed_count and self._informed_count[0] > 0:
+            return False
+        for batch in self._due.values():
+            for entry in batch:
+                if entry[2] or entry[3]:
+                    return False
+        return True
+
+    def sir_stats(self) -> dict:
+        """Survivor-side SIR tallies: ever-infected, recovered, infected."""
+        self._sir_ensure()
+        crashed = self._crashed_idx
+        recovered = sum(
+            1
+            for i in range(self._idx.num_nodes)
+            if self._sir_recovered[i] and i not in crashed
+        )
+        infected = self._informed_count[0] if self._informed_count else 0
+        return {
+            "ever_informed": self._sir_ever,
+            "recovered": recovered,
+            "infected": infected,
+        }
+
+    # ------------------------------------------------------------------
     # Fault events (node-crash / edge-fault, via the shared applier)
     # ------------------------------------------------------------------
     def _on_crash(self, label: NodeId) -> None:
@@ -333,6 +435,8 @@ class FastEngine:
             low = bits & -bits
             bits ^= low
             informed[low.bit_length() - 1] -= 1
+        if self._sir_infected_at is not None and self._sir_infected_at[i] >= 0:
+            self._sir_ever -= 1
 
     def _on_edge_fault(self, u: NodeId, v: NodeId) -> None:
         """Index-side bookkeeping for a (new) ``edge-fault`` event."""
@@ -435,6 +539,9 @@ class FastEngine:
             self._origin_count.extend([0] * added)
             hist = self._origin_count_hist
             hist[0] = hist.get(0, 0) + added
+            if self._sir_infected_at is not None:
+                self._sir_infected_at.extend([-1] * added)
+                self._sir_recovered.extend([False] * added)
         if events_only:
             removed = severed_pairs
         else:
@@ -519,6 +626,10 @@ class FastEngine:
         crashed = self._crashed_idx
         dropped = self._dropped_pairs
         fault_active = bool(crashed or dropped)
+        # Under SIR, recovered endpoints ignore the payload (the exchange
+        # still completes and is charged) — a recovered node must never
+        # re-enter the informed counts.
+        recovered = self._sir_recovered if self._sir_infected_at is not None else None
         for i, j, payload_i, payload_j in batch:
             outstanding[i] -= 1
             if outstanding[i] < 0:
@@ -529,8 +640,8 @@ class FastEngine:
             if fault_active and (i in crashed or j in crashed or (i, j) in dropped):
                 metrics.record_suppressed()
                 continue
-            new_for_j = learn(j, payload_i)
-            new_for_i = learn(i, payload_j)
+            new_for_j = 0 if recovered is not None and recovered[j] else learn(j, payload_i)
+            new_for_i = 0 if recovered is not None and recovered[i] else learn(i, payload_j)
             metrics.record_exchange_completed(
                 payload_size=payload_i.bit_count() + payload_j.bit_count()
             )
@@ -550,8 +661,18 @@ class FastEngine:
                 "FastEngine only runs declarative RoundPolicySpec policies; "
                 "use the reference engine for arbitrary callbacks"
             )
+        sir = policy.gate == "sir"
+        if sir:
+            if len(self._rumors) != 1:
+                raise ValueError(
+                    "the 'sir' gate runs single-rumor (one-to-all) tasks only; "
+                    f"{len(self._rumors)} rumors are seeded"
+                )
+            self._sir_ensure()
         self._begin_round()
         self._deliver_due_exchanges()
+        if sir:
+            self._sir_transition(policy.forget_after)
 
         idx = self._idx
         indptr = self._indptr_l
@@ -580,6 +701,7 @@ class FastEngine:
                 randrange = policy.rng.randrange
         cursors = self._cursors
         crashed = self._crashed_idx
+        sir_recovered = self._sir_recovered if sir else None
         round_base = self.round
         activations = 0
 
@@ -587,6 +709,8 @@ class FastEngine:
             if crashed and i in crashed:
                 # Crash-stop: silent, and consumes no randomness — mirrors
                 # the reference engine skipping the policy consult.
+                continue
+            if sir_recovered is not None and sir_recovered[i]:
                 continue
             if blocking and outstanding[i]:
                 continue

@@ -36,7 +36,12 @@ from typing import Any, Optional
 
 from ..gossip import FloodingGossip, PullGossip, PushGossip, PushPullGossip, Task
 from ..gossip.base import GossipAlgorithm
-from ..graphs import path_graph, two_cluster_slow_bridge, weighted_erdos_renyi
+from ..graphs import (
+    path_graph,
+    two_cluster_slow_bridge,
+    weighted_erdos_renyi,
+    weighted_watts_strogatz,
+)
 from ..graphs.dynamics import markov_churn
 from ..graphs.weighted_graph import WeightedGraph
 from .dynamics import ComposedDynamics, TopologyDynamics
@@ -75,6 +80,9 @@ GOLDEN_TOPOLOGIES: dict[str, Callable[[], WeightedGraph]] = {
     "path16": lambda: path_graph(16),
     "slow-bridge10": lambda: two_cluster_slow_bridge(5, fast_latency=1, slow_latency=8, bridges=1),
     "er24": lambda: weighted_erdos_renyi(24, 0.25, seed=7),
+    # A CSR-first family at dict scale: anchors the Watts–Strogatz edge
+    # stream (rewiring draws included) against both backends.
+    "ws18": lambda: weighted_watts_strogatz(18, k=4, rewire=0.2, seed=5),
 }
 
 # One-to-all variants of every declarative algorithm (fast-engine capable).

@@ -114,6 +114,17 @@ class SimulationError(RuntimeError):
 EDGE_AUTO_NODE_THRESHOLD = 100_000
 
 
+def _check_forget_after(gate: str, forget_after: Optional[int]) -> None:
+    """Validate the SIR recovery delay against the gate (shared by both specs)."""
+    if gate == "sir":
+        if not isinstance(forget_after, int) or isinstance(forget_after, bool) or forget_after < 1:
+            raise ValueError(
+                f"the 'sir' gate requires forget_after (an int >= 1), got {forget_after!r}"
+            )
+    elif forget_after is not None:
+        raise ValueError(f"forget_after only applies to the 'sir' gate, not {gate!r}")
+
+
 class PolicyCapability(enum.Enum):
     """The policy shape a gossip algorithm drives the engine with.
 
@@ -139,10 +150,13 @@ class RoundPolicySpec:
         with a per-node cursor.
     gate:
         Which nodes act each round: ``"all"``, ``"informed-only"`` (only
-        nodes knowing at least one rumor; the classical push trigger) or
+        nodes knowing at least one rumor; the classical push trigger),
         ``"uninformed-only"`` (only nodes knowing nothing; the one-to-all
-        pull trigger).  Gated-out nodes consume no randomness, which keeps
-        the two backends' random streams aligned.
+        pull trigger), or ``"sir"`` (the epidemic Susceptible–Infected–
+        Recovered gate: every node acts until it *recovers* — an informed
+        node forgets its knowledge and deactivates ``forget_after`` rounds
+        after first learning the rumor).  Gated-out nodes consume no
+        randomness, which keeps the two backends' random streams aligned.
     rng:
         The random stream for ``"uniform-random"`` selection.  Must be
         supplied for uniform specs; ignored for round-robin.  Either a
@@ -150,14 +164,20 @@ class RoundPolicySpec:
         ``numpy.random.Generator`` (the numpy sampling mode: one uniform
         vector drawn per round, fast backend only — see
         :mod:`repro.simulation.rng`).
+    forget_after:
+        The SIR recovery delay ``k``: an informed node clears its
+        knowledge and stops acting ``k`` rounds after infection.  Required
+        (an int >= 1) exactly when ``gate == "sir"``; must be ``None``
+        otherwise.
     """
 
     select: str
     gate: str = "all"
     rng: Optional[Any] = None
+    forget_after: Optional[int] = None
 
     _SELECTS = ("uniform-random", "round-robin")
-    _GATES = ("all", "informed-only", "uninformed-only")
+    _GATES = ("all", "informed-only", "uninformed-only", "sir")
 
     def __post_init__(self) -> None:
         if self.select not in self._SELECTS:
@@ -166,6 +186,7 @@ class RoundPolicySpec:
             raise ValueError(f"unknown gate {self.gate!r}; choose from {self._GATES}")
         if self.select == "uniform-random" and self.rng is None:
             raise ValueError("uniform-random selection requires an rng")
+        _check_forget_after(self.gate, self.forget_after)
 
     def compile(self) -> Callable[[Any], Optional[NodeId]]:
         """Compile the spec to a reference-engine exchange policy.
@@ -176,6 +197,11 @@ class RoundPolicySpec:
         makes the two backends' seeded runs identical.
         """
         gate = self.gate
+        if gate == "sir":
+            raise TypeError(
+                "the 'sir' gate needs per-node recovery state that only the "
+                "fast/edge/batch backends keep; the reference engine cannot run it"
+            )
         if self.select == "uniform-random":
             if is_numpy_generator(self.rng):
                 raise TypeError(
@@ -231,16 +257,20 @@ class BatchPolicySpec:
         :class:`RoundPolicySpec`; round-robin cursors are tracked per
         (node, replication) pair and need no generators).
     gate:
-        ``"all"`` / ``"informed-only"`` / ``"uninformed-only"``, applied
-        per replication column.
+        ``"all"`` / ``"informed-only"`` / ``"uninformed-only"`` / ``"sir"``,
+        applied per replication column.
     rngs:
         One numpy Generator per replication for ``"uniform-random"``;
         must be empty for round-robin.
+    forget_after:
+        The SIR recovery delay (see :class:`RoundPolicySpec`); required
+        exactly when ``gate == "sir"``.
     """
 
     select: str
     gate: str = "all"
     rngs: tuple = ()
+    forget_after: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.select not in RoundPolicySpec._SELECTS:
@@ -249,6 +279,7 @@ class BatchPolicySpec:
             )
         if self.gate not in RoundPolicySpec._GATES:
             raise ValueError(f"unknown gate {self.gate!r}; choose from {RoundPolicySpec._GATES}")
+        _check_forget_after(self.gate, self.forget_after)
         if self.select == "uniform-random":
             if not self.rngs:
                 raise ValueError("uniform-random batch selection requires per-replication rngs")

@@ -100,7 +100,7 @@ def test_batch_replications_are_independent_and_ordered():
 def test_property_batch_rows_match_sequential_rows_exactly(name, reps, seed):
     spec = load_named_scenario(name).patched({"seed": seed})
     algorithm = spec.algorithm
-    assert algorithm in ("push-pull", "push", "pull", "flooding")  # all declarative
+    assert algorithm in ("push-pull", "push", "pull", "flooding", "sir-push-pull")  # all declarative
     batched, sequential = replicated_pair(spec, reps=reps)
     batch_rows = [trajectory(r) for r in batched.results]
     sequential_rows = [trajectory(r) for r in sequential.results]
@@ -359,3 +359,23 @@ def test_batched_sweep_checkpoint_with_wrong_rep_count_is_not_trusted(tmp_path):
     wider.repetitions = 4
     completed = wider._load_checkpoint(checkpoint)
     assert completed == {}
+
+
+# ----------------------------------------------------------------------
+# SIR push-pull rows: forgetting-protocol parity under replication
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name", ["sir-pushpull-ws96", "sir-pushpull-powerlaw96", "sir-pushpull-kron64"]
+)
+def test_batch_sir_rows_match_sequential_and_carry_sir_details(name):
+    spec = load_named_scenario(name)
+    batched, sequential = replicated_pair(spec, reps=3)
+    for b, s in zip(batched.results, sequential.results):
+        assert trajectory(b) == trajectory(s)
+        assert b.metrics.edge_activations == s.metrics.edge_activations
+        # The SIR epidemic bookkeeping rides along per replication and
+        # matches the sequential oracle field for field.
+        for key in ("forget_after", "died_out", "ever_informed", "recovered", "infected"):
+            assert b.details[key] == s.details[key], key
+        assert b.details["forget_after"] == spec.forget_after
+        assert b.details["died_out"] == (not b.complete)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.cli import build_graph, main
@@ -171,3 +173,57 @@ class TestScenarioValidateErrors:
         assert exit_code == 1
         assert f"{good}: ok" in captured.out
         assert str(broken) in captured.err
+
+    def test_bad_family_param_names_parameter_on_stderr(self, capsys, tmp_path):
+        from repro.scenario import load_named_scenario
+
+        bad = tmp_path / "bad-k.json"
+        text = load_named_scenario("sir-pushpull-ws96").to_json()
+        bad.write_text(text.replace('"k": 8', '"k": 7'), encoding="utf-8")
+        exit_code = main(["scenario", "validate", str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "INVALID" in captured.err
+        assert "graph.params.k" in captured.err
+        assert "even integer" in captured.err
+
+    def test_unknown_family_param_is_invalid(self, capsys, tmp_path):
+        from repro.scenario import load_named_scenario
+
+        bad = tmp_path / "bad-param.json"
+        text = load_named_scenario("sir-pushpull-kron64").to_json()
+        assert '"params": {}' in text  # the bundled spec rides on defaults
+        bad.write_text(text.replace('"params": {}', '"params": {"fan_out": 8}'), encoding="utf-8")
+        exit_code = main(["scenario", "validate", str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "graph.params.fan_out" in captured.err
+        assert "kronecker" in captured.err
+
+    def test_bad_forget_after_is_invalid(self, capsys, tmp_path):
+        from repro.scenario import load_named_scenario
+
+        bad = tmp_path / "bad-forget.json"
+        text = load_named_scenario("sir-pushpull-powerlaw96").to_json()
+        bad.write_text(text.replace('"forget_after": 16', '"forget_after": 0'), encoding="utf-8")
+        exit_code = main(["scenario", "validate", str(bad)])
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert "forget_after" in captured.err
+
+    def test_bundled_sir_scenarios_validate_clean(self, capsys):
+        from repro.scenario import scenario_library_dir
+
+        library = scenario_library_dir()
+        paths = [
+            os.path.join(library, name)
+            for name in (
+                "sir-pushpull-ws96.json",
+                "sir-pushpull-powerlaw96.json",
+                "sir-pushpull-kron64.json",
+            )
+        ]
+        exit_code = main(["scenario", "validate", *paths])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.out.count(": ok") == 3

@@ -19,7 +19,12 @@ import os
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graphs import weighted_erdos_renyi
+from repro.graphs import (
+    weighted_configuration_model,
+    weighted_erdos_renyi,
+    weighted_kronecker,
+    weighted_watts_strogatz,
+)
 from repro.scenario import (
     ScenarioError,
     ScenarioSpec,
@@ -221,3 +226,64 @@ def test_memory_guard_blocks_all_to_all_growth_with_estimate():
     # The guarded engine is still usable at its current size.
     rumor = engine.seed_rumor(graph.nodes()[0])
     engine.run(numpy_spec("all", 1), lambda e: e.dissemination_complete(rumor))
+
+
+# ----------------------------------------------------------------------
+# SIR push-pull: the forgetting gate's cross-backend contract
+# ----------------------------------------------------------------------
+SIR_FAMILIES = (
+    ("watts-strogatz", lambda: weighted_watts_strogatz(48, k=6, rewire=0.2, seed=13)),
+    ("configuration-model", lambda: weighted_configuration_model(48, gamma=2.4, min_degree=2, seed=13)),
+    ("kronecker", lambda: weighted_kronecker(48, edge_factor=4, seed=13)),
+)
+
+
+def sir_spec(seed, forget_after=9):
+    return RoundPolicySpec(
+        select="uniform-random",
+        gate="sir",
+        forget_after=forget_after,
+        rng=make_numpy_rng(seed, "rep", 0),
+    )
+
+
+def run_sir(engine, seed, forget_after=9):
+    metrics = engine.run(
+        sir_spec(seed, forget_after),
+        lambda e: e.sir_ever_complete() or e.sir_quiescent(),
+    )
+    return metrics
+
+
+@pytest.mark.parametrize("family,build", SIR_FAMILIES, ids=[f for f, _ in SIR_FAMILIES])
+def test_edge_sir_gate_matches_fast_numpy_mode(family, build):
+    graph = build()
+    edge, fast = engine_pair(graph)
+    edge.seed_rumor(graph.nodes()[0])
+    fast.seed_rumor(graph.nodes()[0])
+    metrics_e = run_sir(edge, 17)
+    metrics_f = run_sir(fast, 17)
+    assert metrics_e.as_dict() == metrics_f.as_dict()
+    assert metrics_e.edge_activations == metrics_f.edge_activations
+    assert edge.sir_stats() == fast.sir_stats()
+    assert edge.sir_ever_complete() == fast.sir_ever_complete()
+    assert edge.sir_quiescent() == fast.sir_quiescent()
+
+
+def test_edge_sir_recovery_actually_silences_nodes():
+    # forget_after=1: every informed node recovers after a single active
+    # round, so the epidemic dies out long before the rumor covers a
+    # 200-node ring-like graph — and a quiescent engine stops cleanly.
+    graph = weighted_watts_strogatz(200, k=4, rewire=0.0, seed=3)
+    edge, fast = engine_pair(graph)
+    edge.seed_rumor(graph.nodes()[0])
+    fast.seed_rumor(graph.nodes()[0])
+    metrics_e = run_sir(edge, 5, forget_after=1)
+    metrics_f = run_sir(fast, 5, forget_after=1)
+    assert metrics_e.as_dict() == metrics_f.as_dict()
+    assert edge.sir_stats() == fast.sir_stats()
+    stats = edge.sir_stats()
+    assert edge.sir_quiescent() and not edge.sir_ever_complete()
+    assert stats["ever_informed"] < 200
+    assert stats["infected"] == 0  # everyone who learned it has forgotten
+    assert stats["recovered"] == stats["ever_informed"]

@@ -12,7 +12,13 @@ from repro.graphs import (
     assign_latencies,
     barabasi_albert,
     barabasi_albert_csr,
+    configuration_model,
+    configuration_model_csr,
     erdos_renyi_csr,
+    kronecker,
+    kronecker_csr,
+    watts_strogatz,
+    watts_strogatz_csr,
     bimodal_latency,
     binary_tree,
     clique,
@@ -32,9 +38,12 @@ from repro.graphs import (
     uniform_latency,
     weighted_barabasi_albert,
     weighted_clique,
+    weighted_configuration_model,
     weighted_erdos_renyi,
     weighted_expander,
     weighted_grid,
+    weighted_kronecker,
+    weighted_watts_strogatz,
     weighted_diameter,
 )
 from repro.graphs.generators import _csr_from_edge_stream
@@ -205,6 +214,9 @@ class TestCSRGenerators:
         [
             (weighted_erdos_renyi, {"n": 60, "p": 0.12}),
             (weighted_barabasi_albert, {"n": 60, "m": 3}),
+            (weighted_watts_strogatz, {"n": 60, "k": 6, "rewire": 0.2}),
+            (weighted_configuration_model, {"n": 60, "gamma": 2.5, "min_degree": 2}),
+            (weighted_kronecker, {"n": 48, "edge_factor": 4}),
         ],
     )
     def test_csr_flag_is_bit_identical_below_threshold(self, factory, kwargs):
@@ -285,3 +297,91 @@ class TestCSRGenerators:
             erdos_renyi_csr(10, 1.5)
         with pytest.raises(GraphError):
             barabasi_albert_csr(3, m=3)
+
+    def test_erdos_renyi_csr_dense_p_regression(self):
+        # Dense p regression: at p=0.98 rejection sampling of *present*
+        # edges collapses into a coupon-collector stall; the builder must
+        # sample the sparse complement instead and land on (almost) the
+        # full clique without exhausting its attempt budget.
+        n = 64
+        total = n * (n - 1) // 2
+        graph = erdos_renyi_csr(n, 0.98, seed=9)
+        assert graph.num_nodes == n
+        assert graph.is_connected()
+        assert graph.num_edges >= 0.94 * total
+        assert graph.num_edges <= total
+        # p=1 is the degenerate corner of the same path: exactly the clique.
+        assert erdos_renyi_csr(n, 1.0, seed=9).num_edges == total
+
+    def test_barabasi_albert_m_zero_message(self):
+        # m=0 silently built an edgeless graph before the guard; both
+        # builders now reject it with the same pinned message.
+        message = "barabasi-albert attachment count m must be >= 1 (m=0 builds an edgeless graph)"
+        with pytest.raises(GraphError) as dict_err:
+            barabasi_albert(10, 0)
+        assert str(dict_err.value) == message
+        with pytest.raises(GraphError) as csr_err:
+            barabasi_albert_csr(10, m=0)
+        assert str(csr_err.value) == message
+
+
+class TestNewFamilyRealizations:
+    """Sanity of the Watts–Strogatz / configuration-model / Kronecker builders."""
+
+    def test_watts_strogatz_realization_is_sane(self):
+        n, k = 2000, 6
+        graph = watts_strogatz_csr(n, k=k, rewire=0.1, seed=3)
+        assert graph.num_nodes == n
+        assert graph.is_connected()
+        # Rewiring keeps the edge volume near the lattice's n*k/2 (the
+        # re-added ring backbone can add a few, dedup can drop a few).
+        assert 0.9 * n * k / 2 <= graph.num_edges <= 1.15 * n * k / 2
+        again = watts_strogatz_csr(n, k=k, rewire=0.1, seed=3)
+        assert np.array_equal(graph.indexed().indices, again.indexed().indices)
+        # The dict-path builder realizes the same family contract.
+        small = watts_strogatz(40, k=4, rewire=0.3, seed=1)
+        assert small.num_nodes == 40 and small.is_connected()
+
+    def test_configuration_model_realization_is_sane(self):
+        n = 3000
+        graph = configuration_model_csr(n, gamma=2.5, min_degree=2, seed=4)
+        assert graph.num_nodes == n
+        assert graph.is_connected()
+        mean_degree = 2 * graph.num_edges / n
+        # Power-law stub matching produces hubs far above the mean degree.
+        assert graph.max_degree() > 5 * mean_degree
+        again = configuration_model_csr(n, gamma=2.5, min_degree=2, seed=4)
+        assert np.array_equal(graph.indexed().indices, again.indexed().indices)
+        small = configuration_model(40, gamma=2.2, min_degree=2, seed=1)
+        assert small.num_nodes == 40 and small.is_connected()
+
+    def test_kronecker_realization_is_sane(self):
+        n, edge_factor = 2048, 8
+        graph = kronecker_csr(n, edge_factor=edge_factor, seed=5)
+        assert graph.num_nodes == n
+        assert graph.is_connected()
+        # The R-MAT batches stop once the edge_factor*n target is reached
+        # (the last batch may overshoot, and the backbone tops it off), so
+        # the realized volume sits near the target.
+        assert 2 * n <= graph.num_edges <= 2 * edge_factor * n
+        # Skewed initiator quadrants concentrate edges on low ids: hubs.
+        mean_degree = 2 * graph.num_edges / n
+        assert graph.max_degree() > 5 * mean_degree
+        again = kronecker_csr(n, edge_factor=edge_factor, seed=5)
+        assert np.array_equal(graph.indexed().indices, again.indexed().indices)
+        small = kronecker(48, edge_factor=4, seed=1)
+        assert small.num_nodes == 48 and small.is_connected()
+
+    def test_new_family_validators_name_the_parameter(self):
+        with pytest.raises(GraphError, match="lattice degree k"):
+            watts_strogatz(20, k=3)
+        with pytest.raises(GraphError, match="rewire probability"):
+            watts_strogatz(20, k=4, rewire=1.5)
+        with pytest.raises(GraphError, match="gamma"):
+            configuration_model(20, gamma=1.0)
+        with pytest.raises(GraphError, match="min_degree"):
+            configuration_model_csr(20, min_degree=0)
+        with pytest.raises(GraphError, match="edge_factor"):
+            kronecker(20, edge_factor=0)
+        with pytest.raises(GraphError, match="initiator probab"):
+            kronecker_csr(20, a=1.2)

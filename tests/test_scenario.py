@@ -63,9 +63,10 @@ class TestRoundTrip:
         payload = json.loads(_small_spec().to_json())
         assert set(payload) == {
             "name", "algorithm", "task", "graph", "seed", "engine",
-            "source_index", "max_rounds", "reps", "dynamics", "faults", "schema",
+            "source_index", "max_rounds", "reps", "forget_after",
+            "dynamics", "faults", "schema",
         }
-        assert set(payload["graph"]) == {"family", "n", "latency"}
+        assert set(payload["graph"]) == {"family", "n", "latency", "params"}
 
 
 class TestValidation:
@@ -114,6 +115,82 @@ class TestValidation:
         spec = _small_spec(task="one-to-all", source_index=500)
         with pytest.raises(ScenarioError, match="out of range"):
             prepare_scenario(spec)
+
+
+class TestFamilyParams:
+    """graph.params validation names the failing *parameter*, not just the family."""
+
+    def _ws_spec(self, **params):
+        return _small_spec(
+            graph=GraphSpec(family="watts-strogatz", n=24, latency="uniform", params=params)
+        )
+
+    def test_unknown_param_names_key_and_family(self):
+        with pytest.raises(ScenarioError, match=r"graph\.params\.degree is unknown for family 'watts-strogatz'"):
+            self._ws_spec(degree=4).validate()
+
+    def test_params_only_for_parameterized_families(self):
+        spec = _small_spec(
+            graph=GraphSpec(family="erdos-renyi", n=24, latency="uniform", params={"k": 4})
+        )
+        with pytest.raises(ScenarioError, match=r"graph\.params\.k"):
+            spec.validate()
+
+    def test_ws_odd_k_names_parameter(self):
+        with pytest.raises(ScenarioError, match=r"graph\.params\.k .* must be an even integer >= 2"):
+            self._ws_spec(k=5).validate()
+
+    def test_ws_rewire_out_of_range_names_parameter(self):
+        with pytest.raises(ScenarioError, match=r"graph\.params\.rewire"):
+            self._ws_spec(rewire=1.5).validate()
+
+    def test_ws_k_must_stay_below_n(self):
+        with pytest.raises(ScenarioError, match=r"graph\.params\.k"):
+            self._ws_spec(k=24).validate()
+
+    def test_configuration_model_gamma_names_parameter(self):
+        spec = _small_spec(
+            graph=GraphSpec(
+                family="configuration-model", n=24, latency="uniform", params={"gamma": 1.0}
+            )
+        )
+        with pytest.raises(ScenarioError, match=r"graph\.params\.gamma .* must be a number > 1"):
+            spec.validate()
+
+    def test_kronecker_initiator_mass_cross_check(self):
+        spec = _small_spec(
+            graph=GraphSpec(
+                family="kronecker", n=32, latency="uniform",
+                params={"a": 0.5, "b": 0.3, "c": 0.3},
+            )
+        )
+        with pytest.raises(ScenarioError, match=r"graph\.params\.a"):
+            spec.validate()
+
+    def test_valid_params_pass_and_build(self):
+        spec = self._ws_spec(k=4, rewire=0.3)
+        spec.validate()
+        graph = build_graph(spec)
+        assert graph.num_nodes == 24
+
+    def test_forget_after_requires_sir_algorithm(self):
+        with pytest.raises(ScenarioError, match="forget_after"):
+            _small_spec(forget_after=4).validate()
+
+    def test_forget_after_must_be_positive_int(self):
+        for bad in (0, True, "4"):
+            spec = _small_spec(
+                algorithm="sir-push-pull", task="one-to-all", forget_after=bad
+            )
+            with pytest.raises(ScenarioError, match="forget_after"):
+                spec.validate()
+
+    def test_sir_rejects_reference_engine(self):
+        spec = _small_spec(
+            algorithm="sir-push-pull", task="one-to-all", engine="reference", forget_after=4
+        )
+        with pytest.raises(ScenarioError, match="reference engine cannot run it"):
+            spec.validate()
 
 
 class TestPatching:
