@@ -27,6 +27,15 @@ Harnesses steer every ``Experiment.run`` in the process through
 ``repro-gossip experiment --workers/--resume/--checkpoint-dir`` CLI and the
 benchmark suite's ``REPRO_BENCH_WORKERS``).
 
+Calibration
+-----------
+:mod:`repro.analysis.calibrate` inverts the simulator:
+:func:`~repro.analysis.calibrate.calibrate` runs ABC-SMC over the batch
+engine to estimate scenario parameters from an observed informed-count
+curve, fanning each generation's particles out through the sweep
+orchestrator above (same worker pool, same JSONL checkpoint idiom, same
+bit-for-bit determinism guarantees).
+
 Golden traces
 -------------
 Seeded reference trajectories for the declarative gossip algorithms live as
@@ -37,6 +46,17 @@ tables and run ``python tests/golden/regen.py``; the parity test replays
 every fixture on both simulation backends.
 """
 
+from .calibrate import (
+    CalibrationConfig,
+    CalibrationError,
+    CalibrationResult,
+    Generation,
+    ParamPrior,
+    calibrate,
+    curve_rmse,
+    mean_curve,
+    quantile_time_distance,
+)
 from .experiment import (
     Experiment,
     SweepConfig,
@@ -67,7 +87,12 @@ from .stats import (
 from .tables import format_value, render_comparison, render_table
 
 __all__ = [
+    "CalibrationConfig",
+    "CalibrationError",
+    "CalibrationResult",
     "Experiment",
+    "Generation",
+    "ParamPrior",
     "ResultRow",
     "ResultTable",
     "Summary",
@@ -77,7 +102,11 @@ __all__ = [
     "TrialShard",
     "ascii_scatter",
     "ascii_series",
+    "calibrate",
     "configure_sweeps",
+    "curve_rmse",
+    "mean_curve",
+    "quantile_time_distance",
     "current_sweep_config",
     "default_scenario_measure",
     "deterministic_rows",

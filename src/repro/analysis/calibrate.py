@@ -1,0 +1,933 @@
+"""Scenario calibration: ABC-SMC parameter fitting over the batch engine.
+
+Given an *observed* per-round informed-count curve, this module inverts the
+simulator: it estimates which :class:`~repro.scenario.ScenarioSpec`
+parameters (churn rate, crash fraction, drift amplitude, generator knobs,
+``forget_after``, ...) generated the curve, by Approximate Bayesian
+Computation with sequential Monte Carlo (ABC-SMC, Toni et al. 2009).
+
+The pieces
+----------
+* :class:`ParamPrior` — a uniform or log-uniform box over one dotted
+  scenario path (validated through
+  :meth:`~repro.scenario.ScenarioSpec.numeric_paths`, applied through
+  :meth:`~repro.scenario.ScenarioSpec.patched`).
+* Distance functions between informed-count trajectories —
+  :func:`curve_rmse` (L2 on the aligned mean curves) and
+  :func:`quantile_time_distance` (L2 on time-to-quantile vectors), both
+  non-negative, symmetric, and zero on identical curves.
+* :func:`calibrate` — the population loop: generation 0 samples the priors
+  directly; each later generation resamples the previous population by
+  importance weight, perturbs with a component-wise Gaussian kernel
+  (:func:`perturb_within` keeps every particle inside prior support), and
+  accepts proposals whose simulated distance beats a shrinking epsilon (the
+  ``epsilon_quantile`` of the previous generation's weighted distances).
+  Importance weights follow the standard SMC correction
+  ``prior(theta) / sum_j w_j K(theta | theta_j)`` and always normalize to 1.
+
+The inner loop is one batch-engine call per proposal:
+``run_scenario(spec.patched({**theta, "seed": ..., "reps": R, "engine":
+"batch"}))`` simulates all ``R`` replications of a candidate as a single
+numpy computation and the per-replication informed curves are averaged into
+the candidate's summary curve.  Particle evaluation within a generation
+fans out through :class:`~repro.analysis.experiment.Experiment` (the sweep
+orchestrator's worker pool), and each generation checkpoints through the
+same JSONL idiom, so a fit is resumable mid-flight.
+
+Seed-derivation labels
+----------------------
+Every random draw routes through :func:`~repro.simulation.rng.derive_seed`
+under the ``"abc"`` namespace, so a full fit is bit-for-bit reproducible
+from ``base_seed`` alone — serial, parallel, and resumed runs produce
+identical particle populations:
+
+* ``derive_seed(base_seed, "abc", "observed")`` seeds the synthetic
+  self-test target curve (:func:`observed_seed`);
+* ``derive_seed(base_seed, "abc", g, i)`` seeds particle ``i`` of
+  generation ``g``'s proposal stream — ancestor choice and kernel noise
+  (:func:`particle_seed`);
+* ``derive_seed(base_seed, "abc", g, i, "sim", a)`` seeds the scenario run
+  of that particle's attempt ``a`` (:func:`simulation_seed`).
+
+``tests/test_calibrate.py`` pins this scheme; changing it silently
+reshuffles every particle RNG stream, so treat it as a compatibility
+contract.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+from typing import Any, Optional, Union
+
+import numpy as np
+
+from ..simulation.rng import derive_seed, make_numpy_rng
+from .experiment import Experiment, _slug
+from .records import ResultTable
+
+__all__ = [
+    "CalibrationError",
+    "ParamPrior",
+    "CalibrationConfig",
+    "Generation",
+    "CalibrationResult",
+    "calibrate",
+    "DISTANCES",
+    "align_curves",
+    "mean_curve",
+    "curve_rmse",
+    "quantile_times",
+    "quantile_time_distance",
+    "perturb_within",
+    "normalize_weights",
+    "weighted_quantile",
+    "kernel_scales",
+    "observed_seed",
+    "particle_seed",
+    "simulation_seed",
+    "simulated_mean_curve",
+]
+
+
+class CalibrationError(ValueError):
+    """Raised when a calibration setup is malformed or a fit fails."""
+
+
+# ----------------------------------------------------------------------
+# Seed-derivation labels (pinned by tests: the particle RNG contract)
+# ----------------------------------------------------------------------
+def observed_seed(base_seed: int) -> int:
+    """Seed of the synthetic self-test target: ``derive_seed(base_seed, "abc", "observed")``."""
+    return derive_seed(base_seed, "abc", "observed")
+
+
+def particle_seed(base_seed: int, generation: int, particle: int) -> int:
+    """Seed of one particle's proposal stream: ``derive_seed(base_seed, "abc", g, i)``."""
+    return derive_seed(base_seed, "abc", generation, particle)
+
+
+def simulation_seed(base_seed: int, generation: int, particle: int, attempt: int) -> int:
+    """Seed of one proposal's scenario run: ``derive_seed(base_seed, "abc", g, i, "sim", a)``."""
+    return derive_seed(base_seed, "abc", generation, particle, "sim", attempt)
+
+
+# ----------------------------------------------------------------------
+# Curves and distances
+# ----------------------------------------------------------------------
+def _as_curve(curve: Sequence[float], name: str) -> np.ndarray:
+    """Validate and convert one informed-count curve to a float array."""
+    arr = np.asarray(curve, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise CalibrationError(f"{name} must be a non-empty 1-d sequence of counts")
+    if not np.all(np.isfinite(arr)) or np.any(arr < 0):
+        raise CalibrationError(f"{name} must contain finite, non-negative counts")
+    return arr
+
+
+def align_curves(a: Sequence[float], b: Sequence[float]) -> tuple[np.ndarray, np.ndarray]:
+    """Pad the shorter curve with its final value so both have equal length.
+
+    Informed-count curves are truncated at their run's own completion
+    round; a completed run holds its final count forever, so padding with
+    the last value is the faithful continuation, not an approximation.
+    """
+    arr_a = _as_curve(a, "curve a")
+    arr_b = _as_curve(b, "curve b")
+    length = max(arr_a.size, arr_b.size)
+    if arr_a.size < length:
+        arr_a = np.concatenate([arr_a, np.full(length - arr_a.size, arr_a[-1])])
+    if arr_b.size < length:
+        arr_b = np.concatenate([arr_b, np.full(length - arr_b.size, arr_b[-1])])
+    return arr_a, arr_b
+
+
+def mean_curve(curves: Sequence[Sequence[float]]) -> np.ndarray:
+    """The pointwise mean of several curves, each padded with its final value.
+
+    This is the per-candidate summary statistic of the ABC fit: the mean
+    informed-count trajectory over the candidate's ``reps`` replications.
+    """
+    if not curves:
+        raise CalibrationError("mean_curve needs at least one curve")
+    arrays = [_as_curve(curve, f"curve {index}") for index, curve in enumerate(curves)]
+    length = max(arr.size for arr in arrays)
+    padded = [
+        np.concatenate([arr, np.full(length - arr.size, arr[-1])]) if arr.size < length else arr
+        for arr in arrays
+    ]
+    return np.mean(padded, axis=0)
+
+
+def curve_rmse(a: Sequence[float], b: Sequence[float]) -> float:
+    """Root-mean-square distance between two aligned informed-count curves."""
+    arr_a, arr_b = align_curves(a, b)
+    return float(np.sqrt(np.mean((arr_a - arr_b) ** 2)))
+
+
+#: Quantiles of the time-to-quantile summary vector.
+DEFAULT_QUANTILES = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+
+
+def quantile_times(
+    curve: Sequence[float],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+    total: Optional[float] = None,
+) -> np.ndarray:
+    """First round at which the curve reaches each quantile of ``total``.
+
+    ``total`` defaults to the curve's own maximum.  A quantile the curve
+    never reaches is censored at ``len(curve)`` (one past the last round),
+    so partially-spreading runs still produce a finite summary vector.
+    """
+    arr = _as_curve(curve, "curve")
+    if total is None:
+        total = float(arr.max())
+    times = np.empty(len(quantiles), dtype=float)
+    for index, quantile in enumerate(quantiles):
+        hits = np.nonzero(arr >= quantile * total)[0]
+        times[index] = float(hits[0]) if hits.size else float(arr.size)
+    return times
+
+
+def quantile_time_distance(
+    a: Sequence[float],
+    b: Sequence[float],
+    quantiles: Sequence[float] = DEFAULT_QUANTILES,
+) -> float:
+    """RMS distance between the two curves' time-to-quantile vectors.
+
+    Both vectors are taken against the shared total ``max(max(a), max(b))``
+    so the comparison is symmetric; this distance reads *when* the spread
+    happened rather than the plateau heights, complementing
+    :func:`curve_rmse`.
+    """
+    arr_a, arr_b = _as_curve(a, "curve a"), _as_curve(b, "curve b")
+    total = float(max(arr_a.max(), arr_b.max()))
+    times_a = quantile_times(arr_a, quantiles, total=total)
+    times_b = quantile_times(arr_b, quantiles, total=total)
+    return float(np.sqrt(np.mean((times_a - times_b) ** 2)))
+
+
+#: Named distance functions selectable by :attr:`CalibrationConfig.distance`.
+DISTANCES: dict[str, Callable[[Sequence[float], Sequence[float]], float]] = {
+    "l2": curve_rmse,
+    "time-to-quantile": quantile_time_distance,
+}
+
+
+# ----------------------------------------------------------------------
+# Priors and the perturbation kernel
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ParamPrior:
+    """A uniform or log-uniform prior box over one dotted scenario path.
+
+    ``kind`` is ``"uniform"`` (flat on the value) or ``"log-uniform"``
+    (flat on ``log(value)``; requires ``low > 0``).  ``integer`` rounds
+    every draw to the nearest integer inside the box — for paths whose
+    scenario field demands an int (``forget_after``, ``dynamics.*.period``,
+    ``graph.params.edge_factor``, ...).  Sampling and the perturbation
+    kernel both operate in the prior's *transformed* space (identity or
+    log), so a log-uniform parameter gets scale-invariant kernel noise.
+    """
+
+    path: str
+    low: float
+    high: float
+    kind: str = "uniform"
+    integer: bool = False
+
+    def validate(self) -> "ParamPrior":
+        """Raise :class:`CalibrationError` on an invalid prior; return self."""
+        if not self.path or not isinstance(self.path, str):
+            raise CalibrationError("prior path must be a non-empty dotted string")
+        if self.kind not in ("uniform", "log-uniform"):
+            raise CalibrationError(
+                f"prior {self.path!r} kind must be 'uniform' or 'log-uniform', got {self.kind!r}"
+            )
+        if not (isinstance(self.low, (int, float)) and isinstance(self.high, (int, float))):
+            raise CalibrationError(f"prior {self.path!r} bounds must be numbers")
+        if not (math.isfinite(self.low) and math.isfinite(self.high)) or self.low >= self.high:
+            raise CalibrationError(
+                f"prior {self.path!r} needs finite bounds with low < high, "
+                f"got [{self.low}, {self.high}]"
+            )
+        if self.kind == "log-uniform" and self.low <= 0:
+            raise CalibrationError(
+                f"prior {self.path!r} is log-uniform and needs low > 0, got {self.low}"
+            )
+        if self.integer and math.floor(self.high) < math.ceil(self.low):
+            raise CalibrationError(
+                f"prior {self.path!r} is integer-valued but [{self.low}, {self.high}] "
+                "contains no integer"
+            )
+        return self
+
+    # -- transformed coordinates ----------------------------------------
+    def transform(self, value: float) -> float:
+        """Map a native value into the prior's kernel space (identity or log)."""
+        return math.log(value) if self.kind == "log-uniform" else float(value)
+
+    def untransform(self, coord: float) -> Union[int, float]:
+        """Map a kernel-space coordinate back to a (clipped) native value."""
+        value = math.exp(coord) if self.kind == "log-uniform" else float(coord)
+        return self.clip(value)
+
+    @property
+    def transformed_bounds(self) -> tuple[float, float]:
+        """The support box in kernel space."""
+        return self.transform(self.low), self.transform(self.high)
+
+    def clip(self, value: float) -> Union[int, float]:
+        """Clamp a native value into the support (and round if integer)."""
+        clamped = min(max(float(value), self.low), self.high)
+        if self.integer:
+            rounded = int(round(clamped))
+            return min(max(rounded, math.ceil(self.low)), math.floor(self.high))
+        return clamped
+
+    def contains(self, value: float) -> bool:
+        """Whether a native value lies inside the prior's support."""
+        if not (self.low <= value <= self.high):
+            return False
+        return not self.integer or float(value) == float(int(round(value)))
+
+    def sample(self, rng: Any) -> Union[int, float]:
+        """Draw one native value from the prior using a numpy Generator."""
+        low_t, high_t = self.transformed_bounds
+        return self.untransform(float(rng.uniform(low_t, high_t)))
+
+    def pdf(self, value: float) -> float:
+        """The prior density at a native value (0 outside the support)."""
+        if not (self.low <= value <= self.high):
+            return 0.0
+        if self.kind == "log-uniform":
+            return 1.0 / (float(value) * (math.log(self.high) - math.log(self.low)))
+        return 1.0 / (self.high - self.low)
+
+
+def perturb_within(
+    prior: ParamPrior,
+    value: float,
+    scale: float,
+    rng: Any,
+    max_tries: int = 64,
+) -> Union[int, float]:
+    """Gaussian-perturb a native value, guaranteed to stay in prior support.
+
+    Adds ``scale``-sized normal noise in the prior's transformed space and
+    redraws (up to ``max_tries`` times) while the candidate falls outside
+    the box; a pathological scale that never lands inside is clipped onto
+    the boundary, so the result is *always* inside the support.
+    """
+    prior.validate()
+    if scale <= 0 or not math.isfinite(scale):
+        raise CalibrationError(f"perturbation scale must be a positive number, got {scale!r}")
+    low_t, high_t = prior.transformed_bounds
+    center = prior.transform(value)
+    candidate = center
+    for _ in range(max_tries):
+        candidate = center + scale * float(rng.standard_normal())
+        if low_t <= candidate <= high_t:
+            return prior.untransform(candidate)
+    return prior.untransform(min(max(candidate, low_t), high_t))
+
+
+def normalize_weights(weights: Sequence[float]) -> np.ndarray:
+    """Normalize non-negative weights to sum to exactly 1.
+
+    Raises :class:`CalibrationError` on negative entries or an all-zero
+    population (nothing to resample from).
+    """
+    arr = np.asarray(weights, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise CalibrationError("weights must be a non-empty 1-d sequence")
+    if np.any(arr < 0) or not np.all(np.isfinite(arr)):
+        raise CalibrationError("weights must be finite and non-negative")
+    total = float(arr.sum())
+    if total <= 0.0:
+        raise CalibrationError("cannot normalize an all-zero weight population")
+    return arr / total
+
+
+def weighted_quantile(values: Sequence[float], weights: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of a weighted sample (linear interpolation)."""
+    if not 0.0 <= q <= 1.0:
+        raise CalibrationError(f"quantile must be in [0, 1], got {q!r}")
+    vals = np.asarray(values, dtype=float)
+    wts = normalize_weights(weights)
+    if vals.shape != wts.shape:
+        raise CalibrationError("values and weights must have matching lengths")
+    order = np.argsort(vals, kind="stable")
+    vals, wts = vals[order], wts[order]
+    cumulative = np.cumsum(wts)
+    return float(np.interp(q, cumulative, vals))
+
+
+def kernel_scales(
+    thetas_t: np.ndarray,
+    weights: Sequence[float],
+    priors: Sequence[ParamPrior],
+    factor: float = 2.0,
+) -> np.ndarray:
+    """Per-parameter Gaussian kernel scales from a weighted population.
+
+    The classic ABC-SMC choice ``sqrt(factor * weighted variance)`` per
+    component (Beaumont et al.; ``factor=2`` doubles the population
+    variance).  A degenerate component (zero variance) falls back to 1% of
+    the prior's transformed width so the kernel never collapses to a point
+    mass.
+    """
+    wts = normalize_weights(weights)
+    scales = np.empty(len(priors), dtype=float)
+    for index, prior in enumerate(priors):
+        column = thetas_t[:, index]
+        center = float(np.sum(wts * column))
+        variance = float(np.sum(wts * (column - center) ** 2))
+        scale = math.sqrt(factor * variance)
+        if scale <= 0.0:
+            low_t, high_t = prior.transformed_bounds
+            scale = 0.01 * (high_t - low_t)
+        scales[index] = scale
+    return scales
+
+
+# ----------------------------------------------------------------------
+# The fit configuration and result types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CalibrationConfig:
+    """Knobs of one ABC-SMC fit (population sizes, schedule, orchestration).
+
+    ``epsilon_quantile`` sets the shrinking acceptance schedule: generation
+    ``g``'s epsilon is that quantile of generation ``g-1``'s weighted
+    distances (generation 0 accepts every prior draw whose simulation
+    completes).  ``max_attempts``
+    bounds the per-particle proposal loop; a particle that exhausts it
+    keeps its best-seen draw (flagged unaccepted) so the fit always
+    terminates.  ``workers`` / ``checkpoint_dir`` / ``resume`` pass through
+    to the sweep orchestrator that evaluates each generation.
+    """
+
+    particles: int = 32
+    generations: int = 4
+    reps: int = 8
+    distance: str = "l2"
+    epsilon_quantile: float = 0.5
+    max_attempts: int = 24
+    kernel_factor: float = 2.0
+    workers: Union[int, str, None] = None
+    checkpoint_dir: Optional[str] = None
+    resume: bool = False
+
+    def validate(self) -> "CalibrationConfig":
+        """Raise :class:`CalibrationError` on an invalid configuration."""
+        if not isinstance(self.particles, int) or self.particles < 2:
+            raise CalibrationError(f"particles must be an integer >= 2, got {self.particles!r}")
+        if not isinstance(self.generations, int) or self.generations < 1:
+            raise CalibrationError(f"generations must be an integer >= 1, got {self.generations!r}")
+        if not isinstance(self.reps, int) or self.reps < 1:
+            raise CalibrationError(f"reps must be an integer >= 1, got {self.reps!r}")
+        if self.distance not in DISTANCES:
+            raise CalibrationError(
+                f"distance {self.distance!r} is unknown; choose from {sorted(DISTANCES)}"
+            )
+        if not 0.0 < self.epsilon_quantile < 1.0:
+            raise CalibrationError(
+                f"epsilon_quantile must be in (0, 1), got {self.epsilon_quantile!r}"
+            )
+        if not isinstance(self.max_attempts, int) or self.max_attempts < 1:
+            raise CalibrationError(f"max_attempts must be an integer >= 1, got {self.max_attempts!r}")
+        if not self.kernel_factor > 0:
+            raise CalibrationError(f"kernel_factor must be > 0, got {self.kernel_factor!r}")
+        if self.resume and not self.checkpoint_dir:
+            raise CalibrationError("resume=True requires checkpoint_dir (nothing to resume from)")
+        return self
+
+
+@dataclass
+class Generation:
+    """One ABC-SMC population: particles, distances, weights, diagnostics."""
+
+    index: int
+    epsilon: float
+    thetas: list[dict[str, Union[int, float]]]
+    distances: list[float]
+    weights: list[float]
+    attempts: list[int]
+    accepted: list[bool]
+
+    @property
+    def simulations(self) -> int:
+        """Batch-engine calls this generation consumed (one per attempt)."""
+        return sum(self.attempts)
+
+    @property
+    def acceptance_count(self) -> int:
+        """Particles that met the epsilon (rather than keeping a best-seen draw)."""
+        return sum(1 for flag in self.accepted if flag)
+
+
+@dataclass
+class CalibrationResult:
+    """The full output of one ABC-SMC fit, generation by generation."""
+
+    name: str
+    spec: Any
+    priors: tuple[ParamPrior, ...]
+    config: CalibrationConfig
+    base_seed: int
+    observed: list[float]
+    generations: list[Generation]
+
+    @property
+    def posterior(self) -> Generation:
+        """The final (sharpest-epsilon) particle population."""
+        return self.generations[-1]
+
+    @property
+    def total_simulations(self) -> int:
+        """Batch-engine calls consumed across every generation."""
+        return sum(generation.simulations for generation in self.generations)
+
+    def _posterior_values(self, path: str) -> tuple[np.ndarray, np.ndarray]:
+        if path not in {prior.path for prior in self.priors}:
+            raise CalibrationError(
+                f"no prior over {path!r}; fitted paths are {[p.path for p in self.priors]}"
+            )
+        generation = self.posterior
+        values = np.asarray([theta[path] for theta in generation.thetas], dtype=float)
+        weights = np.asarray(generation.weights, dtype=float)
+        return values, weights
+
+    def interval(self, path: str, mass: float = 0.9) -> tuple[float, float]:
+        """The posterior's central ``mass`` credible interval for one path."""
+        if not 0.0 < mass < 1.0:
+            raise CalibrationError(f"interval mass must be in (0, 1), got {mass!r}")
+        values, weights = self._posterior_values(path)
+        tail = (1.0 - mass) / 2.0
+        return (
+            weighted_quantile(values, weights, tail),
+            weighted_quantile(values, weights, 1.0 - tail),
+        )
+
+    def posterior_summary(self) -> list[dict[str, float]]:
+        """Per-parameter weighted posterior statistics (mean/stdev/quantiles)."""
+        rows = []
+        for prior in self.priors:
+            values, weights = self._posterior_values(prior.path)
+            wts = normalize_weights(weights)
+            mean = float(np.sum(wts * values))
+            stdev = math.sqrt(float(np.sum(wts * (values - mean) ** 2)))
+            rows.append(
+                {
+                    "parameter": prior.path,
+                    "mean": mean,
+                    "stdev": stdev,
+                    "q05": weighted_quantile(values, wts, 0.05),
+                    "median": weighted_quantile(values, wts, 0.5),
+                    "q95": weighted_quantile(values, wts, 0.95),
+                }
+            )
+        return rows
+
+    def summary_table(
+        self, true_values: Optional[Mapping[str, float]] = None
+    ) -> ResultTable:
+        """Posterior-summary :class:`ResultTable` (one row per parameter).
+
+        ``true_values`` (path -> generating value, e.g. from a self-test)
+        adds ``true`` and ``in90`` columns showing whether each true value
+        landed inside the posterior's central 90% credible interval.
+        """
+        table = ResultTable(title=f"posterior: {self.name}")
+        for row in self.posterior_summary():
+            values = dict(row)
+            if true_values is not None and row["parameter"] in true_values:
+                truth = float(true_values[row["parameter"]])
+                low, high = self.interval(row["parameter"], mass=0.9)
+                values["true"] = truth
+                values["in90"] = low <= truth <= high
+            table.add_row(**values)
+        for generation in self.generations:
+            epsilon = "inf" if math.isinf(generation.epsilon) else f"{generation.epsilon:.4g}"
+            table.add_note(
+                f"gen {generation.index}: epsilon={epsilon} "
+                f"accepted={generation.acceptance_count}/{len(generation.thetas)} "
+                f"sims={generation.simulations}"
+            )
+        table.add_note(
+            f"{self.config.particles} particles x {self.config.generations} generations, "
+            f"reps={self.config.reps}, distance={self.config.distance}, "
+            f"base seed {self.base_seed}, {self.total_simulations} simulations"
+        )
+        return table
+
+
+# ----------------------------------------------------------------------
+# The simulator interface (one batch call per proposal)
+# ----------------------------------------------------------------------
+def simulated_mean_curve(
+    spec: Any, params: Mapping[str, Any], seed: int, reps: int
+) -> Optional[np.ndarray]:
+    """The mean informed-count curve of a candidate parameter setting.
+
+    Patches ``params`` (dotted paths -> values) plus the run seed onto the
+    base spec, executes all ``reps`` replications as one vectorized
+    batch-engine call, and averages the per-replication curves.  Returns
+    ``None`` when the candidate fails to disseminate within the spec's
+    ``max_rounds`` (e.g. churn heavy enough to strand nodes offline) — the
+    ABC loop treats that as an infinite-distance proposal and rejects it.
+    """
+    from ..scenario import run_scenario
+
+    patch: dict[str, Any] = dict(params)
+    patch.update({"seed": seed, "reps": reps, "engine": "batch"})
+    try:
+        result = run_scenario(spec.patched(patch))
+    except RuntimeError:
+        return None
+    return mean_curve([row.details["informed_curve"] for row in result.results])
+
+
+def _evaluate_particle(
+    particle: int,
+    generation: int,
+    epsilon: float,
+    priors: tuple[ParamPrior, ...],
+    prev_thetas: Optional[list[dict[str, Union[int, float]]]],
+    prev_weights: Optional[np.ndarray],
+    scales: Optional[np.ndarray],
+    base: Any,
+    observed: np.ndarray,
+    distance_fn: Callable[[Sequence[float], Sequence[float]], float],
+    config: CalibrationConfig,
+    base_seed: int,
+) -> dict[str, float]:
+    """Propose-simulate-accept loop for one particle (runs inside workers).
+
+    Returns the flat measurement row the sweep orchestrator checkpoints:
+    the particle's native parameter values (``theta.<path>`` columns), its
+    distance, the number of simulations spent, and whether it met epsilon.
+    All randomness comes from the particle's own ``("abc", g, i)`` stream,
+    so the row is identical no matter which worker computed it.
+    """
+    rng = make_numpy_rng(base_seed, "abc", generation, particle)
+    best: Optional[tuple[float, dict[str, Union[int, float]]]] = None
+    accepted = False
+    spent = 0
+    for attempt in range(config.max_attempts):
+        if generation == 0:
+            theta = {prior.path: prior.sample(rng) for prior in priors}
+        else:
+            ancestor = int(rng.choice(len(prev_weights), p=prev_weights))
+            theta = {
+                prior.path: perturb_within(
+                    prior, prev_thetas[ancestor][prior.path], float(scales[index]), rng
+                )
+                for index, prior in enumerate(priors)
+            }
+        curve = simulated_mean_curve(
+            base, theta, simulation_seed(base_seed, generation, particle, attempt), config.reps
+        )
+        # A candidate that never disseminates within max_rounds has
+        # infinite distance to any finite observed curve: rejected, but
+        # still the best-seen fallback if every attempt fails.
+        distance = math.inf if curve is None else float(distance_fn(observed, curve))
+        spent += 1
+        if best is None or distance < best[0]:
+            best = (distance, theta)
+        if math.isfinite(distance) and distance <= epsilon:
+            best = (distance, theta)
+            accepted = True
+            break
+    distance, theta = best
+    row: dict[str, float] = {
+        "distance": distance,
+        "attempts": float(spent),
+        "accepted": 1.0 if accepted else 0.0,
+    }
+    for prior in priors:
+        row[f"theta.{prior.path}"] = theta[prior.path]
+    return row
+
+
+def _smc_weights(
+    priors: tuple[ParamPrior, ...],
+    thetas: list[dict[str, Union[int, float]]],
+    thetas_t: np.ndarray,
+    prev_thetas_t: np.ndarray,
+    prev_weights: np.ndarray,
+    scales: np.ndarray,
+) -> np.ndarray:
+    """Normalized SMC importance weights of a perturbed population.
+
+    ``w_i ∝ prior(theta_i) / sum_j prev_w_j * K(theta_i | theta_j)`` with a
+    component-wise Gaussian kernel in transformed space — the standard
+    sequential importance correction (Toni et al. 2009, eq. 14).
+    """
+    numerators = np.asarray(
+        [
+            math.prod(prior.pdf(theta[prior.path]) for prior in priors)
+            for theta in thetas
+        ],
+        dtype=float,
+    )
+    diff = (thetas_t[:, None, :] - prev_thetas_t[None, :, :]) / scales[None, None, :]
+    kernel = np.exp(-0.5 * np.sum(diff * diff, axis=2))
+    kernel /= float(np.prod(scales)) * (2.0 * math.pi) ** (len(priors) / 2.0)
+    denominators = kernel @ prev_weights
+    return normalize_weights(numerators / denominators)
+
+
+def _transformed(priors: tuple[ParamPrior, ...], thetas: list[dict]) -> np.ndarray:
+    """Stack a population's native thetas into a (P, D) kernel-space array."""
+    return np.asarray(
+        [[prior.transform(theta[prior.path]) for prior in priors] for theta in thetas],
+        dtype=float,
+    )
+
+
+def _fit_digest(
+    base: Any,
+    priors: tuple[ParamPrior, ...],
+    config: CalibrationConfig,
+    base_seed: int,
+    observed: np.ndarray,
+) -> str:
+    """A short fingerprint of everything a fit's populations depend on.
+
+    Mixed into every generation's experiment name so JSONL checkpoints from
+    a fit with different priors, config, target, or base scenario can never
+    be mistaken for resumable state of this one.
+    """
+    payload = json.dumps(
+        {
+            "scenario": base.to_dict(),
+            "priors": [
+                (p.path, p.low, p.high, p.kind, p.integer) for p in priors
+            ],
+            "config": [
+                config.particles,
+                config.generations,
+                config.reps,
+                config.distance,
+                config.epsilon_quantile,
+                config.max_attempts,
+                config.kernel_factor,
+            ],
+            "base_seed": base_seed,
+            "observed": list(map(float, observed)),
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:10]
+
+
+def _run_generation(
+    generation: int,
+    epsilon: float,
+    priors: tuple[ParamPrior, ...],
+    prev: Optional[Generation],
+    scales: Optional[np.ndarray],
+    base: Any,
+    observed: np.ndarray,
+    distance_fn: Callable[[Sequence[float], Sequence[float]], float],
+    config: CalibrationConfig,
+    base_seed: int,
+    experiment_name: str,
+) -> Generation:
+    """Evaluate one generation's particles through the sweep orchestrator."""
+    prev_thetas = prev.thetas if prev is not None else None
+    prev_weights = (
+        normalize_weights(prev.weights) if prev is not None else None
+    )
+
+    def trial(case: Mapping[str, Any], _seed: int) -> Mapping[str, float]:
+        # The orchestrator's shard seed is ignored: calibration derives its
+        # own ("abc", g, i) streams so the labels survive refactors of the
+        # experiment layer's seed schedule.
+        return _evaluate_particle(
+            particle=int(case["particle"]),
+            generation=generation,
+            epsilon=epsilon,
+            priors=priors,
+            prev_thetas=prev_thetas,
+            prev_weights=prev_weights,
+            scales=scales,
+            base=base,
+            observed=observed,
+            distance_fn=distance_fn,
+            config=config,
+            base_seed=base_seed,
+        )
+
+    experiment = Experiment(
+        name=experiment_name,
+        cases=[{"particle": index} for index in range(config.particles)],
+        trial=trial,
+        repetitions=1,
+        base_seed=base_seed,
+        workers=config.workers,
+    )
+    checkpoint = (
+        os.path.join(config.checkpoint_dir, f"{_slug(experiment_name)}.jsonl")
+        if config.checkpoint_dir
+        else None
+    )
+    table = experiment.run(checkpoint=checkpoint, resume=config.resume)
+    failures = [note for note in table.notes if "failed" in note]
+    if any(row.get("failures") for row in table.rows):
+        raise CalibrationError(
+            f"generation {generation} lost particles to trial failures: {failures}"
+        )
+    thetas: list[dict[str, Union[int, float]]] = []
+    distances: list[float] = []
+    attempts: list[int] = []
+    accepted: list[bool] = []
+    for row in table.rows:
+        theta: dict[str, Union[int, float]] = {}
+        for prior in priors:
+            value = row[f"theta.{prior.path}"]
+            theta[prior.path] = int(value) if prior.integer else float(value)
+        thetas.append(theta)
+        distances.append(float(row["distance"]))
+        attempts.append(int(row["attempts"]))
+        accepted.append(bool(row["accepted"]))
+    if prev is None:
+        weights = [1.0 / config.particles] * config.particles
+    else:
+        weights = list(
+            _smc_weights(
+                priors,
+                thetas,
+                _transformed(priors, thetas),
+                _transformed(priors, prev.thetas),
+                prev_weights,
+                scales,
+            )
+        )
+    return Generation(
+        index=generation,
+        epsilon=epsilon,
+        thetas=thetas,
+        distances=distances,
+        weights=weights,
+        attempts=attempts,
+        accepted=accepted,
+    )
+
+
+def calibrate(
+    base: Any,
+    priors: Sequence[ParamPrior],
+    observed: Optional[Sequence[float]] = None,
+    config: Optional[CalibrationConfig] = None,
+    base_seed: int = 0,
+    name: str = "calibrate",
+    progress: Optional[Callable[[Generation], None]] = None,
+) -> CalibrationResult:
+    """Fit scenario parameters to an observed informed-count curve.
+
+    ``base`` is the scenario template (a
+    :class:`~repro.scenario.ScenarioSpec`, a path to its JSON file, or a
+    bundled-library name); it must describe a one-to-all run of a
+    declarative algorithm, since the informed-count curve is the fit's
+    data.  ``priors`` give one :class:`ParamPrior` per fitted dotted path.
+    ``observed`` is the target curve; omit it for a **self-test** fit,
+    where the target is simulated from ``base`` itself under the
+    ``("abc", "observed")`` seed label and the fit should recover the
+    spec's own parameter values.  ``progress`` is called with each
+    completed :class:`Generation`.
+
+    The fit is bit-for-bit reproducible from ``base_seed`` across worker
+    counts and checkpoint resumes (see the module docstring's label
+    scheme).
+    """
+    from ..scenario import ScenarioSpec, load_named_scenario, load_scenario
+
+    config = (config or CalibrationConfig()).validate()
+    if isinstance(base, str):
+        base = load_scenario(base) if os.path.exists(base) else load_named_scenario(base)
+    if not isinstance(base, ScenarioSpec):
+        raise CalibrationError(
+            f"base must be a ScenarioSpec, a scenario file path, or a library name, got {base!r}"
+        )
+    base.validate()
+    if base.task != "one-to-all":
+        raise CalibrationError(
+            f"calibration fits the informed-count curve, which only one-to-all runs "
+            f"produce; scenario {base.name!r} solves {base.task!r}"
+        )
+    # Surface batch-engine incompatibilities (callback algorithms, engine
+    # conflicts) now, with the scenario layer's own error message, rather
+    # than from inside a worker a generation later.
+    base.patched({"reps": config.reps, "engine": "batch"})
+    priors = tuple(priors)
+    if not priors:
+        raise CalibrationError("calibration needs at least one ParamPrior")
+    seen: set[str] = set()
+    for prior in priors:
+        prior.validate()
+        if prior.path in seen:
+            raise CalibrationError(f"duplicate prior for path {prior.path!r}")
+        seen.add(prior.path)
+        base.require_numeric_path(prior.path)
+    distance_fn = DISTANCES[config.distance]
+    if observed is None:
+        observed_arr = simulated_mean_curve(base, {}, observed_seed(base_seed), config.reps)
+        if observed_arr is None:
+            raise CalibrationError(
+                f"self-test target failed: scenario {base.name!r} does not disseminate "
+                f"within max_rounds={base.max_rounds}; raise max_rounds or soften the spec"
+            )
+    else:
+        observed_arr = _as_curve(observed, "observed curve")
+
+    digest = _fit_digest(base, priors, config, base_seed, observed_arr)
+    generations: list[Generation] = []
+    scales: Optional[np.ndarray] = None
+    for index in range(config.generations):
+        if index == 0:
+            epsilon = math.inf
+        else:
+            previous = generations[-1]
+            epsilon = weighted_quantile(
+                previous.distances, previous.weights, config.epsilon_quantile
+            )
+            scales = kernel_scales(
+                _transformed(priors, previous.thetas),
+                previous.weights,
+                priors,
+                config.kernel_factor,
+            )
+        generation = _run_generation(
+            generation=index,
+            epsilon=epsilon,
+            priors=priors,
+            prev=generations[-1] if generations else None,
+            scales=scales,
+            base=base,
+            observed=observed_arr,
+            distance_fn=distance_fn,
+            config=config,
+            base_seed=base_seed,
+            experiment_name=f"abc-{name}-{digest}-gen{index}",
+        )
+        generations.append(generation)
+        if progress is not None:
+            progress(generation)
+    return CalibrationResult(
+        name=name,
+        spec=base,
+        priors=priors,
+        config=config,
+        base_seed=base_seed,
+        observed=[float(value) for value in observed_arr],
+        generations=generations,
+    )

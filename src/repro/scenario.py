@@ -554,6 +554,82 @@ class ScenarioSpec:
             _assign_path(payload, key.split(".") if isinstance(key, str) else list(key), value)
         return type(self).from_dict(payload)
 
+    # -- numeric-path introspection --------------------------------------
+    def numeric_paths(self) -> tuple[str, ...]:
+        """Every dotted path at which :meth:`patched` accepts a number.
+
+        The sorted enumeration covers the numeric leaves *present* in the
+        canonical dict form plus the ones a patch can **create**: an absent
+        ``faults`` block (materialized from :class:`FaultSpec` defaults),
+        the current graph family's omitted :data:`FAMILY_PARAMS` knobs, and
+        ``forget_after`` when the algorithm is ``sir-push-pull`` (``null``
+        in canonical form but patchable to an int).  ``schema`` is excluded
+        — patching the format version can only invalidate the spec.  This
+        is the vocabulary parameter-fitting layers (e.g.
+        ``repro.analysis.calibrate`` priors) validate their targets
+        against.
+        """
+        found: set[str] = set()
+
+        def walk(prefix: str, value: Any) -> None:
+            if isinstance(value, dict):
+                for key, sub in value.items():
+                    walk(f"{prefix}{key}.", sub)
+            elif isinstance(value, list):
+                for index, sub in enumerate(value):
+                    walk(f"{prefix}{index}.", sub)
+            elif _is_number(value):
+                found.add(prefix[:-1])
+
+        payload = self.to_dict()
+        del payload["schema"]
+        walk("", payload)
+        if self.faults is None:
+            defaults = FaultSpec()
+            for spec_field in fields(FaultSpec):
+                if _is_number(getattr(defaults, spec_field.name)):
+                    found.add(f"faults.{spec_field.name}")
+        for param in FAMILY_PARAMS.get(self.graph.family, {}):
+            found.add(f"graph.params.{param}")
+        if self.algorithm == "sir-push-pull":
+            found.add("forget_after")
+        return tuple(sorted(found))
+
+    def require_numeric_path(self, path: str) -> None:
+        """Raise :class:`ScenarioError` unless ``path`` is a patchable numeric leaf.
+
+        The error names the offending path and lists the valid vocabulary,
+        mirroring the :data:`FAMILY_PARAMS` validation style.
+        """
+        known = self.numeric_paths()
+        if path not in known:
+            raise ScenarioError(
+                f"{path!r} is not a patchable numeric leaf of scenario "
+                f"{self.name!r}; choose from {list(known)}"
+            )
+
+    def numeric_leaf(self, path: str) -> Optional[Union[int, float]]:
+        """The current value at a numeric path from :meth:`numeric_paths`.
+
+        Creatable-but-absent leaves resolve to the value a run would use:
+        omitted ``graph.params`` knobs return their :data:`FAMILY_PARAMS`
+        default, an absent ``faults`` block returns :class:`FaultSpec`
+        defaults, and an unset ``forget_after`` returns ``None`` (the
+        protocol default is the algorithm's own).
+        """
+        self.require_numeric_path(path)
+        node: Any = self.to_dict()
+        for part in path.split("."):
+            if isinstance(node, list):
+                node = node[int(part)]
+            elif isinstance(node, dict) and part in node:
+                node = node[part]
+            else:
+                if path.startswith("graph.params."):
+                    return FAMILY_PARAMS[self.graph.family][path.rsplit(".", 1)[1]][0]
+                return getattr(FaultSpec(), path.split(".", 1)[1])
+        return node
+
 
 def _sub_spec(cls, payload: Any, where: str):
     """Build a frozen sub-spec from a mapping, rejecting unknown keys."""

@@ -1,0 +1,461 @@
+"""Tests for ABC-SMC scenario calibration (repro.analysis.calibrate).
+
+Four layers:
+
+* **Synthetic recovery** — generate a target curve from a known
+  ScenarioSpec, run a small ABC-SMC fit, and assert every true parameter
+  lands inside the posterior's central 90% credible interval.
+* **Determinism regressions** — two fits with the same base seed produce
+  identical particle populations, serial vs ``workers=2``, and across
+  full and partial JSONL checkpoint resumes.
+* **Seed-label pinning** — the ``("abc", ...)`` derive_seed scheme is a
+  compatibility contract; these tests fail if a refactor reshuffles the
+  particle RNG streams.
+* **Hypothesis properties** — distance functions are non-negative,
+  symmetric, and zero on identical curves; the perturbation kernel keeps
+  particles inside prior support; importance weights normalize to 1.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.calibrate import (
+    DISTANCES,
+    CalibrationConfig,
+    CalibrationError,
+    ParamPrior,
+    align_curves,
+    calibrate,
+    curve_rmse,
+    kernel_scales,
+    mean_curve,
+    normalize_weights,
+    observed_seed,
+    particle_seed,
+    perturb_within,
+    quantile_time_distance,
+    quantile_times,
+    simulated_mean_curve,
+    simulation_seed,
+    weighted_quantile,
+)
+from repro.scenario import (
+    DynamicsSpec,
+    FaultSpec,
+    GraphSpec,
+    ScenarioError,
+    ScenarioSpec,
+)
+from repro.simulation.rng import derive_seed, make_numpy_rng
+
+BASE_SPEC = ScenarioSpec(
+    name="calibrate-test",
+    algorithm="push-pull",
+    task="one-to-all",
+    graph=GraphSpec(family="erdos-renyi", n=32, latency="unit"),
+    seed=11,
+    max_rounds=64,
+    dynamics=(DynamicsSpec(kind="markov-churn", rate=0.08, horizon=64),),
+    faults=FaultSpec(crash_fraction=0.3, crash_round=2),
+).validate()
+
+PRIORS = (
+    ParamPrior("dynamics.0.rate", 0.0, 0.3),
+    ParamPrior("faults.crash_fraction", 0.0, 0.6),
+)
+
+CONFIG = CalibrationConfig(particles=12, generations=3, reps=6, max_attempts=10)
+
+BASE_SEED = 5
+
+
+def _populations(result):
+    """Everything the fit's populations consist of, for exact comparison."""
+    return [
+        (g.epsilon, g.thetas, g.distances, g.weights, g.attempts, g.accepted)
+        for g in result.generations
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_fit():
+    """One reference fit shared by the recovery and determinism tests."""
+    return calibrate(BASE_SPEC, PRIORS, config=CONFIG, base_seed=BASE_SEED)
+
+
+class TestSyntheticRecovery:
+    def test_true_parameters_inside_posterior_90(self, serial_fit):
+        # The acceptance criterion of the whole harness: a self-test fit on
+        # a target generated from known parameters must recover each of
+        # them within the posterior's central 90% credible interval.
+        for prior in PRIORS:
+            truth = float(BASE_SPEC.numeric_leaf(prior.path))
+            low, high = serial_fit.interval(prior.path, mass=0.9)
+            assert low <= truth <= high, (
+                f"{prior.path}: true {truth} outside posterior 90% [{low}, {high}]"
+            )
+
+    def test_epsilon_schedule_shrinks(self, serial_fit):
+        epsilons = [g.epsilon for g in serial_fit.generations]
+        assert math.isinf(epsilons[0])
+        finite = epsilons[1:]
+        assert all(math.isfinite(eps) for eps in finite)
+        assert finite == sorted(finite, reverse=True)
+
+    def test_posterior_weights_normalize(self, serial_fit):
+        for generation in serial_fit.generations:
+            assert all(w >= 0 for w in generation.weights)
+            assert math.isclose(sum(generation.weights), 1.0, rel_tol=1e-9)
+
+    def test_posterior_summary_and_table(self, serial_fit):
+        summary = {row["parameter"]: row for row in serial_fit.posterior_summary()}
+        assert set(summary) == {p.path for p in PRIORS}
+        for row in summary.values():
+            assert row["q05"] <= row["median"] <= row["q95"]
+            assert row["stdev"] >= 0
+        true_values = {p.path: BASE_SPEC.numeric_leaf(p.path) for p in PRIORS}
+        table = serial_fit.summary_table(true_values)
+        assert len(table.rows) == len(PRIORS)
+        assert all(row["in90"] for row in table.rows)
+        assert any("epsilon" in note for note in table.notes)
+
+    def test_total_simulations_counts_every_attempt(self, serial_fit):
+        assert serial_fit.total_simulations == sum(
+            g.simulations for g in serial_fit.generations
+        )
+        # Generation 0 accepts first-completing prior draws; this scenario
+        # always completes, so it spends exactly one simulation each.
+        assert serial_fit.generations[0].simulations == CONFIG.particles
+
+    def test_self_test_observed_curve_matches_spec(self, serial_fit):
+        expected = simulated_mean_curve(
+            BASE_SPEC, {}, observed_seed(BASE_SEED), CONFIG.reps
+        )
+        assert serial_fit.observed == [float(v) for v in expected]
+
+
+class TestDeterminism:
+    def test_same_seed_identical_populations(self, serial_fit):
+        again = calibrate(BASE_SPEC, PRIORS, config=CONFIG, base_seed=BASE_SEED)
+        assert _populations(again) == _populations(serial_fit)
+
+    def test_workers_two_matches_serial(self, serial_fit):
+        parallel = calibrate(
+            BASE_SPEC, PRIORS, config=replace(CONFIG, workers=2), base_seed=BASE_SEED
+        )
+        assert _populations(parallel) == _populations(serial_fit)
+
+    def test_checkpoint_resume_matches_fresh(self, serial_fit, tmp_path):
+        checkpointed = calibrate(
+            BASE_SPEC,
+            PRIORS,
+            config=replace(CONFIG, checkpoint_dir=str(tmp_path)),
+            base_seed=BASE_SEED,
+        )
+        files = sorted(os.listdir(tmp_path))
+        assert len(files) == CONFIG.generations
+        resumed = calibrate(
+            BASE_SPEC,
+            PRIORS,
+            config=replace(CONFIG, checkpoint_dir=str(tmp_path), resume=True),
+            base_seed=BASE_SEED,
+        )
+        assert _populations(checkpointed) == _populations(serial_fit)
+        assert _populations(resumed) == _populations(serial_fit)
+
+    def test_partial_checkpoint_resume_matches_fresh(self, serial_fit, tmp_path):
+        calibrate(
+            BASE_SPEC,
+            PRIORS,
+            config=replace(CONFIG, checkpoint_dir=str(tmp_path)),
+            base_seed=BASE_SEED,
+        )
+        # Sabotage the middle generation's checkpoint: keep only half its
+        # particle records, as if the fit had been killed mid-generation.
+        middle = sorted(tmp_path.iterdir())[1]
+        lines = middle.read_text().splitlines(keepends=True)
+        middle.write_text("".join(lines[: len(lines) // 2]))
+        resumed = calibrate(
+            BASE_SPEC,
+            PRIORS,
+            config=replace(CONFIG, checkpoint_dir=str(tmp_path), resume=True),
+            base_seed=BASE_SEED,
+        )
+        assert _populations(resumed) == _populations(serial_fit)
+
+    def test_changed_config_never_reuses_stale_checkpoints(self, tmp_path):
+        # The fit digest in the checkpoint filename keys the state: a fit
+        # with a different prior must not resume another fit's particles.
+        config = replace(
+            CONFIG, particles=4, generations=1, checkpoint_dir=str(tmp_path), resume=True
+        )
+        first = calibrate(BASE_SPEC, PRIORS[:1], config=config, base_seed=BASE_SEED)
+        widened = (ParamPrior(PRIORS[0].path, 0.0, 0.25),)
+        second = calibrate(BASE_SPEC, widened, config=config, base_seed=BASE_SEED)
+        assert len(list(tmp_path.iterdir())) == 2
+        assert _populations(first) != _populations(second)
+
+
+class TestSeedLabels:
+    """The ("abc", ...) derive_seed scheme is a compatibility contract."""
+
+    def test_observed_label(self):
+        assert observed_seed(5) == derive_seed(5, "abc", "observed")
+
+    def test_particle_label(self):
+        assert particle_seed(5, 2, 7) == derive_seed(5, "abc", 2, 7)
+
+    def test_simulation_label(self):
+        assert simulation_seed(5, 2, 7, 3) == derive_seed(5, "abc", 2, 7, "sim", 3)
+
+    def test_labels_distinct_across_axes(self):
+        seeds = {
+            observed_seed(5),
+            particle_seed(5, 0, 0),
+            particle_seed(5, 0, 1),
+            particle_seed(5, 1, 0),
+            simulation_seed(5, 0, 0, 0),
+            simulation_seed(5, 0, 0, 1),
+        }
+        assert len(seeds) == 6
+
+    def test_generation_zero_draws_come_from_particle_stream(self, serial_fit):
+        # Replay particle 3's generation-0 draw with its pinned stream: the
+        # fit's stored theta must be exactly the prior samples from
+        # make_numpy_rng(base_seed, "abc", 0, 3).
+        rng = make_numpy_rng(BASE_SEED, "abc", 0, 3)
+        expected = {prior.path: prior.sample(rng) for prior in PRIORS}
+        assert serial_fit.generations[0].thetas[3] == expected
+
+
+class TestPriorAndPrimitiveUnits:
+    def test_prior_validation_errors_name_the_path(self):
+        with pytest.raises(CalibrationError, match="low < high"):
+            ParamPrior("graph.n", 5, 5).validate()
+        with pytest.raises(CalibrationError, match="log-uniform"):
+            ParamPrior("graph.n", 0.0, 1.0, kind="log-uniform").validate()
+        with pytest.raises(CalibrationError, match="kind"):
+            ParamPrior("graph.n", 0.0, 1.0, kind="gaussian").validate()
+        with pytest.raises(CalibrationError, match="no integer"):
+            ParamPrior("graph.n", 2.2, 2.8, integer=True).validate()
+
+    def test_integer_prior_samples_integers(self):
+        prior = ParamPrior("forget_after", 1, 9, integer=True).validate()
+        rng = make_numpy_rng(0, "test")
+        draws = [prior.sample(rng) for _ in range(64)]
+        assert all(isinstance(d, int) and 1 <= d <= 9 for d in draws)
+        assert len(set(draws)) > 3
+
+    def test_log_uniform_pdf_integrates_like_reciprocal(self):
+        prior = ParamPrior("dynamics.0.rate", 0.01, 1.0, kind="log-uniform").validate()
+        assert prior.pdf(0.005) == 0.0
+        assert prior.pdf(0.1) == pytest.approx(
+            1.0 / (0.1 * math.log(100.0))
+        )
+
+    def test_quantile_times_censors_unreached_quantiles(self):
+        times = quantile_times([1, 2, 3], quantiles=(0.5, 1.0), total=10.0)
+        assert list(times) == [3.0, 3.0]
+
+    def test_align_curves_pads_with_final_value(self):
+        a, b = align_curves([1, 4], [1, 2, 3, 5])
+        assert list(a) == [1, 4, 4, 4]
+        assert list(b) == [1, 2, 3, 5]
+
+    def test_weighted_quantile_brackets_support(self):
+        values = [1.0, 2.0, 3.0]
+        weights = [0.2, 0.5, 0.3]
+        assert weighted_quantile(values, weights, 0.0) <= 1.0
+        assert weighted_quantile(values, weights, 1.0) == 3.0
+        assert 1.0 <= weighted_quantile(values, weights, 0.5) <= 3.0
+
+    def test_kernel_scales_fall_back_on_degenerate_population(self):
+        priors = (ParamPrior("graph.n", 0.0, 10.0),)
+        thetas_t = np.asarray([[4.0], [4.0], [4.0]])
+        scales = kernel_scales(thetas_t, [1.0, 1.0, 1.0], priors)
+        assert scales[0] == pytest.approx(0.1)
+
+    def test_config_validation(self):
+        with pytest.raises(CalibrationError, match="particles"):
+            CalibrationConfig(particles=1).validate()
+        with pytest.raises(CalibrationError, match="distance"):
+            CalibrationConfig(distance="cosine").validate()
+        with pytest.raises(CalibrationError, match="epsilon_quantile"):
+            CalibrationConfig(epsilon_quantile=1.0).validate()
+        with pytest.raises(CalibrationError, match="resume"):
+            CalibrationConfig(resume=True).validate()
+
+
+class TestCalibrateValidation:
+    def test_rejects_all_to_all_base(self):
+        spec = ScenarioSpec(name="a2a", algorithm="push-pull", task="all-to-all").validate()
+        with pytest.raises(CalibrationError, match="one-to-all"):
+            calibrate(spec, PRIORS, config=CONFIG)
+
+    def test_rejects_unknown_prior_path_naming_it(self):
+        bad = (ParamPrior("graph.family", 0.0, 1.0),)
+        with pytest.raises(ScenarioError, match="graph.family"):
+            calibrate(BASE_SPEC, bad, config=CONFIG)
+
+    def test_rejects_duplicate_and_empty_priors(self):
+        with pytest.raises(CalibrationError, match="duplicate"):
+            calibrate(BASE_SPEC, (PRIORS[0], PRIORS[0]), config=CONFIG)
+        with pytest.raises(CalibrationError, match="at least one"):
+            calibrate(BASE_SPEC, (), config=CONFIG)
+
+    def test_rejects_non_replicable_algorithm_base(self):
+        spec = ScenarioSpec(name="span", algorithm="spanner", task="all-to-all").validate()
+        with pytest.raises(CalibrationError, match="one-to-all"):
+            calibrate(spec, PRIORS, config=CONFIG)
+
+    def test_rejects_bad_observed_curve(self):
+        with pytest.raises(CalibrationError, match="observed"):
+            calibrate(BASE_SPEC, PRIORS, observed=[], config=CONFIG)
+        with pytest.raises(CalibrationError, match="observed"):
+            calibrate(BASE_SPEC, PRIORS, observed=[1.0, -2.0], config=CONFIG)
+
+    def test_interval_rejects_unfitted_path(self, serial_fit):
+        with pytest.raises(CalibrationError, match="graph.n"):
+            serial_fit.interval("graph.n")
+
+    def test_non_completing_candidates_are_rejected_not_fatal(self):
+        # A spec whose max_rounds is far too small for some candidates:
+        # those simulations must count as infinite-distance proposals, not
+        # crash the fit.
+        curve = simulated_mean_curve(BASE_SPEC, {}, observed_seed(1), 4)
+        tight = BASE_SPEC.patched({"max_rounds": 6, "name": "tight"})
+        assert simulated_mean_curve(tight, {"dynamics.0.rate": 0.3}, 123, 4) is None
+        result = calibrate(
+            tight,
+            PRIORS,
+            observed=list(curve),
+            config=CalibrationConfig(
+                particles=4, generations=2, reps=4, max_attempts=4
+            ),
+            base_seed=2,
+        )
+        assert len(result.generations) == 2
+
+
+# ----------------------------------------------------------------------
+# Hypothesis properties for the calibration primitives
+# ----------------------------------------------------------------------
+curves = st.lists(
+    st.integers(min_value=0, max_value=500), min_size=1, max_size=40
+)
+
+uniform_priors = st.builds(
+    lambda low, width, integer: ParamPrior(
+        "graph.n", low, low + width, integer=integer
+    ),
+    low=st.floats(min_value=-50, max_value=50, allow_nan=False),
+    width=st.floats(min_value=2.0, max_value=100.0, allow_nan=False),
+    integer=st.booleans(),
+)
+
+log_priors = st.builds(
+    lambda low, factor: ParamPrior(
+        "graph.n", low, low * factor, kind="log-uniform"
+    ),
+    low=st.floats(min_value=1e-3, max_value=10.0, allow_nan=False),
+    factor=st.floats(min_value=1.5, max_value=1000.0, allow_nan=False),
+)
+
+any_priors = st.one_of(uniform_priors, log_priors)
+
+
+class TestDistanceProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(a=curves, b=curves)
+    def test_distances_non_negative_and_symmetric(self, a, b):
+        for distance in DISTANCES.values():
+            assert distance(a, b) >= 0.0
+            assert distance(a, b) == pytest.approx(distance(b, a))
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=curves)
+    def test_distances_zero_on_identical_curves(self, a):
+        for distance in DISTANCES.values():
+            assert distance(a, a) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=curves, b=curves)
+    def test_l2_detects_any_padded_pointwise_difference(self, a, b):
+        padded_a, padded_b = align_curves(a, b)
+        if list(padded_a) != list(padded_b):
+            assert curve_rmse(a, b) > 0.0
+        else:
+            assert curve_rmse(a, b) == 0.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(group=st.lists(curves, min_size=1, max_size=5))
+    def test_mean_curve_bounded_by_member_extremes(self, group):
+        mean = mean_curve(group)
+        assert mean.size == max(len(curve) for curve in group)
+        padded = [align_curves(curve, list(mean))[0] for curve in group]
+        assert np.all(mean >= np.min(padded, axis=0) - 1e-9)
+        assert np.all(mean <= np.max(padded, axis=0) + 1e-9)
+
+
+class TestKernelProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        prior=any_priors,
+        position=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        scale=st.floats(min_value=1e-6, max_value=100.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_perturbation_stays_inside_prior_support(self, prior, position, scale, seed):
+        prior.validate()
+        start = prior.clip(prior.low + position * (prior.high - prior.low))
+        rng = make_numpy_rng(seed, "perturb-test")
+        value = perturb_within(prior, start, scale, rng)
+        assert prior.contains(value)
+        if prior.integer:
+            assert isinstance(value, int)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        raw=st.lists(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=32,
+        ).filter(lambda values: sum(values) > 0)
+    )
+    def test_weights_normalize_to_one(self, raw):
+        normalized = normalize_weights(raw)
+        assert math.isclose(float(normalized.sum()), 1.0, rel_tol=1e-9)
+        assert np.all(normalized >= 0.0)
+
+    def test_weights_reject_degenerate_populations(self):
+        with pytest.raises(CalibrationError):
+            normalize_weights([0.0, 0.0])
+        with pytest.raises(CalibrationError):
+            normalize_weights([1.0, -0.5])
+        with pytest.raises(CalibrationError):
+            normalize_weights([])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(min_value=-1e3, max_value=1e3, allow_nan=False),
+            min_size=1,
+            max_size=16,
+        ),
+        q=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+        seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_weighted_quantile_inside_value_range(self, values, q, seed):
+        rng = make_numpy_rng(seed, "wq-test")
+        weights = rng.uniform(0.1, 1.0, size=len(values))
+        result = weighted_quantile(values, weights, q)
+        assert min(values) - 1e-9 <= result <= max(values) + 1e-9

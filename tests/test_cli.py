@@ -227,3 +227,129 @@ class TestScenarioValidateErrors:
         captured = capsys.readouterr()
         assert exit_code == 0
         assert captured.out.count(": ok") == 3
+
+
+class TestCalibrateCommand:
+    def _spec_path(self, tmp_path):
+        from repro.scenario import (
+            DynamicsSpec,
+            FaultSpec,
+            GraphSpec,
+            ScenarioSpec,
+            dump_scenario,
+        )
+
+        spec = ScenarioSpec(
+            name="cli-calib",
+            algorithm="push-pull",
+            task="one-to-all",
+            graph=GraphSpec(family="erdos-renyi", n=24, latency="unit"),
+            seed=3,
+            max_rounds=64,
+            dynamics=(DynamicsSpec(kind="markov-churn", rate=0.06, horizon=64),),
+            faults=FaultSpec(crash_fraction=0.2, crash_round=2),
+        ).validate()
+        path = tmp_path / "cli-calib.json"
+        dump_scenario(spec, str(path))
+        return str(path)
+
+    def _fast_args(self):
+        return [
+            "--particles", "6", "--generations", "2", "--reps", "4",
+            "--max-attempts", "6", "--seed", "4",
+        ]
+
+    def test_self_test_fit_prints_posterior_table(self, capsys, tmp_path):
+        exit_code = main(
+            [
+                "calibrate", "--scenario", self._spec_path(tmp_path), "--self-test",
+                "--prior", "faults.crash_fraction:0:0.5",
+                *self._fast_args(),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "posterior" in captured
+        assert "faults.crash_fraction" in captured
+        assert "gen 0: epsilon=inf" in captured
+        assert "in90" in captured
+
+    def test_observed_json_curve_file(self, capsys, tmp_path):
+        import json
+
+        curve = tmp_path / "curve.json"
+        curve.write_text(json.dumps([1, 4, 9, 16, 22, 24, 24]), encoding="utf-8")
+        exit_code = main(
+            [
+                "calibrate", "--scenario", self._spec_path(tmp_path),
+                "--observed", str(curve),
+                "--prior", "dynamics.0.rate:0:0.2",
+                *self._fast_args(),
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "dynamics.0.rate" in captured
+        # No ground truth for file-observed fits: no self-test verdict.
+        assert "in90" not in captured
+
+    def test_observed_csv_curve_file(self, capsys, tmp_path):
+        curve = tmp_path / "curve.csv"
+        curve.write_text("1, 4, 9\n16 22\n24  # plateau\n", encoding="utf-8")
+        exit_code = main(
+            [
+                "calibrate", "--scenario", self._spec_path(tmp_path),
+                "--observed", str(curve),
+                "--prior", "faults.crash_fraction:0:0.5",
+                *self._fast_args(),
+            ]
+        )
+        assert exit_code == 0
+
+    def test_requires_target_and_rejects_both(self, tmp_path):
+        path = self._spec_path(tmp_path)
+        with pytest.raises(SystemExit, match="needs a target"):
+            main(["calibrate", "--scenario", path, "--prior", "graph.n:8:64:int"])
+        curve = tmp_path / "c.json"
+        curve.write_text("[1, 2]", encoding="utf-8")
+        with pytest.raises(SystemExit, match="drop --observed"):
+            main(
+                [
+                    "calibrate", "--scenario", path, "--self-test",
+                    "--observed", str(curve), "--prior", "graph.n:8:64:int",
+                ]
+            )
+
+    def test_requires_at_least_one_prior(self, tmp_path):
+        with pytest.raises(SystemExit, match="--prior"):
+            main(["calibrate", "--scenario", self._spec_path(tmp_path), "--self-test"])
+
+    def test_malformed_prior_flags_exit_with_message(self, tmp_path):
+        path = self._spec_path(tmp_path)
+        with pytest.raises(SystemExit, match="PATH:LOW:HIGH"):
+            main(["calibrate", "--scenario", path, "--self-test", "--prior", "graph.n"])
+        with pytest.raises(SystemExit, match="must be numbers"):
+            main(["calibrate", "--scenario", path, "--self-test", "--prior", "graph.n:a:b"])
+        with pytest.raises(SystemExit, match="unknown modifier"):
+            main(["calibrate", "--scenario", path, "--self-test", "--prior", "graph.n:1:2:exp"])
+
+    def test_unknown_prior_path_exits_naming_choices(self, tmp_path):
+        with pytest.raises(SystemExit, match="choose from"):
+            main(
+                [
+                    "calibrate", "--scenario", self._spec_path(tmp_path), "--self-test",
+                    "--prior", "graph.family:0:1", *self._fast_args(),
+                ]
+            )
+
+    def test_library_scenario_name_resolves(self, capsys):
+        exit_code = main(
+            [
+                "calibrate", "--scenario", "calib-pushpull-er48", "--self-test",
+                "--prior", "faults.crash_fraction:0:0.5",
+                "--particles", "4", "--generations", "1", "--reps", "3",
+                "--max-attempts", "4", "--seed", "2",
+            ]
+        )
+        assert exit_code == 0
+        assert "calib-pushpull-er48" not in capsys.readouterr().err

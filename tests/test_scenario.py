@@ -434,3 +434,81 @@ class TestScenarioSweep:
         )
         table = experiment.run()
         assert list(table)[0]["complete"] == 1.0
+
+
+class TestNumericPaths:
+    def test_enumerates_present_numeric_leaves(self):
+        spec = _small_spec(
+            task="one-to-all",
+            dynamics=(DynamicsSpec(kind="markov-churn", rate=0.05),),
+            faults=FaultSpec(crash_fraction=0.2),
+        ).validate()
+        paths = spec.numeric_paths()
+        assert paths == tuple(sorted(paths))
+        for expected in (
+            "seed",
+            "max_rounds",
+            "reps",
+            "graph.n",
+            "dynamics.0.rate",
+            "dynamics.0.horizon",
+            "faults.crash_fraction",
+            "faults.drop_round",
+        ):
+            assert expected in paths
+        # Non-numeric and schema-version leaves never appear.
+        for excluded in ("schema", "name", "algorithm", "graph.family", "engine"):
+            assert excluded not in paths
+
+    def test_includes_creatable_leaves(self):
+        # An absent faults block, omitted family params, and sir's unset
+        # forget_after are all patch-creatable, so they must be offered.
+        spec = _small_spec(
+            task="one-to-all",
+            algorithm="sir-push-pull",
+            graph=GraphSpec(family="watts-strogatz", n=32, latency="unit"),
+        ).validate()
+        paths = spec.numeric_paths()
+        for expected in (
+            "faults.crash_fraction",
+            "graph.params.k",
+            "graph.params.rewire",
+            "forget_after",
+        ):
+            assert expected in paths
+        assert "faults.protect_source" not in paths  # bool, not numeric
+
+    def test_every_enumerated_path_actually_patches(self):
+        spec = _small_spec(
+            task="one-to-all",
+            algorithm="sir-push-pull",
+            graph=GraphSpec(family="watts-strogatz", n=32, latency="unit"),
+            dynamics=(DynamicsSpec(kind="markov-churn", rate=0.05),),
+        ).validate()
+        for path in spec.numeric_paths():
+            current = spec.numeric_leaf(path)
+            value = 4 if current is None else current
+            patched = spec.patched({path: value})
+            assert patched.numeric_leaf(path) == value
+
+    def test_forget_after_only_offered_for_sir(self):
+        plain = _small_spec(task="one-to-all").validate()
+        assert "forget_after" not in plain.numeric_paths()
+        with pytest.raises(ScenarioError, match="forget_after"):
+            plain.require_numeric_path("forget_after")
+
+    def test_require_numeric_path_error_names_path_and_choices(self):
+        spec = _small_spec().validate()
+        with pytest.raises(ScenarioError, match=r"'graph\.family'.*choose from"):
+            spec.require_numeric_path("graph.family")
+        with pytest.raises(ScenarioError, match="no.such.path"):
+            spec.require_numeric_path("no.such.path")
+        spec.require_numeric_path("graph.n")  # does not raise
+
+    def test_numeric_leaf_resolves_defaults(self):
+        spec = _small_spec(
+            graph=GraphSpec(family="configuration-model", n=32, latency="unit"),
+        ).validate()
+        assert spec.numeric_leaf("graph.params.gamma") == 2.5
+        assert spec.numeric_leaf("faults.crash_fraction") == 0.0
+        assert spec.numeric_leaf("graph.n") == 32
