@@ -1,0 +1,51 @@
+"""E23 — sparse spectral conductance estimation at million-node scale.
+
+Every family must produce a Cheeger-certified conductance estimate at its
+largest size within the 60-second acceptance budget (the dense eigh path
+is infeasible there — the matrix alone would be 8 TB), agree with the
+exhaustive-enumeration oracle at n=16 and the dense-eigh oracle at n=512,
+and land its ``predicted_rounds`` (the paper's ``log2(n)/φ̂``) in the same
+ballpark as one measured push-pull run.  The quick smoke shrinks the
+sizes; the estimate budget then only guards against pathological
+regressions.
+"""
+
+from __future__ import annotations
+
+
+def test_e23_spectral_scale(run_experiment_benchmark, quick_mode):
+    table = run_experiment_benchmark("E23")
+    rows = list(table)
+    assert rows, "E23 produced no rows"
+    families = {row["family"] for row in rows}
+    assert families == {
+        "erdos-renyi",
+        "barabasi-albert",
+        "watts-strogatz",
+        "power-law",
+        "kronecker",
+    }, f"E23 missed a family: {sorted(families)}"
+    for row in rows:
+        # Cheeger sandwich: the swept estimate upper-bounds the true phi,
+        # which lambda2/2 lower-bounds; the estimate itself must sit under
+        # the sqrt(2*lambda2) end of the interval.
+        assert row["parity"] != "MISMATCH", f"{row['topology']}: oracle parity failed"
+        assert 0.0 < row["phi_hat"] <= row["cheeger_hi"] + 1e-6, (
+            f"{row['topology']}: phi_hat {row['phi_hat']} escapes the Cheeger interval"
+        )
+        assert row["lambda2"] > 0.0, f"{row['topology']}: connected graph with zero gap"
+    # The oracle sizes actually ran their parity checks.
+    assert any(row["parity"] == "exact-ok" for row in rows), "E23 never ran exact parity"
+    assert any(row["parity"] == "dense-ok" for row in rows), "E23 never ran dense parity"
+    for family in sorted(families):
+        headline = max((row for row in rows if row["family"] == family), key=lambda r: r["n"])
+        # Acceptance budget: one sparse estimate at 10^6 nodes in < 60 s.
+        # The quick smoke's tiny graphs get the same bound, which there
+        # only guards against pathological regressions.
+        assert headline["estimate_seconds"] < 60.0, (
+            f"{headline['topology']}: estimate took {headline['estimate_seconds']}s (budget 60s)"
+        )
+        assert headline["method"] == "lobpcg", (
+            f"{headline['topology']}: headline row did not use the sparse path"
+        )
+        assert headline["measured_rounds"] > 0

@@ -127,6 +127,41 @@ class IndexedGraph:
         self._slot_lookup = None
         return self
 
+    def degrees(self) -> "np.ndarray":
+        """Per-node degrees as one ``int64`` array (``np.diff(indptr)``).
+
+        A fresh array each call — callers that loop should hoist it.  This
+        is the degree vector the spectral operator and the vectorized
+        sweep-cut consume; it equals ``[self.degree(i) for i in range(n)]``.
+        """
+        return np.diff(self.indptr)
+
+    def slot_sources(self) -> "np.ndarray":
+        """The source node of every CSR slot (``indices``' counterpart).
+
+        ``slot_sources()[s]`` is the node whose adjacency slice contains
+        slot ``s``, so ``zip(slot_sources(), indices)`` enumerates all
+        directed pairs in CSR order.  Shared by the lazy edge-id pairing,
+        :meth:`directed_pairs`, and the spectral scatter-gather matvec.
+        """
+        return np.repeat(np.arange(self.num_nodes, dtype=np.int64), self.degrees())
+
+    def latency_filtered_csr(self, max_latency: int) -> tuple["np.ndarray", "np.ndarray"]:
+        """CSR arrays of the latency-``ℓ`` threshold subgraph ``G_ℓ``.
+
+        Returns ``(indptr, indices)`` keeping only slots whose edge latency
+        is ``<= max_latency``, over the *full* vertex set (nodes whose every
+        edge is slower become isolated, matching
+        :meth:`WeightedGraph.latency_subgraph`).  One O(n + m) numpy pass,
+        no dict round-trip — this is how the spectral estimator thresholds
+        million-node graphs.
+        """
+        keep = self.latencies <= max_latency
+        counts = np.bincount(self.slot_sources()[keep], minlength=self.num_nodes)
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return indptr, self.indices[keep]
+
     @property
     def slot_edge_id(self) -> "np.ndarray":
         """Per-slot undirected edge id, in first-appearance (CSR) order.
@@ -137,9 +172,7 @@ class IndexedGraph:
         edge activations skip it entirely.
         """
         if self._slot_edge_id is None:
-            src = np.repeat(
-                np.arange(len(self.labels), dtype=np.int64), np.diff(self.indptr)
-            )
+            src = self.slot_sources()
             keys = (np.minimum(src, self.indices) << 32) | np.maximum(src, self.indices)
             order = np.argsort(keys, kind="stable")
             first = order[0::2]
@@ -241,10 +274,7 @@ class IndexedGraph:
         a topology resync removed; sharing the builder keeps their
         lost-exchange accounting aligned by construction.
         """
-        src = np.repeat(
-            np.arange(self.num_nodes, dtype=np.int64), np.diff(self.indptr)
-        )
-        return set(zip(src.tolist(), self.indices.tolist()))
+        return set(zip(self.slot_sources().tolist(), self.indices.tolist()))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"IndexedGraph(n={self.num_nodes}, m={self.num_edges})"

@@ -96,3 +96,49 @@ class TestFiedlerOrdering:
     def test_tiny_graph_passthrough(self):
         graph = clique(2)
         assert fiedler_ordering(graph) == graph.nodes()
+
+
+class TestSpectralRewiring:
+    def test_profile_carries_lambda2_and_cheeger_interval(self):
+        graph = weighted_erdos_renyi(40, 0.3, seed=3)
+        profile = estimate_profile(graph, seed=3)
+        assert profile.lambda2 is not None and profile.lambda2 > 0
+        lower, upper = profile.cheeger_interval()
+        assert 0 <= lower < upper
+
+    def test_exact_profile_also_carries_lambda2(self, slow_bridge):
+        profile = estimate_profile(slow_bridge)
+        assert profile.exact
+        assert profile.lambda2 is not None
+        # lambda2/2 lower-bounds the true critical conductance (Cheeger).
+        assert profile.lambda2 / 2 <= profile.critical_phi + 1e-9
+
+    def test_estimates_are_deterministic_per_seed(self):
+        graph = weighted_erdos_renyi(48, 0.25, seed=9)
+        first = estimate_profile(graph, seed=5)
+        second = estimate_profile(graph, seed=5)
+        assert first == second
+        # The random-cut sampler is seeded through derive_seed labels, so a
+        # different seed legitimately may (not must) change the estimate;
+        # the call itself must still succeed.
+        estimate_profile(graph, seed=6)
+
+    def test_large_estimate_avoids_dict_materialization(self):
+        # A CSR-backed graph beyond the dense threshold routes through the
+        # sparse solver and still produces a sane, positive estimate.
+        from repro.graphs import constant_latency, erdos_renyi_csr
+
+        graph = erdos_renyi_csr(1500, 10 / 1500, constant_latency(1), seed=2)
+        value = estimate_weight_ell_conductance(graph, 1, seed=0)
+        assert 0 < value <= 1
+
+    def test_latency_class_weights_match_scalar_helper(self):
+        import numpy as np
+
+        from repro.core.estimation import _latency_class_slot_weights
+        from repro.core.latency_classes import latency_class_index
+
+        latencies = np.array([1, 2, 3, 4, 5, 8, 9, 16, 17, 100, 1024], dtype=np.int64)
+        weights = _latency_class_slot_weights(latencies)
+        expected = [0.5 ** latency_class_index(int(lat)) for lat in latencies]
+        assert weights == pytest.approx(expected)
