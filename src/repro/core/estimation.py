@@ -178,14 +178,25 @@ def _latency_class_slot_weights(latencies: "np.ndarray") -> "np.ndarray":
 
 
 def _candidate_latencies(snapshot: IndexedGraph) -> list[int]:
-    """Distinct latencies, collapsed to class upper bounds when too many."""
+    """Distinct latencies, collapsed to per-class maxima when too many.
+
+    Each latency class ``(2^{i−1}, 2^i]`` is represented by the largest
+    latency *present* in it, not the synthetic bound ``2^i``: ``φ_ℓ`` is
+    constant across the class's unused tail, so the per-class maximum gives
+    the same numerator while the Definition 2 ratio ``φ_ℓ/ℓ`` is taken at a
+    latency that exists in the graph (a ``2^i`` bound would understate the
+    ratio by up to 2× and could select a different ``(φ*, ℓ*)``).
+    """
     distinct = np.unique(snapshot.latencies)
     if len(distinct) <= _MAX_CANDIDATE_LATENCIES:
         return [int(ell) for ell in distinct]
     clamped = np.maximum(distinct, 2).astype(np.float64)
     class_index = np.maximum(np.ceil(np.log2(clamped)).astype(np.int64), 1)
-    bounds = np.minimum(2 ** class_index, int(distinct[-1]))
-    return [int(ell) for ell in np.unique(np.concatenate(([distinct[0]], bounds)))]
+    # class_index is non-decreasing over the sorted distinct latencies, so
+    # the last member of each run is that class's largest present latency.
+    last_in_class = np.flatnonzero(np.diff(class_index) != 0)
+    reps = distinct[np.concatenate((last_in_class, [len(distinct) - 1]))]
+    return [int(ell) for ell in np.unique(np.concatenate(([distinct[0]], reps)))]
 
 
 def _fiedler_sweep_value(

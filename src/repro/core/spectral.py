@@ -92,7 +92,16 @@ class LaplacianOperator:
     ``G_ℓ`` without materializing a subgraph.
     """
 
-    __slots__ = ("n", "indptr", "indices", "degrees", "inv_sqrt_degrees", "_zero_degree")
+    __slots__ = (
+        "n",
+        "indptr",
+        "indices",
+        "degrees",
+        "inv_sqrt_degrees",
+        "_zero_degree",
+        "_supported_nodes",
+        "_supported_starts",
+    )
 
     def __init__(self, indptr: "np.ndarray", indices: "np.ndarray") -> None:
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
@@ -104,6 +113,8 @@ class LaplacianOperator:
             raise GraphError("the spectral operator needs at least one edge")
         self.degrees = np.diff(self.indptr)
         self._zero_degree = self.degrees == 0
+        self._supported_nodes = np.flatnonzero(~self._zero_degree)
+        self._supported_starts = self.indptr[:-1][self._supported_nodes]
         with np.errstate(divide="ignore"):
             self.inv_sqrt_degrees = np.where(
                 self._zero_degree, 0.0, 1.0 / np.sqrt(np.maximum(self.degrees, 1))
@@ -134,16 +145,20 @@ class LaplacianOperator:
         """Apply ``L x = x − D^{-1/2} A D^{-1/2} x`` in one O(m) pass.
 
         The gather ``z[indices]`` is already grouped by source node (CSR
-        order), so the neighbour sums are one ``np.add.reduceat`` over
-        ``indptr`` — the indices of empty slices are clamped and their
-        (bogus, reduceat-repeated) values zeroed via the cached
-        zero-degree mask.
+        order), so the neighbour sums are one ``np.add.reduceat`` over the
+        supported nodes' ``indptr`` starts only.  Zero-degree nodes own no
+        slots, so each supported segment runs exactly to the next supported
+        start (or the array end) — no clamping, which would silently
+        truncate the final supported node's segment whenever zero-degree
+        nodes occupy the highest indices (e.g. after latency filtering).
         """
         z = self.inv_sqrt_degrees * x
         vals = z[self.indices]
-        starts = np.minimum(self.indptr[:-1], len(vals) - 1)
-        az = np.add.reduceat(vals, starts)
-        az[self._zero_degree] = 0.0
+        if len(self._supported_nodes) == self.n:
+            az = np.add.reduceat(vals, self.indptr[:-1])
+        else:
+            az = np.zeros(self.n)
+            az[self._supported_nodes] = np.add.reduceat(vals, self._supported_starts)
         return x - self.inv_sqrt_degrees * az
 
     def kernel_vector(self) -> "np.ndarray":

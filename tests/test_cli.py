@@ -132,6 +132,12 @@ class TestCommands:
         assert "phi*" in captured
         assert "Theorem 5 holds  = True" in captured
 
+    def test_conductance_ell_without_spectral_errors(self, capsys):
+        exit_code = main(["conductance", "--nodes", "10", "--ell", "4"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "--spectral" in captured.err
+
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             main([])

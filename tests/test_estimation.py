@@ -46,6 +46,30 @@ class TestSmallGraphsAreExact:
         assert profile.ratio() == pytest.approx(profile.critical_latency / profile.critical_phi)
 
 
+class TestCandidateLatencies:
+    def test_collapsed_candidates_are_present_latencies(self):
+        # Regression: with many distinct latencies, classes used to collapse
+        # to the synthetic bounds 2^i; the Definition 2 ratio phi_ell/ell then
+        # divided by a latency absent from the graph, understating the ratio
+        # by up to 2x.  Candidates must be per-class maxima that exist.
+        from repro.core.estimation import _MAX_CANDIDATE_LATENCIES, _candidate_latencies
+
+        latencies = [1, 3, 5, 6, 7, 9, 10, 11, 12, 13, 17, 18, 19, 20, 21, 22, 23]
+        assert len(latencies) > _MAX_CANDIDATE_LATENCIES
+        graph = WeightedGraph(range(len(latencies) + 1))
+        for i, ell in enumerate(latencies):
+            graph.add_edge(i, i + 1, latency=ell)
+        candidates = _candidate_latencies(graph.indexed())
+        assert set(candidates) <= set(latencies)
+        assert candidates == [1, 3, 7, 13, 23]
+
+    def test_few_distinct_latencies_stay_exact(self):
+        from repro.core.estimation import _candidate_latencies
+
+        graph = two_cluster_slow_bridge(5, fast_latency=1, slow_latency=16)
+        assert _candidate_latencies(graph.indexed()) == [1, 16]
+
+
 class TestLargeGraphEstimates:
     def test_estimate_is_upper_bound_of_true_minimum(self):
         # Estimation scans a subset of cuts, so its value can only be >= the

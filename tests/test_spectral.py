@@ -36,6 +36,7 @@ from repro.core import (
 from repro.core.estimation import fiedler_ordering
 from repro.graphs import (
     GraphError,
+    WeightedGraph,
     clique,
     cycle_graph,
     dumbbell,
@@ -48,6 +49,22 @@ from repro.graphs import (
 )
 
 _SRC_DIR = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+
+def _graph_with_slow_tail():
+    """A fast connected core whose last-indexed nodes have only slow edges.
+
+    Thresholding at latency 1 isolates the two highest node indices — the
+    exact shape that used to corrupt the clamped-reduceat matvec.
+    """
+    graph = WeightedGraph(range(8))
+    fast_edges = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3), (1, 4)]
+    for u, v in fast_edges:
+        graph.add_edge(u, v, latency=1)
+    graph.add_edge(5, 6, latency=16)
+    graph.add_edge(6, 7, latency=16)
+    graph.add_edge(7, 2, latency=16)
+    return graph
 
 
 def _gadget_graphs():
@@ -202,6 +219,51 @@ class TestOperator:
         for _ in range(5):
             x = rng.standard_normal(operator.n)
             assert np.allclose(operator.matvec(x), dense @ x, atol=1e-12)
+
+    def test_matvec_matches_dense_with_trailing_isolated_node(self):
+        # Regression: reduceat starts used to be clamped to len(vals)-1,
+        # which silently dropped the last supported node's final edge value
+        # whenever zero-degree nodes held the highest indices — a triangle
+        # plus trailing isolated node gave matvec 2.5 where dense said 1.5.
+        indptr = np.array([0, 2, 4, 6, 6], dtype=np.int64)
+        indices = np.array([1, 2, 0, 2, 0, 1], dtype=np.int64)
+        operator = LaplacianOperator(indptr, indices)
+        dense = operator.dense_laplacian()
+        assert np.allclose(operator.matvec(np.ones(4)), dense @ np.ones(4), atol=1e-12)
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            x = rng.standard_normal(operator.n)
+            assert np.allclose(operator.matvec(x), dense @ x, atol=1e-12)
+
+    def test_matvec_symmetric_with_trailing_isolated_nodes(self):
+        # The implicit Laplacian must stay symmetric (x'Ly == y'Lx) even
+        # when latency filtering isolates the highest-indexed nodes.
+        graph = _graph_with_slow_tail()
+        operator = LaplacianOperator.from_indexed(graph.indexed(), max_latency=1)
+        assert bool(np.any(operator._zero_degree[-2:]))
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(operator.n)
+        y = rng.standard_normal(operator.n)
+        assert float(x @ operator.matvec(y)) == pytest.approx(
+            float(y @ operator.matvec(x)), abs=1e-12
+        )
+
+    def test_sparse_matches_dense_on_latency_filtered_graph(self):
+        # Regression: on a filtered graph whose slow-only nodes sit at the
+        # top indices, the sparse solver used to return a wrong lambda2
+        # (0.3231 vs dense 0.3178) with converged=False.
+        graph = _graph_with_slow_tail()
+        snapshot = graph.indexed()
+        operator = LaplacianOperator.from_indexed(snapshot, max_latency=1)
+        dense = operator.dense_laplacian()
+        rng = np.random.default_rng(3)
+        for _ in range(5):
+            x = rng.standard_normal(operator.n)
+            assert np.allclose(operator.matvec(x), dense @ x, atol=1e-12)
+        dense_pair = fiedler_pair_dense(operator)
+        sparse_pair = fiedler_pair(operator, 7, "filtered", tol=1e-10, max_iters=2000)
+        assert sparse_pair.converged
+        assert sparse_pair.lambda2 == pytest.approx(dense_pair.lambda2, rel=1e-6, abs=1e-8)
 
     def test_kernel_vector_is_null_direction(self):
         graph = weighted_erdos_renyi(25, 0.25, seed=6)
