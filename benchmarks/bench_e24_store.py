@@ -1,0 +1,45 @@
+"""E24 — artifact store: build amortization + bit-for-bit cache parity.
+
+The warm (cached) sweep and calibration fit must reproduce their cold
+(uncached) counterparts exactly — the ``parity`` column is the contract,
+checked in quick mode too.  The wall-clock acceptance targets (>= 5x on
+the pinned 10-case x 8-rep n=10^5 sweep, >= 10x on a warm pinned
+calibration generation) only bind at full size; the quick smoke's builds
+are too small to amortize anything meaningful.
+"""
+
+from __future__ import annotations
+
+
+def test_e24_store(run_experiment_benchmark, quick_mode):
+    table = run_experiment_benchmark("E24")
+    rows = list(table)
+    assert rows, "E24 produced no rows"
+    phases = {row["phase"] for row in rows}
+    assert phases == {"sweep", "calibration", "generation"}, f"E24 missed a phase: {sorted(phases)}"
+    # The non-negotiable contract, in quick mode too: cached and uncached
+    # runs are bit-for-bit identical.
+    for row in rows:
+        assert row["parity"] == "bit-for-bit", (
+            f"cache parity violated in {row['phase']}/{row['mode']}: {row['parity']}"
+        )
+    # The warm store built each distinct digest exactly once.  Hit counts
+    # are only visible for the serial calibration phase: the sweep's
+    # checkouts happen inside forked pool workers, whose stat increments
+    # never propagate back to the parent's store object.
+    for phase in ("sweep", "calibration"):
+        warm = next(row for row in rows if row["phase"] == phase and row["mode"] == "warm")
+        assert warm["builds"] == 1, f"warm {phase} built {warm['builds']}x, expected 1"
+    calib_warm = next(row for row in rows if row["phase"] == "calibration" and row["mode"] == "warm")
+    assert calib_warm["graph_hits"] >= 1, "warm calibration never hit the cache"
+    if quick_mode:
+        return
+    sweep_warm = next(row for row in rows if row["phase"] == "sweep" and row["mode"] == "warm")
+    assert sweep_warm["speedup"] >= 5.0, (
+        f"pinned sweep speedup {sweep_warm['speedup']}x below the 5x acceptance target"
+    )
+    generation_speedups = [row["speedup"] for row in rows if row["phase"] == "generation"]
+    assert max(generation_speedups) >= 10.0, (
+        f"warm calibration generations peaked at {max(generation_speedups)}x, "
+        "below the 10x acceptance target"
+    )

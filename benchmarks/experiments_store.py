@@ -1,0 +1,286 @@
+"""E24 — content-addressed artifact store: build amortization + parity.
+
+The :mod:`repro.store` graph cache promises two things at once: the hot
+paths stop re-building identical topologies, and nothing they compute
+changes — a cached run is bit-for-bit the run that built fresh.  E24
+measures both on the two hot paths the store was built for:
+
+* **Sweep** — a 10-case x 8-rep ``scenario_sweep`` over one n=10^5
+  expander, pinned to one graph digest (``pin_graph=True``).  Cold mode
+  disables the store, so all 80 shards rebuild the expander; warm mode
+  lets the store build it once (primed parent-side before the worker
+  pool forks).  The acceptance target is a >= 5x wall-clock improvement,
+  and every measurement row of the warm sweep must equal its cold
+  counterpart exactly (the ``parity`` column).
+
+* **Calibration** — the same ABC-SMC fit (``pin_graph=True``) run cold
+  and warm on a build-heavy n=2x10^5 expander with a cheap one-rep
+  flooding simulator.  Cold pays a graph build per candidate simulation;
+  warm pays one build total, so each *generation* — all simulation, no
+  build — speeds up by the full build/simulate ratio.  The acceptance
+  target is >= 10x on a warm generation, with the posterior populations
+  (thetas, distances, weights) identical to the cold fit's.
+
+The measured record lands in ``BENCH_e24.json`` at the repository root
+via :func:`benchmarks.registry.record_bench`.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Any
+
+from repro.analysis import ResultTable, deterministic_rows
+from repro.analysis.calibrate import CalibrationConfig, ParamPrior, calibrate
+from repro.analysis.experiment import scenario_sweep
+from repro.scenario import FaultSpec, GraphSpec, ScenarioSpec
+from repro.store import active_graph_store, configure_graph_store, configure_result_store
+
+__all__ = ["experiment_e24_store"]
+
+_SEED = 24
+#: The acceptance-criteria sweep: 10 cases x 8 reps at n=10^5.
+_SWEEP_N, _SWEEP_CASES, _SWEEP_REPS = 100_000, 10, 8
+_SWEEP_N_QUICK, _SWEEP_CASES_QUICK, _SWEEP_REPS_QUICK = 4_000, 3, 2
+#: The calibration scenario is larger: the expander build grows faster
+#: than the one-rep flooding simulation, so n=2x10^5 puts the
+#: build/simulate ratio comfortably above the 10x generation target.
+_CALIB_N, _CALIB_PARTICLES, _CALIB_GENERATIONS = 200_000, 6, 2
+_CALIB_N_QUICK, _CALIB_PARTICLES_QUICK, _CALIB_GENERATIONS_QUICK = 4_000, 3, 1
+#: Worker-pool size for the sweep: exercises the parent-side prime +
+#: fork/copy-on-write inheritance path in warm mode.
+_SWEEP_WORKERS = 2
+
+
+def _sweep_spec(n: int) -> ScenarioSpec:
+    """The sweep's base scenario: unit-latency flooding on an expander.
+
+    Flooding completes in ~diameter rounds, so the per-shard simulation is
+    cheap next to the expander build — the regime the graph cache exists
+    for.  The crash-fault knob gives the patch grid a non-graph axis; the
+    fractions stay tiny (<= 1e-2) because the expander is 4-regular: a
+    surviving node whose four neighbours all crash can never be informed,
+    and one-to-all would then spin until ``max_rounds`` (capped here so a
+    pathological draw fails fast instead of burning minutes).
+    """
+    return ScenarioSpec(
+        name="e24-sweep",
+        algorithm="flooding",
+        task="one-to-all",
+        graph=GraphSpec(family="expander", n=n, latency="unit"),
+        seed=_SEED,
+        engine="edge",
+        max_rounds=512,
+        faults=FaultSpec(crash_fraction=0.002, crash_round=2),
+    )
+
+
+def _calib_spec(n: int) -> ScenarioSpec:
+    """The calibration template: same shape, sized for build-heaviness."""
+    return ScenarioSpec(
+        name="e24-calibrate",
+        algorithm="flooding",
+        task="one-to-all",
+        graph=GraphSpec(family="expander", n=n, latency="unit"),
+        seed=_SEED,
+        max_rounds=512,
+        faults=FaultSpec(crash_fraction=0.004, crash_round=2),
+    )
+
+
+def _run_sweep(base: ScenarioSpec, cases: int, reps: int) -> tuple[float, list[dict]]:
+    """One pinned sweep over ``cases`` crash fractions; (wall, rows)."""
+    patches = [{"faults.crash_fraction": round(0.001 * index, 3)} for index in range(cases)]
+    experiment = scenario_sweep(
+        "e24-sweep",
+        base,
+        patches,
+        repetitions=reps,
+        base_seed=_SEED,
+        workers=_SWEEP_WORKERS,
+        pin_graph=True,
+    )
+    started = _time.perf_counter()
+    table = experiment.run()
+    wall = _time.perf_counter() - started
+    failures = sum(row.get("failures") or 0 for row in table)
+    if failures:
+        raise AssertionError(f"e24 sweep lost {failures} trial(s): {table.notes}")
+    return wall, deterministic_rows(table)
+
+
+def _run_fit(base: ScenarioSpec, particles: int, generations: int) -> tuple[float, list[float], Any]:
+    """One pinned self-test fit; (total wall, per-generation walls, result)."""
+    config = CalibrationConfig(
+        particles=particles,
+        generations=generations,
+        reps=1,
+        max_attempts=2,
+        pin_graph=True,
+    )
+    marks = [_time.perf_counter()]
+
+    def on_generation(_generation: Any) -> None:
+        marks.append(_time.perf_counter())
+
+    result = calibrate(
+        base,
+        [ParamPrior("faults.crash_fraction", 0.0, 0.008)],
+        config=config,
+        base_seed=_SEED,
+        name="e24",
+        progress=on_generation,
+    )
+    walls = [marks[index + 1] - marks[index] for index in range(generations)]
+    # marks[0] was taken before the observed-target simulation, so the
+    # first delta includes it (plus, warm, the fit's single graph build);
+    # that setup cost is shared by both modes and reported inside gen 0.
+    return sum(walls), walls, result
+
+
+def _generation_payload(result: Any) -> list[dict]:
+    """The deterministic content of a fit's populations (for parity)."""
+    return [
+        {
+            "thetas": generation.thetas,
+            "distances": generation.distances,
+            "weights": generation.weights,
+            "attempts": generation.attempts,
+            "accepted": generation.accepted,
+        }
+        for generation in result.generations
+    ]
+
+
+def experiment_e24_store(quick: bool = False) -> ResultTable:
+    """E24: artifact-store speedups + bit-for-bit cached/uncached parity.
+
+    Rows come in three phases: the pinned ``sweep`` cold vs warm, the
+    pinned ``calibration`` fit cold vs warm, and one ``generation`` row
+    per SMC generation with its individual cold/warm speedup.  Every row
+    carries a ``parity`` column: ``bit-for-bit`` means the warm (cached)
+    run's deterministic outputs equalled the cold (uncached) run's
+    exactly.
+    """
+    from .registry import record_bench
+
+    sweep_n = _SWEEP_N_QUICK if quick else _SWEEP_N
+    sweep_cases = _SWEEP_CASES_QUICK if quick else _SWEEP_CASES
+    sweep_reps = _SWEEP_REPS_QUICK if quick else _SWEEP_REPS
+    calib_n = _CALIB_N_QUICK if quick else _CALIB_N
+    particles = _CALIB_PARTICLES_QUICK if quick else _CALIB_PARTICLES
+    generations = _CALIB_GENERATIONS_QUICK if quick else _CALIB_GENERATIONS
+
+    table = ResultTable(title="E24: content-addressed store — build amortization + parity")
+    store = active_graph_store()
+    previous_capacity = store.capacity if store is not None else None
+    try:
+        # Result memoization stays off throughout: the warm timings must
+        # measure graph reuse, not skipped executions.
+        configure_result_store(None)
+
+        # -- sweep: cold (store disabled) then warm (store on) ----------
+        configure_graph_store(enabled=False)
+        sweep_base = _sweep_spec(sweep_n)
+        cold_wall, cold_rows = _run_sweep(sweep_base, sweep_cases, sweep_reps)
+        warm_store = configure_graph_store(enabled=True)
+        warm_store.clear()
+        warm_store.stats.reset()
+        warm_wall, warm_rows = _run_sweep(sweep_base, sweep_cases, sweep_reps)
+        sweep_stats = warm_store.stats.as_dict()
+        sweep_parity = "bit-for-bit" if warm_rows == cold_rows else "MISMATCH"
+        sweep_speedup = round(cold_wall / warm_wall, 2)
+        shards = sweep_cases * sweep_reps
+        table.add_row(
+            phase="sweep", mode="cold", n=sweep_n, work=shards,
+            wall_seconds=round(cold_wall, 2), builds=shards, graph_hits=0,
+            speedup=None, parity=sweep_parity,
+        )
+        table.add_row(
+            phase="sweep", mode="warm", n=sweep_n, work=shards,
+            wall_seconds=round(warm_wall, 2), builds=sweep_stats["builds"],
+            graph_hits=sweep_stats["hits"], speedup=sweep_speedup, parity=sweep_parity,
+        )
+
+        # -- calibration: the same pinned fit, cold then warm -----------
+        configure_graph_store(enabled=False)
+        calib_base = _calib_spec(calib_n)
+        fit_cold_wall, cold_gen_walls, cold_fit = _run_fit(calib_base, particles, generations)
+        warm_store = configure_graph_store(enabled=True)
+        warm_store.clear()
+        warm_store.stats.reset()
+        fit_warm_wall, warm_gen_walls, warm_fit = _run_fit(calib_base, particles, generations)
+        fit_stats = warm_store.stats.as_dict()
+        fit_parity = (
+            "bit-for-bit"
+            if _generation_payload(warm_fit) == _generation_payload(cold_fit)
+            and warm_fit.observed == cold_fit.observed
+            else "MISMATCH"
+        )
+        sims = cold_fit.total_simulations + 1  # + the observed target
+        fit_speedup = round(fit_cold_wall / fit_warm_wall, 2)
+        table.add_row(
+            phase="calibration", mode="cold", n=calib_n, work=sims,
+            wall_seconds=round(fit_cold_wall, 2), builds=sims, graph_hits=0,
+            speedup=None, parity=fit_parity,
+        )
+        table.add_row(
+            phase="calibration", mode="warm", n=calib_n, work=sims,
+            wall_seconds=round(fit_warm_wall, 2), builds=fit_stats["builds"],
+            graph_hits=fit_stats["hits"], speedup=fit_speedup, parity=fit_parity,
+        )
+        generation_speedups = []
+        for index, (cold_gen, warm_gen) in enumerate(zip(cold_gen_walls, warm_gen_walls)):
+            gen_speedup = round(cold_gen / warm_gen, 2)
+            generation_speedups.append(gen_speedup)
+            gen_sims = sum(cold_fit.generations[index].attempts)
+            table.add_row(
+                phase="generation", mode=f"gen{index}", n=calib_n, work=gen_sims,
+                wall_seconds=round(warm_gen, 2), builds=0, graph_hits=None,
+                speedup=gen_speedup, parity=fit_parity,
+            )
+        table.add_note(
+            f"sweep: {sweep_cases} cases x {sweep_reps} reps at n={sweep_n}, one pinned "
+            f"graph digest, workers={_SWEEP_WORKERS}; warm built {sweep_stats['builds']}x"
+        )
+        table.add_note(
+            f"calibration: {particles} particles x {generations} generations at n={calib_n}, "
+            f"{sims} simulations; warm built {fit_stats['builds']}x"
+        )
+        record_bench(
+            "E24",
+            {
+                "quick": quick,
+                "sweep": {
+                    "n": sweep_n,
+                    "shards": shards,
+                    "cold_seconds": round(cold_wall, 3),
+                    "warm_seconds": round(warm_wall, 3),
+                    "speedup": sweep_speedup,
+                    "parity": sweep_parity,
+                    "warm_store": sweep_stats,
+                },
+                "calibration": {
+                    "n": calib_n,
+                    "simulations": sims,
+                    "cold_seconds": round(fit_cold_wall, 3),
+                    "warm_seconds": round(fit_warm_wall, 3),
+                    "speedup": fit_speedup,
+                    "generation_speedups": generation_speedups,
+                    "max_generation_speedup": max(generation_speedups),
+                    "parity": fit_parity,
+                    "warm_store": fit_stats,
+                },
+            },
+        )
+    finally:
+        # Leave the process-wide store the way callers expect it: enabled,
+        # empty, with fresh counters.
+        restored = configure_graph_store(
+            enabled=True,
+            capacity=previous_capacity if previous_capacity is not None else None,
+        )
+        if restored is not None:
+            restored.clear()
+            restored.stats.reset()
+    return table

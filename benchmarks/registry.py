@@ -1,4 +1,4 @@
-"""Registry mapping experiment ids (E1..E23) to their implementations.
+"""Registry mapping experiment ids (E1..E24) to their implementations.
 
 Both the pytest-benchmark modules and the CLI (``repro-gossip experiment E7``)
 dispatch through :func:`run_experiment`.  Every experiment returns a
@@ -6,7 +6,7 @@ dispatch through :func:`run_experiment`.  Every experiment returns a
 
 Perf-trajectory records
 -----------------------
-Speed-comparison experiments (E17, E20, E21, E22, E23) additionally persist a small
+Speed-comparison experiments (E17, E20, E21, E22, E23, E24) additionally persist a small
 machine-readable summary — headline rates, the engine knob, and the git
 SHA — via :func:`record_bench`, which writes ``BENCH_<id>.json`` at the
 repository root.  CI uploads these files as artifacts, so the measured
@@ -44,6 +44,7 @@ from .experiments_lower_bounds import (
 from .experiments_batch import experiment_e20_batch_replication
 from .experiments_edge import experiment_e21_edge_kernel
 from .experiments_families import experiment_e22_family_scale
+from .experiments_store import experiment_e24_store
 from .experiments_dynamics import experiment_e19_dynamics
 from .experiments_sweeps import experiment_e18_parallel_sweep
 from .experiments_upper_bounds import (
@@ -83,6 +84,7 @@ EXPERIMENTS: dict[str, tuple[str, ExperimentFunction]] = {
     "E21": ("Edge kernel: edge-vectorized single runs vs the fast backend", experiment_e21_edge_kernel),
     "E22": ("CSR-first families: million-node builds + SIR push-pull at scale", experiment_e22_family_scale),
     "E23": ("Spectral conductance: sparse CSR Fiedler sweep at million-node scale", experiment_e23_spectral_scale),
+    "E24": ("Artifact store: content-addressed graph reuse + result memoization", experiment_e24_store),
 }
 
 _RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")

@@ -14,7 +14,9 @@ The package is organised as:
 * :mod:`repro.analysis` — the experiment / benchmark harness;
 * :mod:`repro.scenario` — declarative, JSON-serializable scenario specs
   (graph × algorithm × dynamics × faults × engine × seed) runnable from
-  Python, the CLI, and patch-grid sweeps.
+  Python, the CLI, and patch-grid sweeps;
+* :mod:`repro.store` — the content-addressed artifact store: built graphs
+  and run results keyed by stable digests of their scenario specs.
 
 Quickstart::
 
@@ -27,7 +29,7 @@ Quickstart::
     print(result.time, result.metrics.messages)
 """
 
-from . import analysis, core, gossip, graphs, guessing_game, scenario, simulation
+from . import analysis, core, gossip, graphs, guessing_game, scenario, simulation, store
 
 __version__ = "1.0.0"
 
@@ -39,5 +41,6 @@ __all__ = [
     "guessing_game",
     "scenario",
     "simulation",
+    "store",
     "__version__",
 ]

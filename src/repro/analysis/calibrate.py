@@ -412,6 +412,14 @@ class CalibrationConfig:
     keeps its best-seen draw (flagged unaccepted) so the fit always
     terminates.  ``workers`` / ``checkpoint_dir`` / ``resume`` pass through
     to the sweep orchestrator that evaluates each generation.
+
+    ``pin_graph`` conditions the whole fit on the base scenario's own
+    topology (built from ``derive_seed(base.seed, "graph")``): the observed
+    self-test target and every candidate simulation share one graph — the
+    standard known-graph ABC setup — so with the :mod:`repro.store` graph
+    cache active, the fit pays one topology build total instead of one per
+    attempt.  Incompatible with priors over ``graph.*`` paths (a candidate
+    that changes the topology cannot also hold it fixed).
     """
 
     particles: int = 32
@@ -424,6 +432,7 @@ class CalibrationConfig:
     workers: Union[int, str, None] = None
     checkpoint_dir: Optional[str] = None
     resume: bool = False
+    pin_graph: bool = False
 
     def validate(self) -> "CalibrationConfig":
         """Raise :class:`CalibrationError` on an invalid configuration."""
@@ -573,7 +582,11 @@ class CalibrationResult:
 # The simulator interface (one batch call per proposal)
 # ----------------------------------------------------------------------
 def simulated_mean_curve(
-    spec: Any, params: Mapping[str, Any], seed: int, reps: int
+    spec: Any,
+    params: Mapping[str, Any],
+    seed: int,
+    reps: int,
+    graph_seed: Optional[int] = None,
 ) -> Optional[np.ndarray]:
     """The mean informed-count curve of a candidate parameter setting.
 
@@ -583,13 +596,17 @@ def simulated_mean_curve(
     ``None`` when the candidate fails to disseminate within the spec's
     ``max_rounds`` (e.g. churn heavy enough to strand nodes offline) — the
     ABC loop treats that as an infinite-distance proposal and rejects it.
+
+    ``graph_seed`` overrides the topology's seed derivation (the
+    ``pin_graph`` hook — see :class:`CalibrationConfig`); dynamics, faults,
+    and protocol randomness still come from ``seed``.
     """
     from ..scenario import run_scenario
 
     patch: dict[str, Any] = dict(params)
     patch.update({"seed": seed, "reps": reps, "engine": "batch"})
     try:
-        result = run_scenario(spec.patched(patch))
+        result = run_scenario(spec.patched(patch), graph_seed=graph_seed)
     except RuntimeError:
         return None
     return mean_curve([row.details["informed_curve"] for row in result.results])
@@ -633,7 +650,11 @@ def _evaluate_particle(
                 for index, prior in enumerate(priors)
             }
         curve = simulated_mean_curve(
-            base, theta, simulation_seed(base_seed, generation, particle, attempt), config.reps
+            base,
+            theta,
+            simulation_seed(base_seed, generation, particle, attempt),
+            config.reps,
+            graph_seed=derive_seed(base.seed, "graph") if config.pin_graph else None,
         )
         # A candidate that never disseminates within max_rounds has
         # infinite distance to any finite observed curve: rejected, but
@@ -720,6 +741,7 @@ def _fit_digest(
                 config.epsilon_quantile,
                 config.max_attempts,
                 config.kernel_factor,
+                config.pin_graph,
             ],
             "base_seed": base_seed,
             "observed": list(map(float, observed)),
@@ -767,6 +789,16 @@ def _run_generation(
             base_seed=base_seed,
         )
 
+    prewarm = None
+    if config.pin_graph:
+        def prewarm(_pending: Sequence[Any]) -> None:
+            # One parent-side build of the pinned topology: pool workers
+            # inherit the cached CSR pages copy-on-write instead of each
+            # rebuilding it on their first particle.
+            from ..scenario import build_graph
+
+            build_graph(base, graph_seed=derive_seed(base.seed, "graph"))
+
     experiment = Experiment(
         name=experiment_name,
         cases=[{"particle": index} for index in range(config.particles)],
@@ -774,6 +806,7 @@ def _run_generation(
         repetitions=1,
         base_seed=base_seed,
         workers=config.workers,
+        prewarm=prewarm,
     )
     checkpoint = (
         os.path.join(config.checkpoint_dir, f"{_slug(experiment_name)}.jsonl")
@@ -877,10 +910,18 @@ def calibrate(
         if prior.path in seen:
             raise CalibrationError(f"duplicate prior for path {prior.path!r}")
         seen.add(prior.path)
+        if config.pin_graph and prior.path.startswith("graph."):
+            raise CalibrationError(
+                f"pin_graph holds the topology fixed, but the prior over {prior.path!r} "
+                "varies it; drop the graph.* prior or disable pin_graph"
+            )
         base.require_numeric_path(prior.path)
     distance_fn = DISTANCES[config.distance]
+    pinned_graph_seed = derive_seed(base.seed, "graph") if config.pin_graph else None
     if observed is None:
-        observed_arr = simulated_mean_curve(base, {}, observed_seed(base_seed), config.reps)
+        observed_arr = simulated_mean_curve(
+            base, {}, observed_seed(base_seed), config.reps, graph_seed=pinned_graph_seed
+        )
         if observed_arr is None:
             raise CalibrationError(
                 f"self-test target failed: scenario {base.name!r} does not disseminate "

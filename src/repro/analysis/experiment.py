@@ -374,6 +374,13 @@ class Experiment:
         ``derive_seed(base_seed, name, case_index, 0)``) and ``trial``
         must return ``{"reps": [...]}`` with one measurement mapping per
         repetition (see the module docstring's "Batch shards").
+    prewarm:
+        Optional hook called with the pending shards right before they
+        execute (and, in particular, before the fork pool spawns).  Used
+        by :func:`scenario_sweep` to pre-build shared graph artifacts in
+        the parent so workers inherit the pages copy-on-write instead of
+        each rebuilding; a failure here only costs the optimization, so
+        it is reported as a table note rather than failing the sweep.
     """
 
     name: str
@@ -384,6 +391,7 @@ class Experiment:
     workers: Union[int, str, None] = None
     timeout: Optional[float] = None
     batched: bool = False
+    prewarm: Optional[Callable[[Sequence[TrialShard]], None]] = None
 
     # -- sharding ---------------------------------------------------------
     def shard_seed(self, case_index: int, rep_index: int) -> int:
@@ -545,6 +553,12 @@ class Experiment:
                     f"({record.wall_seconds:.2f}s)"
                 )
 
+        if self.prewarm is not None and pending:
+            try:
+                self.prewarm(pending)
+            except Exception as exc:  # noqa: BLE001 - prewarm is best-effort
+                notes.append(f"prewarm failed ({type(exc).__name__}: {exc}); shards build their own graphs")
+
         try:
             if worker_count > 1 and len(pending) > 1:
                 fallback = self._run_pool(pending, worker_count, timeout, on_record)
@@ -691,6 +705,7 @@ def scenario_sweep(
     workers: Union[int, str, None] = None,
     timeout: Optional[float] = None,
     batch: bool = False,
+    pin_graph: bool = False,
 ) -> Experiment:
     """An :class:`Experiment` whose cases are patches on one base scenario.
 
@@ -718,6 +733,16 @@ def scenario_sweep(
     distribution-of-spreading-times ensemble — so batch and scalar sweeps
     answer slightly different questions and are not row-identical.
     Requires a declarative base algorithm (push/pull/push-pull/flooding).
+
+    With ``pin_graph=True`` every shard builds its topology from the *base*
+    scenario's graph seed (``derive_seed(base.seed, "graph")``) instead of
+    its own shard seed: cases that do not patch ``graph.*`` then share one
+    graph digest, so the :mod:`repro.store` graph cache builds the topology
+    once for the whole sweep (and, under a worker pool, once in the parent
+    before the fork — the ``prewarm`` hook below).  Dynamics, faults, and
+    protocol coin flips still vary per shard.  This changes the statistical
+    design — results are conditioned on a single fixed topology per case,
+    the standard known-graph setup — so it is opt-in.
     """
     # Imported here so importing the analysis package stays light; the
     # scenario layer pulls in every algorithm.
@@ -728,13 +753,14 @@ def scenario_sweep(
     if not isinstance(base, ScenarioSpec):
         raise TypeError(f"base must be a ScenarioSpec or library scenario name, got {base!r}")
     measure_fn = measure if measure is not None else default_scenario_measure
+    pinned_seed = derive_seed(base.seed, "graph") if pin_graph else None
 
     if batch:
         def trial(case: Mapping[str, Any], seed: int) -> Mapping[str, Any]:
             from ..scenario import run_scenario
 
             spec = base.patched(dict(case)).patched({"seed": seed})
-            outcome = run_scenario(spec, reps=repetitions)
+            outcome = run_scenario(spec, reps=repetitions, graph_seed=pinned_seed)
             # reps=1 with a non-batch engine legitimately degrades to one
             # scalar run; normalize so the shard always reports a list.
             results = outcome.results if hasattr(outcome, "results") else [outcome]
@@ -745,7 +771,31 @@ def scenario_sweep(
 
             spec = base.patched(dict(case))
             spec = spec.patched({"seed": seed})
-            return dict(measure_fn(run_scenario(spec)))
+            return dict(measure_fn(run_scenario(spec, graph_seed=pinned_seed)))
+
+    def prewarm(pending: Sequence[TrialShard]) -> None:
+        # Build each graph digest that more than one pending shard needs in
+        # the parent process, so pool workers inherit the CSR pages via
+        # fork/copy-on-write.  Without pinning, every shard seed yields a
+        # distinct digest and there is nothing to share — skip entirely.
+        from ..scenario import build_graph
+        from ..store import active_graph_store, graph_digest
+
+        store = active_graph_store()
+        if store is None:
+            return
+        shared: dict[str, Any] = {}
+        counts: dict[str, int] = {}
+        for shard in pending:
+            spec = base.patched(dict(shard.case)).patched({"seed": shard.seed})
+            digest = graph_digest(spec, graph_seed=pinned_seed)
+            counts[digest] = counts.get(digest, 0) + 1
+            shared.setdefault(digest, spec)
+        reused = [digest for digest, count in counts.items() if count > 1]
+        # Priming past the LRU capacity would evict the earliest builds
+        # before any worker touches them; cap at what the store can hold.
+        for digest in reused[: store.capacity]:
+            build_graph(shared[digest], graph_seed=pinned_seed)
 
     return Experiment(
         name=name,
@@ -756,6 +806,7 @@ def scenario_sweep(
         workers=workers,
         timeout=timeout,
         batched=batch,
+        prewarm=prewarm,
     )
 
 

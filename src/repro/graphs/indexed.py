@@ -364,6 +364,23 @@ class CSRGraph(WeightedGraph):
             return super().nodes()
         return list(self._snapshot.labels)
 
+    def copy(self) -> "WeightedGraph":
+        """A deep copy; O(1) while the CSR snapshot is still pristine.
+
+        The clone is a fresh wrapper over the same CSR arrays.  Deep-copy
+        semantics are preserved because nothing in the package writes the
+        shared arrays in place (a dict-built graph already hands its
+        cached IndexedGraph arrays to every caller) — mutating either
+        graph materialises its own private per-node dicts and leaves the
+        other untouched.  This is what makes a dynamics/faults run on a
+        store checkout cheap: the engine's defensive copy no longer
+        round-trips 10^5+ nodes through python dicts.
+        """
+        if not self._fresh():
+            return super().copy()
+        snap = self._snapshot
+        return CSRGraph(snap.labels, snap.indptr, snap.indices, snap.latencies)
+
     def has_node(self, node: "NodeId") -> bool:
         if not self._fresh():
             return super().has_node(node)

@@ -91,6 +91,7 @@ from .graphs.weighted_graph import NodeId
 from .simulation.dynamics import TopologyDynamics
 from .simulation.faults import FaultPlan, random_crash_plan, random_edge_drop_plan
 from .simulation.rng import derive_seed
+from .store import active_graph_store, active_result_store
 
 __all__ = [
     "SCENARIO_SCHEMA",
@@ -683,13 +684,35 @@ def _merge_nested(target: dict, patch: Mapping[str, Any]) -> None:
 # ----------------------------------------------------------------------
 # Building the concrete run from a spec
 # ----------------------------------------------------------------------
-def build_graph(spec: ScenarioSpec) -> WeightedGraph:
-    """Build the spec's graph with its derived seed (and family params)."""
-    spec.graph.validate()
+def _build_graph_fresh(spec: ScenarioSpec, seed: int) -> WeightedGraph:
+    """Run the spec's generator directly (no cache): the store's build hook."""
     model = LATENCY_MODELS[spec.graph.latency]()
-    return GRAPH_FAMILIES[spec.graph.family](
-        spec.graph.n, model, derive_seed(spec.seed, "graph"), **spec.graph.params
-    )
+    return GRAPH_FAMILIES[spec.graph.family](spec.graph.n, model, seed, **spec.graph.params)
+
+
+def build_graph(spec: ScenarioSpec, graph_seed: Optional[int] = None) -> WeightedGraph:
+    """Build the spec's graph with its derived seed (and family params).
+
+    ``graph_seed`` overrides the default ``derive_seed(spec.seed, "graph")``
+    builder seed — the pin-graph hook: a sweep or calibration fit that
+    passes one fixed ``graph_seed`` conditions every run on the same
+    topology regardless of each run's own ``seed``.
+
+    Builds route through the process-wide
+    :class:`~repro.store.GraphStore` when one is active: the first build of
+    a given (family, n, params, latency, seed) digest snapshots its CSR
+    arrays, and every later call returns a cheap pristine
+    :class:`~repro.graphs.indexed.CSRGraph` over the shared read-only
+    arrays — bit-for-bit identical to a fresh build, safe to mutate (the
+    per-checkout wrapper takes the dict fallback; the stored arrays are
+    immutable).
+    """
+    spec.graph.validate()
+    seed = derive_seed(spec.seed, "graph") if graph_seed is None else graph_seed
+    store = active_graph_store()
+    if store is None:
+        return _build_graph_fresh(spec, seed)
+    return store.checkout(spec, lambda: _build_graph_fresh(spec, seed), graph_seed=seed)
 
 
 def build_dynamics(spec: ScenarioSpec, graph: WeightedGraph) -> Optional[TopologyDynamics]:
@@ -823,19 +846,25 @@ class PreparedScenario:
 
 
 def prepare_scenario(
-    spec: ScenarioSpec, algorithm: Optional[GossipAlgorithm] = None
+    spec: ScenarioSpec,
+    algorithm: Optional[GossipAlgorithm] = None,
+    graph_seed: Optional[int] = None,
 ) -> PreparedScenario:
     """Resolve a validated spec into a :class:`PreparedScenario`.
 
     ``algorithm`` substitutes a caller-supplied instance for the spec's
     named one (that is how ``GossipAlgorithm.run(scenario=...)`` runs *its*
     algorithm in the spec's environment); by default the spec's algorithm
-    is built from the registry.
+    is built from the registry.  ``graph_seed`` passes through to
+    :func:`build_graph` (the pin-graph hook).  The graph comes from the
+    active :class:`~repro.store.GraphStore`, so a caller that probes the
+    prepared graph before executing — or prepares the same spec twice —
+    pays for one build, not two.
     """
     spec.validate()
     if algorithm is None:
         algorithm = build_algorithm(spec)
-    graph = build_graph(spec)
+    graph = build_graph(spec, graph_seed=graph_seed)
     source: Optional[NodeId] = None
     if spec.task == "one-to-all" or algorithm.task is Task.ONE_TO_ALL:
         nodes = graph.nodes()
@@ -858,19 +887,35 @@ def prepare_scenario(
 
 
 def run_scenario(
-    spec: Union[ScenarioSpec, str], reps: Optional[int] = None
+    spec: Union[ScenarioSpec, str],
+    reps: Optional[int] = None,
+    graph_seed: Optional[int] = None,
 ) -> DisseminationResult:
     """Run a scenario end to end (spec value or path to its JSON file).
 
     ``reps`` overrides the spec's replication count (patching the spec, so
     ``reps=R`` returns a :class:`~repro.gossip.base.ReplicatedResult` with
-    ``R`` rows even for a spec written with ``reps == 1``).
+    ``R`` rows even for a spec written with ``reps == 1``).  ``graph_seed``
+    pins the topology (see :func:`build_graph`).
+
+    When a :class:`~repro.store.ResultStore` is active the run is memoized
+    under the full spec's content digest: a hit decodes and returns the
+    stored result — bit-for-bit identical to re-running, because the spec
+    determines the run completely — and a miss executes then persists.
     """
     if isinstance(spec, str):
         spec = load_scenario(spec)
     if reps is not None:
         spec = spec.patched({"reps": reps})
-    return prepare_scenario(spec).execute()
+    results = active_result_store()
+    if results is not None:
+        cached = results.fetch(spec, graph_seed=graph_seed)
+        if cached is not None:
+            return cached
+    result = prepare_scenario(spec, graph_seed=graph_seed).execute()
+    if results is not None:
+        results.save(spec, result, graph_seed=graph_seed)
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -893,6 +938,16 @@ def dump_scenario(spec: ScenarioSpec, path: str) -> None:
         handle.write(spec.to_json())
 
 
+# The default library path is a pure function of this file's location;
+# compute it once.  The name and spec caches are keyed by directory/file
+# mtime so an edited or added scenario file invalidates them immediately,
+# while the common case — the CLI's error paths and every sweep re-reading
+# the same base spec — skips the listdir/parse entirely.
+_DEFAULT_LIBRARY_DIR: Optional[str] = None
+_LIBRARY_NAMES_CACHE: dict[str, tuple[int, list[str]]] = {}
+_LIBRARY_SPEC_CACHE: dict[str, tuple[int, int, ScenarioSpec]] = {}
+
+
 def scenario_library_dir() -> str:
     """The directory holding the bundled scenario library.
 
@@ -903,33 +958,62 @@ def scenario_library_dir() -> str:
     override = os.environ.get("REPRO_SCENARIO_DIR")
     if override:
         return override
-    here = os.path.dirname(os.path.abspath(__file__))
-    return os.path.normpath(os.path.join(here, os.pardir, os.pardir, "scenarios"))
+    global _DEFAULT_LIBRARY_DIR
+    if _DEFAULT_LIBRARY_DIR is None:
+        here = os.path.dirname(os.path.abspath(__file__))
+        _DEFAULT_LIBRARY_DIR = os.path.normpath(
+            os.path.join(here, os.pardir, os.pardir, "scenarios")
+        )
+    return _DEFAULT_LIBRARY_DIR
 
 
 def library_scenario_names() -> list[str]:
-    """Sorted names of the bundled library scenarios (file stem = name)."""
+    """Sorted names of the bundled library scenarios (file stem = name).
+
+    Memoized on the directory's mtime: adding, removing, or renaming a
+    scenario file bumps it, so the listing is always current without
+    re-scanning on every call.
+    """
     directory = scenario_library_dir()
-    if not os.path.isdir(directory):
+    try:
+        mtime = os.stat(directory).st_mtime_ns
+    except OSError:
         return []
-    return sorted(
+    cached = _LIBRARY_NAMES_CACHE.get(directory)
+    if cached is not None and cached[0] == mtime:
+        return list(cached[1])
+    names = sorted(
         os.path.splitext(entry)[0]
         for entry in os.listdir(directory)
         if entry.endswith(".json")
     )
+    _LIBRARY_NAMES_CACHE[directory] = (mtime, names)
+    return list(names)
 
 
 def load_named_scenario(name: str) -> ScenarioSpec:
-    """Load a bundled library scenario by name (``scenarios/<name>.json``)."""
+    """Load a bundled library scenario by name (``scenarios/<name>.json``).
+
+    Parsed specs are memoized on the file's (mtime, size), so repeated
+    lookups — one per sweep shard, one per CLI error path — parse the JSON
+    once; editing the file invalidates the entry.  The returned spec is
+    frozen, so sharing one instance across callers is safe.
+    """
     path = os.path.join(scenario_library_dir(), f"{name}.json")
-    if not os.path.exists(path):
+    try:
+        stat = os.stat(path)
+    except OSError:
         known = ", ".join(library_scenario_names()) or "<library directory missing>"
-        raise ScenarioError(f"no library scenario named {name!r}; available: {known}")
+        raise ScenarioError(f"no library scenario named {name!r}; available: {known}") from None
+    cached = _LIBRARY_SPEC_CACHE.get(path)
+    if cached is not None and cached[0] == stat.st_mtime_ns and cached[1] == stat.st_size:
+        return cached[2]
     spec = load_scenario(path)
     if spec.name != name:
         raise ScenarioError(
             f"library file {path!r} names its scenario {spec.name!r}; file stem and "
             "scenario name must agree"
         )
+    _LIBRARY_SPEC_CACHE[path] = (stat.st_mtime_ns, stat.st_size, spec)
     return spec
 

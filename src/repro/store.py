@@ -1,0 +1,639 @@
+"""Content-addressed artifact store: graph reuse and result memoization.
+
+Every artifact this package produces is a deterministic function of a
+:class:`~repro.scenario.ScenarioSpec` — the graph is built from the spec's
+graph-determining fields under ``derive_seed(seed, "graph")``, and a run's
+result is a function of the full spec.  Hashing those canonical-JSON inputs
+therefore yields *permanently valid* cache keys: a digest never has to be
+invalidated, because nothing it names can ever change.  This module turns
+that observation into two cache tiers:
+
+* :class:`GraphStore` — keyed by :func:`graph_digest` (the graph family,
+  size, params, latency model, derived graph seed, and a format-version
+  tag), it memoizes built CSR arrays in an in-process LRU and, when a cache
+  directory is configured, in on-disk ``.npz`` files (written atomically via
+  a temp file + ``os.replace``; read back with ``np.load(mmap_mode="r")``).
+  Checkouts are cheap pristine :class:`~repro.graphs.indexed.CSRGraph`
+  wrappers over the shared read-only arrays: engines read the arrays
+  zero-copy, and a dynamics run that mutates its graph materialises private
+  per-node dicts, never touching the stored arrays (the arrays are marked
+  non-writeable, so an accidental in-place write raises instead of
+  corrupting every future checkout).
+
+* :class:`ResultStore` — keyed by :func:`result_digest` (the canonical JSON
+  of the *full* spec, replication count and engine included), it memoizes
+  entire ``run_scenario`` outputs as JSON files on disk — the serving-path
+  primitive for the content-addressed result store on the roadmap.  Results
+  whose ``details`` carry non-JSON values are simply not cached (the run
+  still returns normally).
+
+Both tiers preserve the repository's central contract: a cached run is
+bit-for-bit identical to an uncached one.  For graphs this holds because a
+``CSRGraph`` wrapper reproduces a dict-built graph's node order, neighbour
+order, and latencies exactly (the PR6 parity contract); for results it
+holds because the payload encoder round-trips every field losslessly and
+refuses to cache anything it cannot.
+
+Process-wide configuration lives in :func:`configure_graph_store` /
+:func:`configure_result_store`; ``scenario.build_graph`` and
+``scenario.run_scenario`` consult the active stores on every call.  The
+graph store's memory tier is on by default (it is pure win: determinism
+makes stale hits impossible); the disk tiers activate only when a directory
+is configured (``REPRO_GRAPH_CACHE`` / ``REPRO_RESULT_CACHE`` or the CLI's
+``--graph-cache`` / ``--result-cache``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+import numpy as np
+
+from .graphs.indexed import CSRGraph
+from .graphs.weighted_graph import WeightedGraph
+from .simulation.rng import derive_seed
+
+__all__ = [
+    "GRAPH_STORE_FORMAT",
+    "RESULT_STORE_FORMAT",
+    "StoreStats",
+    "GraphStore",
+    "ResultStore",
+    "graph_digest",
+    "result_digest",
+    "active_graph_store",
+    "configure_graph_store",
+    "active_result_store",
+    "configure_result_store",
+    "encode_result",
+    "decode_result",
+]
+
+#: Format-version tags mixed into every digest.  Bump one when the meaning
+#: of the stored bytes changes (a new CSR layout, a new result field): old
+#: cache entries then simply stop being addressed, with no invalidation
+#: logic — the content hash of the *inputs* plus the format tag is the key.
+GRAPH_STORE_FORMAT = 1
+RESULT_STORE_FORMAT = 1
+
+
+# ----------------------------------------------------------------------
+# Digests
+# ----------------------------------------------------------------------
+def _sha256_json(payload: Any) -> str:
+    """The SHA-256 hex digest of a canonical-JSON encoding of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def graph_digest(spec: Any, graph_seed: Optional[int] = None) -> str:
+    """The content digest of the graph a spec builds.
+
+    Covers exactly the graph-determining fields — ``graph.family``,
+    ``graph.n``, ``graph.params``, ``graph.latency``, and the derived
+    builder seed (``derive_seed(spec.seed, "graph")`` unless an explicit
+    ``graph_seed`` pins it) — plus :data:`GRAPH_STORE_FORMAT`.  Two specs
+    that differ only in algorithm, engine, dynamics, faults, or replication
+    count share a digest, which is what lets a sweep build each distinct
+    topology exactly once.
+    """
+    if graph_seed is None:
+        graph_seed = derive_seed(spec.seed, "graph")
+    return _sha256_json(
+        {
+            "format": GRAPH_STORE_FORMAT,
+            "family": spec.graph.family,
+            "n": spec.graph.n,
+            "params": spec.graph.params,
+            "latency": spec.graph.latency,
+            "seed": graph_seed,
+        }
+    )
+
+
+def result_digest(spec: Any, graph_seed: Optional[int] = None) -> str:
+    """The content digest of a full scenario run.
+
+    Hashes the spec's canonical dict form (every field, ``reps`` and
+    ``engine`` included) plus the pinned graph seed, if any — a pinned
+    topology changes the run, so it must change the key — and
+    :data:`RESULT_STORE_FORMAT`.
+    """
+    return _sha256_json(
+        {
+            "format": RESULT_STORE_FORMAT,
+            "scenario": spec.to_dict(),
+            "graph_seed": graph_seed,
+        }
+    )
+
+
+# ----------------------------------------------------------------------
+# Stats
+# ----------------------------------------------------------------------
+@dataclass
+class StoreStats:
+    """Hit/miss counters of one store (reset with :meth:`reset`)."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    disk_writes: int = 0
+    builds: int = 0
+    uncacheable: int = 0
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.hits = self.misses = self.disk_hits = 0
+        self.disk_writes = self.builds = self.uncacheable = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (for tables and ``--cache-stats``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "disk_writes": self.disk_writes,
+            "builds": self.builds,
+            "uncacheable": self.uncacheable,
+        }
+
+
+def _atomic_write(path: str, writer: Callable[[Any], None], mode: str = "wb") -> None:
+    """Write a cache file atomically: temp file in the same dir + ``os.replace``.
+
+    Concurrent writers racing the same path each complete their own temp
+    file and replace last-writer-wins; readers only ever observe a missing
+    file or a complete one, never a torn write.
+    """
+    directory = os.path.dirname(path) or "."
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=os.path.basename(path))
+    try:
+        with os.fdopen(fd, mode) as handle:
+            writer(handle)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# GraphStore
+# ----------------------------------------------------------------------
+@dataclass
+class _GraphEntry:
+    """One cached graph: its labels plus the shared read-only CSR arrays."""
+
+    labels: list
+    indptr: np.ndarray
+    indices: np.ndarray
+    latencies: np.ndarray
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    """An ``int64``, C-contiguous, non-writeable form of ``array``."""
+    frozen = np.ascontiguousarray(array, dtype=np.int64)
+    frozen.flags.writeable = False
+    return frozen
+
+
+def _int_label_array(labels: list) -> Optional[np.ndarray]:
+    """``labels`` as an int64 array, or ``None`` if they are not plain ints.
+
+    Every bundled graph family labels its nodes with Python ints, but the
+    disk tier refuses to guess for exotic labels (tuples, strings): those
+    graphs stay memory-tier only rather than round-tripping through a lossy
+    encoding.
+    """
+    try:
+        arr = np.asarray(labels)
+    except (TypeError, ValueError):  # pragma: no cover - defensive
+        return None
+    if arr.ndim != 1 or arr.dtype.kind != "i":
+        return None
+    return arr.astype(np.int64, copy=False)
+
+
+class GraphStore:
+    """Content-addressed cache of built graphs (memory LRU + optional disk).
+
+    ``capacity`` bounds the in-process tier (an :class:`OrderedDict` LRU of
+    CSR array sets); ``directory`` enables the on-disk ``.npz`` tier.  All
+    lookups go digest-first, so the store needs no reference to the
+    builders — callers pass a zero-argument ``build`` callback that runs
+    only on a full miss.
+    """
+
+    def __init__(self, directory: Optional[str] = None, capacity: int = 4) -> None:
+        if capacity < 1:
+            raise ValueError(f"GraphStore capacity must be >= 1, got {capacity}")
+        self.directory = directory
+        self.capacity = capacity
+        self.stats = StoreStats()
+        self._memory: OrderedDict[str, _GraphEntry] = OrderedDict()
+
+    # -- digest ----------------------------------------------------------
+    def digest(self, spec: Any, graph_seed: Optional[int] = None) -> str:
+        """The store key for ``spec`` (see :func:`graph_digest`)."""
+        return graph_digest(spec, graph_seed)
+
+    # -- tiers -----------------------------------------------------------
+    def _disk_path(self, digest: str) -> Optional[str]:
+        if not self.directory:
+            return None
+        return os.path.join(self.directory, f"{digest}.npz")
+
+    def _remember(self, digest: str, entry: _GraphEntry) -> None:
+        self._memory[digest] = entry
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _load_disk(self, digest: str) -> Optional[_GraphEntry]:
+        path = self._disk_path(digest)
+        if path is None or not os.path.exists(path):
+            return None
+        try:
+            with np.load(path, mmap_mode="r") as payload:
+                entry = _GraphEntry(
+                    labels=payload["labels"].tolist(),
+                    indptr=_freeze(np.array(payload["indptr"])),
+                    indices=_freeze(np.array(payload["indices"])),
+                    latencies=_freeze(np.array(payload["latencies"])),
+                )
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # A torn or foreign file is a miss, never an error: the build
+            # path will atomically rewrite it.
+            return None
+        return entry
+
+    def _write_disk(self, digest: str, entry: _GraphEntry) -> None:
+        path = self._disk_path(digest)
+        if path is None:
+            return
+        labels_arr = _int_label_array(entry.labels)
+        if labels_arr is None:
+            return
+
+        def writer(handle: Any) -> None:
+            np.savez(
+                handle,
+                labels=labels_arr,
+                indptr=entry.indptr,
+                indices=entry.indices,
+                latencies=entry.latencies,
+            )
+
+        _atomic_write(path, writer)
+        self.stats.disk_writes += 1
+
+    # -- the public surface ----------------------------------------------
+    def checkout(
+        self,
+        spec: Any,
+        build: Callable[[], WeightedGraph],
+        graph_seed: Optional[int] = None,
+    ) -> CSRGraph:
+        """A pristine per-run graph for ``spec``, building at most once.
+
+        Memory hit → wrap the cached arrays.  Disk hit → load, promote to
+        memory, wrap.  Miss → run ``build()``, snapshot its CSR arrays,
+        remember them in both tiers, wrap.  Every checkout is a *fresh*
+        :class:`CSRGraph` over the same read-only arrays, so callers can
+        mutate (dynamics, churn) without ever dirtying the store.
+        """
+        digest = self.digest(spec, graph_seed)
+        entry = self._memory.get(digest)
+        if entry is not None:
+            self._memory.move_to_end(digest)
+            self.stats.hits += 1
+            return self._wrap(entry)
+        entry = self._load_disk(digest)
+        if entry is not None:
+            self.stats.disk_hits += 1
+            self._remember(digest, entry)
+            return self._wrap(entry)
+        self.stats.misses += 1
+        entry = self._build_entry(build)
+        self._remember(digest, entry)
+        self._write_disk(digest, entry)
+        return self._wrap(entry)
+
+    def prime(
+        self,
+        spec: Any,
+        build: Callable[[], WeightedGraph],
+        graph_seed: Optional[int] = None,
+    ) -> str:
+        """Ensure ``spec``'s graph is resident in the memory tier.
+
+        Returns the digest.  This is the parent-side pre-build hook: a sweep
+        primes each distinct digest *before* its fork pool spawns, so every
+        worker inherits the built arrays as copy-on-write pages instead of
+        rebuilding them.
+        """
+        digest = self.digest(spec, graph_seed)
+        if digest in self._memory:
+            self._memory.move_to_end(digest)
+            return digest
+        entry = self._load_disk(digest)
+        if entry is not None:
+            self.stats.disk_hits += 1
+        else:
+            self.stats.misses += 1
+            entry = self._build_entry(build)
+            self._write_disk(digest, entry)
+        self._remember(digest, entry)
+        return digest
+
+    def _build_entry(self, build: Callable[[], WeightedGraph]) -> _GraphEntry:
+        self.stats.builds += 1
+        graph = build()
+        snapshot = graph.indexed()
+        return _GraphEntry(
+            labels=list(snapshot.labels),
+            indptr=_freeze(snapshot.indptr),
+            indices=_freeze(snapshot.indices),
+            latencies=_freeze(snapshot.latencies),
+        )
+
+    @staticmethod
+    def _wrap(entry: _GraphEntry) -> CSRGraph:
+        return CSRGraph(entry.labels, entry.indptr, entry.indices, entry.latencies)
+
+    def clear(self) -> None:
+        """Drop the memory tier (the disk tier, being content-addressed, stays)."""
+        self._memory.clear()
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._memory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+
+# ----------------------------------------------------------------------
+# Result payload codec
+# ----------------------------------------------------------------------
+def _json_safe(value: Any) -> bool:
+    """Whether ``value`` survives a JSON round-trip *losslessly*.
+
+    Only ``None`` / ``bool`` / ``int`` / ``float`` / ``str`` and lists and
+    string-keyed dicts thereof qualify.  Tuples are rejected (they would
+    come back as lists), as is anything exotic — the result store refuses
+    to cache what it cannot reproduce bit for bit.
+    """
+    if value is None or type(value) in (bool, int, float, str):
+        return True
+    if type(value) is list:
+        return all(_json_safe(item) for item in value)
+    if type(value) is dict:
+        return all(type(key) is str and _json_safe(item) for key, item in value.items())
+    return False
+
+
+def _encode_metrics(metrics: Any) -> dict[str, Any]:
+    """The lossless JSON form of a :class:`SimulationMetrics`."""
+    return {
+        "rounds": metrics.rounds,
+        "completion_time": metrics.completion_time,
+        "charged_time": metrics.charged_time,
+        "activations": metrics.activations,
+        "messages": metrics.messages,
+        "edge_activations": sorted(
+            [list(key), count] for key, count in metrics.edge_activations.items()
+        ),
+        "rumor_deliveries": metrics.rumor_deliveries,
+        "payload_rumors_sent": metrics.payload_rumors_sent,
+        "max_payload_size": metrics.max_payload_size,
+        "lost_exchanges": metrics.lost_exchanges,
+        "suppressed_exchanges": metrics.suppressed_exchanges,
+    }
+
+
+def _decode_metrics(payload: dict[str, Any]) -> Any:
+    from .simulation.metrics import SimulationMetrics
+
+    return SimulationMetrics(
+        rounds=payload["rounds"],
+        completion_time=payload["completion_time"],
+        charged_time=payload["charged_time"],
+        activations=payload["activations"],
+        messages=payload["messages"],
+        edge_activations=Counter(
+            {tuple(key): count for key, count in payload["edge_activations"]}
+        ),
+        rumor_deliveries=payload["rumor_deliveries"],
+        payload_rumors_sent=payload["payload_rumors_sent"],
+        max_payload_size=payload["max_payload_size"],
+        lost_exchanges=payload["lost_exchanges"],
+        suppressed_exchanges=payload["suppressed_exchanges"],
+    )
+
+
+def encode_result(result: Any) -> Optional[dict[str, Any]]:
+    """The canonical JSON payload of a run result, or ``None`` if uncacheable.
+
+    Handles both :class:`~repro.gossip.base.DisseminationResult` and
+    :class:`~repro.gossip.base.ReplicatedResult`.  Every metrics counter is
+    encoded explicitly (``edge_activations`` as a sorted pair list); the
+    free-form ``details`` dicts are included only when they are losslessly
+    JSON-representable — otherwise the whole result is declared uncacheable
+    rather than cached approximately.
+    """
+    from .gossip.base import DisseminationResult, ReplicatedResult
+
+    if isinstance(result, ReplicatedResult):
+        rows = [encode_result(row) for row in result.results]
+        if not _json_safe(result.details) or any(row is None for row in rows):
+            return None
+        return {
+            "kind": "replicated",
+            "algorithm": result.algorithm,
+            "task": result.task.value,
+            "reps": result.reps,
+            "results": rows,
+            "details": result.details,
+        }
+    if isinstance(result, DisseminationResult):
+        if not _json_safe(result.details):
+            return None
+        if not all(
+            type(key) is tuple and all(type(part) is str for part in key)
+            for key in result.metrics.edge_activations
+        ):
+            return None
+        return {
+            "kind": "single",
+            "algorithm": result.algorithm,
+            "task": result.task.value,
+            "time": result.time,
+            "rounds_simulated": result.rounds_simulated,
+            "complete": result.complete,
+            "metrics": _encode_metrics(result.metrics),
+            "details": result.details,
+        }
+    return None
+
+
+def decode_result(payload: dict[str, Any]) -> Any:
+    """Rebuild the result object :func:`encode_result` serialized."""
+    from .gossip.base import DisseminationResult, ReplicatedResult, Task
+
+    if payload["kind"] == "replicated":
+        return ReplicatedResult(
+            algorithm=payload["algorithm"],
+            task=Task(payload["task"]),
+            reps=payload["reps"],
+            results=[decode_result(row) for row in payload["results"]],
+            details=payload["details"],
+        )
+    return DisseminationResult(
+        algorithm=payload["algorithm"],
+        task=Task(payload["task"]),
+        time=payload["time"],
+        rounds_simulated=payload["rounds_simulated"],
+        complete=payload["complete"],
+        metrics=_decode_metrics(payload["metrics"]),
+        details=payload["details"],
+    )
+
+
+# ----------------------------------------------------------------------
+# ResultStore
+# ----------------------------------------------------------------------
+class ResultStore:
+    """Content-addressed on-disk memoization of ``run_scenario`` outputs.
+
+    One JSON file per :func:`result_digest`, written atomically.  ``fetch``
+    returns the decoded result or ``None``; ``save`` declines (and counts
+    ``uncacheable``) when the result does not encode losslessly.
+    """
+
+    def __init__(self, directory: str) -> None:
+        if not directory:
+            raise ValueError("ResultStore needs a cache directory")
+        self.directory = directory
+        self.stats = StoreStats()
+
+    def _path(self, digest: str) -> str:
+        return os.path.join(self.directory, f"{digest}.json")
+
+    def digest(self, spec: Any, graph_seed: Optional[int] = None) -> str:
+        """The store key for ``spec`` (see :func:`result_digest`)."""
+        return result_digest(spec, graph_seed)
+
+    def fetch(self, spec: Any, graph_seed: Optional[int] = None) -> Optional[Any]:
+        """The memoized result of ``spec``, or ``None`` on a miss."""
+        path = self._path(self.digest(spec, graph_seed))
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        try:
+            result = decode_result(payload)
+        except (KeyError, TypeError, ValueError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def save(self, spec: Any, result: Any, graph_seed: Optional[int] = None) -> bool:
+        """Persist a run's result; returns whether it was cacheable."""
+        payload = encode_result(result)
+        if payload is None:
+            self.stats.uncacheable += 1
+            return False
+        path = self._path(self.digest(spec, graph_seed))
+
+        def writer(handle: Any) -> None:
+            json.dump(payload, handle, sort_keys=True, separators=(",", ":"))
+
+        _atomic_write(path, writer, mode="w")
+        self.stats.disk_writes += 1
+        return True
+
+
+# ----------------------------------------------------------------------
+# Process-wide active stores
+# ----------------------------------------------------------------------
+@dataclass
+class _ActiveStores:
+    """The module-level store configuration ``scenario`` consults."""
+
+    graph: Optional[GraphStore] = None
+    graph_enabled: bool = True
+    result: Optional[ResultStore] = None
+    initialized: bool = field(default=False)
+
+
+_ACTIVE = _ActiveStores()
+
+
+def _ensure_initialized() -> None:
+    if _ACTIVE.initialized:
+        return
+    _ACTIVE.initialized = True
+    _ACTIVE.graph = GraphStore(directory=os.environ.get("REPRO_GRAPH_CACHE") or None)
+    result_dir = os.environ.get("REPRO_RESULT_CACHE")
+    _ACTIVE.result = ResultStore(result_dir) if result_dir else None
+
+
+def active_graph_store() -> Optional[GraphStore]:
+    """The process-wide graph store, or ``None`` when caching is disabled."""
+    _ensure_initialized()
+    return _ACTIVE.graph if _ACTIVE.graph_enabled else None
+
+
+def configure_graph_store(
+    directory: Optional[str] = None,
+    capacity: Optional[int] = None,
+    enabled: Optional[bool] = None,
+) -> Optional[GraphStore]:
+    """Reconfigure the process-wide graph store; returns the active store.
+
+    ``directory`` (re)points the disk tier (pass ``""`` to detach it),
+    ``capacity`` resizes the memory LRU, and ``enabled=False`` turns graph
+    caching off entirely (``build_graph`` then always builds fresh — the
+    ``--no-cache`` flag).  Unspecified knobs keep their current values.
+    """
+    _ensure_initialized()
+    store = _ACTIVE.graph
+    assert store is not None
+    if directory is not None:
+        store.directory = directory or None
+    if capacity is not None:
+        if capacity < 1:
+            raise ValueError(f"GraphStore capacity must be >= 1, got {capacity}")
+        store.capacity = capacity
+        while len(store._memory) > capacity:
+            store._memory.popitem(last=False)
+    if enabled is not None:
+        _ACTIVE.graph_enabled = enabled
+    return store if _ACTIVE.graph_enabled else None
+
+
+def active_result_store() -> Optional[ResultStore]:
+    """The process-wide result store, or ``None`` when not configured."""
+    _ensure_initialized()
+    return _ACTIVE.result
+
+
+def configure_result_store(directory: Optional[str]) -> Optional[ResultStore]:
+    """Point the process-wide result store at ``directory`` (``None`` disables)."""
+    _ensure_initialized()
+    _ACTIVE.result = ResultStore(directory) if directory else None
+    return _ACTIVE.result

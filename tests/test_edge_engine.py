@@ -84,8 +84,23 @@ def test_edge_matches_numpy_rep0_per_library_scenario(name):
     seed=st.integers(min_value=0, max_value=2**31 - 1),
 )
 def test_property_edge_run_matches_numpy_rep0_exactly(name, seed):
-    edge, oracle = edge_and_oracle(load_named_scenario(name).patched({"seed": seed}))
-    assert trajectory(edge) == trajectory(oracle)
+    # An unlucky (scenario, seed) draw can disconnect a faulted graph, in
+    # which case dissemination never reaches the stop condition; the
+    # parity contract then is that BOTH backends stall, not that the run
+    # completes.  The cap keeps a stalling draw from burning 100k rounds.
+    spec = load_named_scenario(name).patched({"seed": seed, "max_rounds": 3000})
+    try:
+        edge = ("completed", trajectory(run_scenario(spec.patched({"engine": "edge"}))))
+    except RuntimeError:
+        edge = ("stalled", None)
+    try:
+        oracle = (
+            "completed",
+            trajectory(run_scenario(spec.patched({"engine": "batch"})).results[0]),
+        )
+    except RuntimeError:
+        oracle = ("stalled", None)
+    assert edge == oracle
 
 
 # ----------------------------------------------------------------------
